@@ -1,0 +1,63 @@
+//! Benchmarks for one phase of the dynamic allocation process: the
+//! exact normalized chain vs. the fast unsorted simulator, in both
+//! removal scenarios (DESIGN.md §4 — the fast path is what makes the
+//! large recovery sweeps feasible).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rt_core::process::FastProcess;
+use rt_core::rules::{Abku, Adap};
+use rt_core::{AllocationChain, LoadVector, Removal};
+use rt_markov::MarkovChain;
+
+fn bench_normalized_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("normalized_chain_step");
+    for &n in &[256usize, 4096] {
+        for (label, removal) in
+            [("A", Removal::RandomBall), ("B", Removal::RandomNonEmptyBin)]
+        {
+            let chain = AllocationChain::new(n, n as u32, removal, Abku::new(2));
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                let mut rng = SmallRng::seed_from_u64(3);
+                let mut v = LoadVector::balanced(n, n as u32);
+                b.iter(|| {
+                    chain.step(&mut v, &mut rng);
+                    black_box(&v);
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_fast_process(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fast_process_step");
+    for &n in &[256usize, 4096, 65536] {
+        for (label, removal) in
+            [("A_abku2", Removal::RandomBall), ("B_abku2", Removal::RandomNonEmptyBin)]
+        {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                let mut rng = SmallRng::seed_from_u64(4);
+                let mut p = FastProcess::new(removal, Abku::new(2), vec![1u32; n]);
+                b.iter(|| {
+                    p.step(&mut rng);
+                    black_box(p.max_load());
+                });
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("A_adap", n), &n, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(5);
+            let mut p =
+                FastProcess::new(Removal::RandomBall, Adap::new(|l: u32| l + 1), vec![1u32; n]);
+            b.iter(|| {
+                p.step(&mut rng);
+                black_box(p.max_load());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_normalized_chain, bench_fast_process);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Benchmarks for the coupled steps (DESIGN.md §4.3): the §4/§5
+//! adjacent-pair couplings vs. the general quantile coupling, and the
+//! edge-orientation coupling.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rt_core::coupling_a::CouplingA;
+use rt_core::coupling_b::CouplingB;
+use rt_core::rules::Abku;
+use rt_core::{AllocationChain, LoadVector, Removal};
+use rt_edge::coupling::EdgeCoupling;
+use rt_edge::{DiscProfile, EdgeChain};
+use rt_markov::coupling::PairCoupling;
+
+fn adjacent_pair(n: usize, m: u32) -> (LoadVector, LoadVector) {
+    let u = LoadVector::balanced(n, m);
+    for lambda in 0..n {
+        for delta in (0..n).rev() {
+            if let Some(v) = u.try_shift(lambda, delta) {
+                return (v, u);
+            }
+        }
+    }
+    unreachable!("balanced states always admit a unit shift");
+}
+
+fn bench_coupling_a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coupling_a_step");
+    for &n in &[256usize, 4096] {
+        let m = n as u32;
+        let coupling =
+            CouplingA::new(AllocationChain::new(n, m, Removal::RandomBall, Abku::new(2)));
+        let (v0, u0) = adjacent_pair(n, m);
+        group.bench_with_input(BenchmarkId::new("adjacent", n), &n, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(7);
+            b.iter(|| {
+                let mut v = v0.clone();
+                let mut u = u0.clone();
+                coupling.step_adjacent(&mut v, &mut u, &mut rng);
+                black_box((v, u));
+            });
+        });
+        let far_v = LoadVector::all_in_one(n, m);
+        let far_u = LoadVector::balanced(n, m);
+        group.bench_with_input(BenchmarkId::new("quantile", n), &n, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(8);
+            b.iter(|| {
+                let mut v = far_v.clone();
+                let mut u = far_u.clone();
+                coupling.step_quantile(&mut v, &mut u, &mut rng);
+                black_box((v, u));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_coupling_b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coupling_b_step");
+    for &n in &[256usize, 4096] {
+        let m = n as u32;
+        let coupling = CouplingB::new(AllocationChain::new(
+            n,
+            m,
+            Removal::RandomNonEmptyBin,
+            Abku::new(2),
+        ));
+        let (v0, u0) = adjacent_pair(n, m);
+        group.bench_with_input(BenchmarkId::new("adjacent", n), &n, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(9);
+            b.iter(|| {
+                let mut v = v0.clone();
+                let mut u = u0.clone();
+                coupling.step_adjacent(&mut v, &mut u, &mut rng);
+                black_box((v, u));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_edge_coupling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edge_coupling_step");
+    for &n in &[64usize, 1024] {
+        let coupling = EdgeCoupling::new(EdgeChain::new(n));
+        let x0 = DiscProfile::skewed(n, 4);
+        let y0 = DiscProfile::zero(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(10);
+            let mut x = x0.clone();
+            let mut y = y0.clone();
+            b.iter(|| {
+                coupling.step_pair(&mut x, &mut y, &mut rng);
+                black_box((&x, &y));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coupling_a, bench_coupling_b, bench_edge_coupling);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Benchmarks for the edge-orientation substrate: the fast greedy step
+//! (the engine behind the T2 recovery sweep), the normalized chain
+//! step, and the §6 metric evaluation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rt_edge::metric::profile_distance;
+use rt_edge::{DiscProfile, EdgeChain, GreedySimulation};
+use rt_markov::MarkovChain;
+
+fn bench_greedy_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_step");
+    for &n in &[256usize, 4096, 65536] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(15);
+            let mut sim = GreedySimulation::new(&DiscProfile::skewed(n, 8), true);
+            b.iter(|| {
+                sim.step(&mut rng);
+                black_box(sim.unfairness());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_chain_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edge_chain_step");
+    for &n in &[64usize, 1024] {
+        let chain = EdgeChain::new(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(16);
+            let mut s = DiscProfile::skewed(n, 4);
+            b.iter(|| {
+                chain.step(&mut s, &mut rng);
+                black_box(s.unfairness());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_metric(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metric_distance");
+    group.sample_size(20);
+    for &n in &[8usize, 12] {
+        // A unit (Ḡ) pair…
+        let y = {
+            let mut vals = vec![0i32; n];
+            vals[0] = 1;
+            vals[n - 1] = -1;
+            DiscProfile::from_values(vals)
+        };
+        let x = {
+            let mut vals = vec![0i32; n];
+            vals[0] = 1;
+            vals[1] = 1;
+            vals[n - 2] = -1;
+            vals[n - 1] = -1;
+            DiscProfile::from_values(vals)
+        };
+        group.bench_with_input(BenchmarkId::new("unit_pair", n), &n, |b, _| {
+            b.iter(|| black_box(profile_distance(&x, &y, 4)));
+        });
+        // …and an S̄_2 gap pair.
+        let gx = {
+            let mut vals = vec![0i32; n];
+            vals[0] = 4;
+            vals[n - 1] = -4;
+            DiscProfile::from_values(vals)
+        };
+        let gy = {
+            let mut vals = vec![0i32; n];
+            vals[0] = 3;
+            vals[n - 1] = -3;
+            DiscProfile::from_values(vals)
+        };
+        group.bench_with_input(BenchmarkId::new("gap_pair", n), &n, |b, _| {
+            b.iter(|| black_box(profile_distance(&gx, &gy, 8)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_greedy_step, bench_chain_step, bench_metric);
+criterion_main!(benches);

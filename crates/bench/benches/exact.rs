@@ -1,0 +1,74 @@
+//! Benchmarks for the exact-analysis substrate: dense matrix products,
+//! transition-matrix construction, stationary distributions, and exact
+//! mixing times on small instances.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rt_core::rules::Abku;
+use rt_core::{AllocationChain, Removal};
+use rt_markov::{DenseMatrix, ExactChain};
+
+fn stochastic_matrix(s: usize) -> DenseMatrix {
+    // A simple dense stochastic matrix (uniform rows with a diagonal
+    // bump) — representative of the mat-mat workload.
+    let mut m = DenseMatrix::zeros(s, s);
+    let off = 0.5 / s as f64;
+    for i in 0..s {
+        for j in 0..s {
+            m.set(i, j, off);
+        }
+        m.add(i, i, 0.5);
+    }
+    m
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_matmul");
+    group.sample_size(20);
+    for &s in &[64usize, 256, 512] {
+        let m = stochastic_matrix(s);
+        group.bench_with_input(BenchmarkId::from_parameter(s), &s, |b, _| {
+            b.iter(|| black_box(m.mul(&m)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_build_and_analyze(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_chain");
+    group.sample_size(10);
+    for &(n, m) in &[(6usize, 8u32), (8, 10)] {
+        let chain = AllocationChain::new(n, m, Removal::RandomBall, Abku::new(2));
+        group.bench_with_input(BenchmarkId::new("build", format!("{n}x{m}")), &n, |b, _| {
+            b.iter(|| black_box(ExactChain::build(&chain)));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("stationary", format!("{n}x{m}")),
+            &n,
+            |b, _| {
+                let exact = ExactChain::build(&chain);
+                b.iter_batched(
+                    || exact.states().to_vec(),
+                    |_| {
+                        let e = ExactChain::build(&chain);
+                        black_box(e.stationary(1e-10, 1_000_000))
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mixing_time", format!("{n}x{m}")),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let mut e = ExactChain::build(&chain);
+                    black_box(e.mixing_time(0.25, 1 << 24))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_build_and_analyze);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Benchmarks for the normalized load-vector kernel — the ablation of
+//! DESIGN.md §4.1: the Fact-3.2 binary-search update vs. a naive
+//! re-sorting update.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rt_core::LoadVector;
+
+fn random_vector(n: usize, m: u32, rng: &mut SmallRng) -> LoadVector {
+    let mut loads = vec![0u32; n];
+    for _ in 0..m {
+        loads[rng.random_range(0..n)] += 1;
+    }
+    LoadVector::from_loads(loads)
+}
+
+/// Naive ⊕/⊖: mutate a raw vec and fully re-sort (the baseline the
+/// Fact-3.2 implementation replaces).
+fn naive_phase(loads: &mut [u32], rem: usize, add: usize) {
+    loads[rem] -= 1;
+    loads[add] += 1;
+    loads.sort_unstable_by(|a, b| b.cmp(a));
+}
+
+fn bench_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("load_vector_update");
+    for &n in &[256usize, 4096, 65536] {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let v = random_vector(n, n as u32, &mut rng);
+        group.bench_with_input(BenchmarkId::new("fact32", n), &n, |b, _| {
+            let mut w = v.clone();
+            let mut i = 0usize;
+            b.iter(|| {
+                let j = w.add_at(i % n);
+                w.sub_at(j);
+                i = i.wrapping_add(17);
+                black_box(&w);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("naive_sort", n), &n, |b, _| {
+            let mut raw = v.as_slice().to_vec();
+            let mut i = 0usize;
+            b.iter(|| {
+                let a = i % n;
+                let r = raw.iter().position(|&l| l > 0).unwrap();
+                naive_phase(&mut raw, r, a);
+                i = i.wrapping_add(17);
+                black_box(&raw);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_delta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("load_vector_delta");
+    for &n in &[256usize, 4096, 65536] {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let v = random_vector(n, 4 * n as u32, &mut rng);
+        let u = random_vector(n, 4 * n as u32, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(v.delta(&u)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update, bench_delta);
+criterion_main!(benches);

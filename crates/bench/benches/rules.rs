@@ -1,0 +1,64 @@
+//! Benchmarks for the allocation rules (DESIGN.md §4.2): sampled choice
+//! vs. exact insertion pmf, ABKU vs. ADAP.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rt_core::right_oriented::SeqSeed;
+use rt_core::rules::{Abku, Adap};
+use rt_core::{LoadVector, RightOriented};
+
+fn random_vector(n: usize, m: u32, rng: &mut SmallRng) -> LoadVector {
+    let mut loads = vec![0u32; n];
+    for _ in 0..m {
+        loads[rng.random_range(0..n)] += 1;
+    }
+    LoadVector::from_loads(loads)
+}
+
+fn bench_choose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rule_choose");
+    for &n in &[256usize, 4096] {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let v = random_vector(n, n as u32, &mut rng);
+        for d in [1u32, 2, 4] {
+            let rule = Abku::new(d);
+            group.bench_with_input(BenchmarkId::new(format!("abku{d}"), n), &n, |b, _| {
+                let mut rng = SmallRng::seed_from_u64(12);
+                b.iter(|| {
+                    let rs = SeqSeed::sample(&mut rng);
+                    black_box(rule.choose(&v, rs))
+                });
+            });
+        }
+        let adap = Adap::new(|l: u32| l + 1);
+        group.bench_with_input(BenchmarkId::new("adap_lin", n), &n, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(13);
+            b.iter(|| {
+                let rs = SeqSeed::sample(&mut rng);
+                black_box(adap.choose(&v, rs))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_insertion_pmf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rule_insertion_pmf");
+    for &n in &[64usize, 512] {
+        let mut rng = SmallRng::seed_from_u64(14);
+        let v = random_vector(n, n as u32, &mut rng);
+        let abku = Abku::new(2);
+        group.bench_with_input(BenchmarkId::new("abku2", n), &n, |b, _| {
+            b.iter(|| black_box(abku.insertion_pmf(&v)));
+        });
+        let adap = Adap::new(|l: u32| l + 1);
+        group.bench_with_input(BenchmarkId::new("adap_lin", n), &n, |b, _| {
+            b.iter(|| black_box(adap.insertion_pmf(&v)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_choose, bench_insertion_pmf);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Benchmarks for the extension substrates: static throws, batched
+//! rounds, weighted jobs, observables, and the parallel fan-out
+//! overhead.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rt_core::batch::BatchedProcess;
+use rt_core::rules::Abku;
+use rt_core::weighted::WeightedProcess;
+use rt_core::{observables, static_alloc, LoadVector, Removal};
+
+fn bench_static_throw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("static_throw");
+    group.sample_size(20);
+    for &n in &[1024usize, 16384] {
+        group.bench_with_input(BenchmarkId::new("abku2", n), &n, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(17);
+            b.iter(|| black_box(static_alloc::max_load(n, n as u32, &Abku::new(2), &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_batched_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batched_round");
+    let n = 4096usize;
+    for &k in &[1usize, 64, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(18);
+            let mut p = BatchedProcess::new(Removal::RandomBall, Abku::new(2), vec![1u32; n], k);
+            b.iter(|| {
+                p.round(&mut rng);
+                black_box(p.max_load());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_weighted_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weighted_step");
+    for &n in &[1024usize, 16384] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let weights: Vec<u32> = (0..n).map(|k| 1 + (k % 4) as u32).collect();
+            let mut p = WeightedProcess::spread(n, 2, &weights);
+            let mut rng = SmallRng::seed_from_u64(19);
+            b.iter(|| {
+                p.step(&mut rng);
+                black_box(p.loads()[0]);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_observables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("observables");
+    let v = LoadVector::balanced(65536, 65536 * 2);
+    group.bench_function("l2_imbalance", |b| {
+        b.iter(|| black_box(observables::l2_imbalance(&v)));
+    });
+    group.bench_function("normalized_entropy", |b| {
+        b.iter(|| black_box(observables::normalized_entropy(&v)));
+    });
+    group.bench_function("overload_mass", |b| {
+        b.iter(|| black_box(observables::overload_mass(&v)));
+    });
+    group.finish();
+}
+
+fn bench_parallel_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_map_overhead");
+    group.sample_size(20);
+    for &items in &[64usize, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(items), &items, |b, _| {
+            b.iter(|| {
+                let out = rt_sim::par_map(items, |i| {
+                    // A non-trivial work item so scheduling cost is relative.
+                    let mut acc = i as u64;
+                    for _ in 0..1_000 {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    }
+                    acc
+                });
+                black_box(out)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_static_throw,
+    bench_batched_round,
+    bench_weighted_step,
+    bench_observables,
+    bench_parallel_overhead
+);
+criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! Experiment AD — ablation over the allocation rule.
+//!
+//! DESIGN.md §4: the framework covers *any* right-oriented rule, so the
+//! interesting engineering question is the trade-off a rule buys. For
+//! ABKU[1..4] and two ADAP threshold shapes, measure in scenario A:
+//!
+//! * the stationary max load (quality),
+//! * the recovery time from the crash state (resilience — Theorem 1
+//!   says the rate is rule-independent), and
+//! * the average number of bins probed per insertion (cost — constant d
+//!   for ABKU, adaptive for ADAP).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rt_bench::{header, Config};
+use rt_core::process::{FastProcess, FastRule};
+use rt_core::rules::{Abku, Adap};
+use rt_core::Removal;
+use rt_sim::{par_trials, recovery, stats, table, Table};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Probe-counting wrapper around any fast rule.
+struct Counted<'a, D> {
+    inner: D,
+    probes: &'a AtomicU64,
+    calls: &'a AtomicU64,
+}
+
+impl<D: FastRule> FastRule for Counted<'_, D> {
+    fn choose_bin<R: Rng + ?Sized>(&self, loads: &[u32], rng: &mut R) -> usize {
+        // Count probes by counting RNG draws through a counting wrapper.
+        let mut counting = CountingRng { inner: rng, draws: 0 };
+        let out = self.inner.choose_bin(loads, &mut counting);
+        self.probes.fetch_add(counting.draws, Ordering::Relaxed);
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        out
+    }
+}
+
+struct CountingRng<'a, R: ?Sized> {
+    inner: &'a mut R,
+    draws: u64,
+}
+
+impl<R: Rng + ?Sized> rand::RngCore for CountingRng<'_, R> {
+    fn next_u32(&mut self) -> u32 {
+        self.draws += 1;
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.draws += 1;
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest);
+    }
+}
+
+fn measure<D: FastRule + Clone + Sync>(
+    label: &str,
+    rule: D,
+    n: usize,
+    trials: usize,
+    seed: u64,
+    tbl: &mut Table,
+) {
+    let m = n as u32;
+    // Stationary max load + probe cost.
+    let probes = AtomicU64::new(0);
+    let calls = AtomicU64::new(0);
+    let loads_summary = {
+        let obs = par_trials(trials, seed, |_, s| {
+            let mut rng = SmallRng::seed_from_u64(s);
+            let counted = Counted { inner: rule.clone(), probes: &probes, calls: &calls };
+            let mut proc = FastProcess::new(Removal::RandomBall, counted, vec![1u32; n]);
+            proc.run(30 * u64::from(m), &mut rng);
+            let mut acc = 0.0;
+            for _ in 0..8 {
+                proc.run(u64::from(m) / 2, &mut rng);
+                acc += f64::from(proc.max_load());
+            }
+            acc / 8.0
+        });
+        stats::Summary::of(&obs)
+    };
+    let probes_per_insert =
+        probes.load(Ordering::Relaxed) as f64 / calls.load(Ordering::Relaxed).max(1) as f64;
+
+    // Recovery time from the crash state to max load ≤ stationary + 1.
+    let target = loads_summary.mean.ceil() + 1.0;
+    let rec = {
+        let times = par_trials(trials, seed ^ 0xEC, |_, s| {
+            let mut rng = SmallRng::seed_from_u64(s);
+            let mut loads = vec![0u32; n];
+            loads[0] = m;
+            let mut proc = FastProcess::new(Removal::RandomBall, rule.clone(), loads);
+            recovery::time_to_threshold(
+                &mut proc,
+                |p| p.step(&mut rng),
+                |p| f64::from(p.max_load()),
+                target,
+                u64::from(m) * u64::from(m),
+            )
+            .expect("recovery must occur") as f64
+        });
+        stats::Summary::of(&times)
+    };
+    let mlnm = f64::from(m) * f64::from(m).ln();
+    tbl.push_row([
+        label.to_string(),
+        table::f(loads_summary.mean, 2),
+        table::f(probes_per_insert, 2),
+        table::g(rec.mean),
+        table::f(rec.mean / mlnm, 3),
+    ]);
+}
+
+fn main() {
+    let cfg = Config::from_env();
+    header(
+        "AD — rule ablation: quality vs. cost vs. recovery (scenario A)",
+        "Theorem 1 says the recovery *rate* is rule-independent; the rules differ\n\
+         in stationary max load (quality) and probes per insertion (cost).",
+    );
+    let n: usize = if cfg.full { 16_384 } else { 4_096 };
+    let trials = cfg.trials_or(8);
+    println!("n = m = {n}\n");
+
+    let mut tbl =
+        Table::new(["rule", "stationary max load", "probes/insert", "recovery mean", "rec/(m ln m)"]);
+    measure("ABKU[1]", Abku::new(1), n, trials, cfg.seed, &mut tbl);
+    measure("ABKU[2]", Abku::new(2), n, trials, cfg.seed + 1, &mut tbl);
+    measure("ABKU[3]", Abku::new(3), n, trials, cfg.seed + 2, &mut tbl);
+    measure("ABKU[4]", Abku::new(4), n, trials, cfg.seed + 3, &mut tbl);
+    measure("ADAP(ℓ+1)", Adap::new(|l: u32| l + 1), n, trials, cfg.seed + 4, &mut tbl);
+    measure(
+        "ADAP(2^ℓ)",
+        Adap::new(|l: u32| 1u32 << l.min(20)),
+        n,
+        trials,
+        cfg.seed + 5,
+        &mut tbl,
+    );
+    println!("{}", tbl.render());
+    println!(
+        "Shape check: recovery/(m ln m) is a rule-independent constant (Theorem 1);\n\
+         d ≥ 2 collapses the max load at ~d probes each; the adaptive rules buy\n\
+         ABKU[2]-or-better load at an adaptive probe budget."
+    );
+}

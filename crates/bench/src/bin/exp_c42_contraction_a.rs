@@ -1,0 +1,106 @@
+//! Experiment C42 — **Corollary 4.2**: the §4 coupling contracts
+//! adjacent pairs at rate `E[Δ(v°, u°)] ≤ (1 − 1/m)·Δ(v, u)`.
+//!
+//! Measurement: draw near-stationary states, build random legal unit
+//! shifts, apply one coupled phase, and estimate `β̂ = E[Δ_after]` and
+//! α̂ = Pr[Δ changes]. The check: β̂ ≤ 1 − 1/m (within noise), for both
+//! `ABKU[d]` and ADAP rules, at every size — the exact constant behind
+//! Theorem 1.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rt_bench::{header, Config};
+use rt_core::coupling_a::CouplingA;
+use rt_core::rules::{Abku, Adap};
+use rt_core::{AllocationChain, LoadVector, Removal, RightOriented};
+use rt_markov::path_coupling::ContractionStats;
+use rt_markov::MarkovChain;
+use rt_sim::{par_trials, table, Table};
+
+/// Sample a near-stationary state and a legal unit shift of it.
+fn adjacent_pair<D: RightOriented>(
+    chain: &AllocationChain<D>,
+    rng: &mut SmallRng,
+) -> (LoadVector, LoadVector) {
+    let n = chain.n();
+    let m = chain.m();
+    let mut u = LoadVector::balanced(n, m);
+    chain.run(&mut u, 4 * u64::from(m), rng);
+    loop {
+        let lambda = rng.random_range(0..n);
+        let delta = rng.random_range(0..n);
+        if let Some(v) = u.try_shift(lambda, delta) {
+            return (v, u);
+        }
+    }
+}
+
+fn measure<D: RightOriented + Sync>(
+    label: &str,
+    make: impl Fn(usize, u32) -> AllocationChain<D>,
+    sizes: &[usize],
+    steps: usize,
+    seed: u64,
+    tbl: &mut Table,
+) {
+    for &n in sizes {
+        let m = n as u32;
+        let coupling = CouplingA::new(make(n, m));
+        let chunks = par_trials(rt_sim::parallel::num_threads(), seed ^ n as u64, |_, s| {
+            let mut rng = SmallRng::seed_from_u64(s);
+            let mut stats = ContractionStats::new();
+            let per = steps / rt_sim::parallel::num_threads() + 1;
+            for _ in 0..per {
+                let (mut v, mut u) = adjacent_pair(coupling.chain(), &mut rng);
+                let before = v.delta(&u);
+                coupling.step_adjacent(&mut v, &mut u, &mut rng);
+                stats.record(before, v.delta(&u));
+            }
+            stats
+        });
+        let mut stats = ContractionStats::new();
+        for c in &chunks {
+            stats.merge(c);
+        }
+        let bound = 1.0 - 1.0 / f64::from(m);
+        tbl.push_row([
+            label.to_string(),
+            n.to_string(),
+            stats.count().to_string(),
+            table::f(stats.beta_hat(), 5),
+            table::f(bound, 5),
+            if stats.beta_hat() <= bound + 3.0 / (stats.count() as f64).sqrt() { "✓" } else { "✗" }
+                .to_string(),
+            table::f(stats.alpha_hat(), 4),
+            stats.max_after().to_string(),
+        ]);
+    }
+}
+
+fn main() {
+    let cfg = Config::from_env();
+    header(
+        "C42 — one-step contraction in scenario A (Corollary 4.2)",
+        "Claim: E[Δ(v°,u°)] ≤ (1 − 1/m)·Δ on adjacent pairs; Δ never exceeds 1 (Lemma 4.1).",
+    );
+    let sizes = cfg.sizes(&[16usize, 32, 64, 128], &[16, 32, 64, 128, 256, 512]);
+    let steps = cfg.trials_or(120_000);
+
+    let mut tbl =
+        Table::new(["rule", "n=m", "samples", "β̂ = E[Δ']", "1 − 1/m", "≤ bound", "α̂ = Pr[Δ'≠Δ]", "max Δ'"]);
+    measure("Id-ABKU[2]", |n, m| AllocationChain::new(n, m, Removal::RandomBall, Abku::new(2)), sizes, steps, cfg.seed, &mut tbl);
+    measure("Id-ABKU[3]", |n, m| AllocationChain::new(n, m, Removal::RandomBall, Abku::new(3)), sizes, steps, cfg.seed + 1, &mut tbl);
+    measure(
+        "Id-ADAP(ℓ+1)",
+        |n, m| AllocationChain::new(n, m, Removal::RandomBall, Adap::new(|l: u32| l + 1)),
+        sizes,
+        steps,
+        cfg.seed + 2,
+        &mut tbl,
+    );
+    println!("\n{}", tbl.render());
+    println!(
+        "Shape check: β̂ tracks 1 − 1/m from below and max Δ' = 1 — the\n\
+         exact contraction Corollary 4.2 feeds into the Path Coupling Lemma."
+    );
+}

@@ -1,0 +1,135 @@
+//! Experiment EX — exact validation on small state spaces.
+//!
+//! For instances where the full transition matrix fits in memory
+//! (partitions of m ≤ 12, edge profiles for n ≤ 6), compute the *exact*
+//! mixing time `τ(¼) = min{t : max_x ‖P^t(x,·) − π‖_TV ≤ ¼}` and
+//! compare it with (a) the paper's bounds, (b) the coupling coalescence
+//! measurements the large-scale experiments rely on, and (c) the
+//! spectral relaxation-time estimate. This grounds every simulation
+//! proxy in ground truth.
+
+use rt_bench::{header, Config};
+use rt_core::coupling_a::CouplingA;
+use rt_core::coupling_b::CouplingB;
+use rt_core::partitions::count_partitions;
+use rt_core::rules::Abku;
+use rt_core::{AllocationChain, LoadVector, Removal};
+use rt_edge::coupling::EdgeCoupling;
+use rt_edge::{DiscProfile, EdgeChain};
+use rt_markov::path_coupling::{claim53_bound, theorem1_bound};
+use rt_markov::spectral::decay_rate;
+use rt_markov::ExactChain;
+use rt_sim::{coalescence, table, Table};
+
+fn main() {
+    let cfg = Config::from_env();
+    header(
+        "EX — exact mixing times on small instances",
+        "Ground truth for the simulation proxies: exact τ(¼) vs. coupling\n\
+         coalescence quantiles vs. the paper's bounds.",
+    );
+    let trials = cfg.trials_or(400);
+    let pairs: &[(usize, u32)] = cfg.sizes(
+        &[(3usize, 3u32), (4, 4), (4, 6), (5, 5), (6, 6), (6, 8)],
+        &[(3, 3), (4, 4), (4, 6), (5, 5), (6, 6), (6, 8), (8, 8), (10, 10)],
+    );
+
+    let mut tbl = Table::new([
+        "chain", "n", "m", "|Ω|", "exact τ(¼)", "τ from crash", "coupl q75", "paper bound", "relax T",
+    ]);
+    for &(n, m) in pairs {
+        // Scenario A.
+        let chain = AllocationChain::new(n, m, Removal::RandomBall, Abku::new(2));
+        let mut exact = ExactChain::build(&chain);
+        let tau = exact.mixing_time(0.25, 1 << 30).expect("mixes");
+        let crash = LoadVector::all_in_one(n, m);
+        let tau_crash = exact.mixing_time_from(&crash, 0.25, 1 << 30).expect("mixes");
+        let coupling = CouplingA::new(chain);
+        let rep = coalescence::measure(
+            &coupling,
+            &crash,
+            &LoadVector::balanced(n, m),
+            trials,
+            1 << 24,
+            cfg.seed ^ n as u64,
+        );
+        let (rho, relax) = decay_rate(exact.matrix(), 0, exact.n_states() - 1, 16, 256);
+        let _ = rho;
+        tbl.push_row([
+            "Id-ABKU[2]".into(),
+            n.to_string(),
+            m.to_string(),
+            count_partitions(m, n).to_string(),
+            tau.to_string(),
+            tau_crash.to_string(),
+            rep.quantile(0.75).map(|q| q.to_string()).unwrap_or("-".into()),
+            theorem1_bound(u64::from(m), 0.25).to_string(),
+            table::f(relax, 1),
+        ]);
+
+        // Scenario B.
+        let chain_b = AllocationChain::new(n, m, Removal::RandomNonEmptyBin, Abku::new(2));
+        let mut exact_b = ExactChain::build(&chain_b);
+        let tau_b = exact_b.mixing_time(0.25, 1 << 30).expect("mixes");
+        let tau_b_crash = exact_b.mixing_time_from(&crash, 0.25, 1 << 30).expect("mixes");
+        let coupling_b = CouplingB::new(chain_b);
+        let rep_b = coalescence::measure(
+            &coupling_b,
+            &crash,
+            &LoadVector::balanced(n, m),
+            trials,
+            1 << 24,
+            cfg.seed ^ n as u64 ^ 0xB,
+        );
+        let (_, relax_b) = decay_rate(exact_b.matrix(), 0, exact_b.n_states() - 1, 16, 256);
+        tbl.push_row([
+            "IB-ABKU[2]".into(),
+            n.to_string(),
+            m.to_string(),
+            count_partitions(m, n).to_string(),
+            tau_b.to_string(),
+            tau_b_crash.to_string(),
+            rep_b.quantile(0.75).map(|q| q.to_string()).unwrap_or("-".into()),
+            claim53_bound(n as u64, u64::from(m), 0.25).to_string(),
+            table::f(relax_b, 1),
+        ]);
+    }
+
+    // Edge orientation chain.
+    for &n in cfg.sizes(&[3usize, 4, 5], &[3, 4, 5, 6]) {
+        let chain = EdgeChain::new(n);
+        let mut exact = ExactChain::build(&chain);
+        let size = exact.n_states();
+        let tau = exact.mixing_time(0.25, 1 << 30).expect("mixes");
+        let skew = DiscProfile::skewed(n, 1);
+        let tau_skew = exact.mixing_time_from(&skew, 0.25, 1 << 30).expect("mixes");
+        let coupling = EdgeCoupling::new(chain);
+        let rep = coalescence::measure(
+            &coupling,
+            &skew,
+            &DiscProfile::zero(n),
+            trials,
+            1 << 24,
+            cfg.seed ^ (n as u64) << 4,
+        );
+        let (_, relax) = decay_rate(exact.matrix(), 0, size - 1, 16, 256);
+        tbl.push_row([
+            "Edge (greedy)".into(),
+            n.to_string(),
+            "-".into(),
+            size.to_string(),
+            tau.to_string(),
+            tau_skew.to_string(),
+            rep.quantile(0.75).map(|q| q.to_string()).unwrap_or("-".into()),
+            rt_markov::path_coupling::theorem2_bound(n as u64).to_string(),
+            table::f(relax, 1),
+        ]);
+    }
+
+    println!("\n{}", tbl.render());
+    println!(
+        "Shape check: exact τ(¼) ≤ paper bound everywhere; the coupling's 75%\n\
+         quantile tracks the exact mixing time within a small factor (it is an\n\
+         upper-bound witness); relaxation time ≈ τ up to the usual log factor."
+    );
+}

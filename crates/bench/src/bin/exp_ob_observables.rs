@@ -1,0 +1,97 @@
+//! Experiment OB — recovery of *other critical measures* (paper §1:
+//! "the process reaches a typical (predicted) maximum load (or other
+//! critical measure of the system)").
+//!
+//! The recovery-time guarantee is distributional, so every observable
+//! recovers on the same Θ(m ln m) clock in scenario A — with constants
+//! depending on how sensitive the observable is to the residual
+//! imbalance. Measured: recovery time of five observables from the
+//! crash state for `Id-ABKU[2]`, each into its own measured stationary
+//! band, normalized by m ln m.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rt_bench::{header, Config};
+use rt_core::observables;
+use rt_core::rules::Abku;
+use rt_core::{AllocationChain, LoadVector, Removal};
+use rt_markov::MarkovChain;
+use rt_sim::{par_trials, recovery, stats, table, Table};
+
+type Obs = (&'static str, fn(&LoadVector) -> f64);
+
+fn main() {
+    let cfg = Config::from_env();
+    header(
+        "OB — recovery of different observables (scenario A, Id-ABKU[2])",
+        "Claim: the mixing-time guarantee covers every observable; all recover on\n\
+         the Θ(m ln m) clock, with observable-specific constants.",
+    );
+    let sizes = cfg.sizes(&[128usize, 256, 512], &[128, 256, 512, 1024, 2048]);
+    let trials = cfg.trials_or(16);
+
+    let observables: Vec<Obs> = vec![
+        ("max load", observables::max_load),
+        ("gap", observables::gap),
+        ("empty fraction", observables::empty_fraction),
+        ("overload mass", observables::overload_mass),
+        ("L2 imbalance", observables::l2_imbalance),
+    ];
+
+    let mut tbl =
+        Table::new(["observable", "n=m", "band hi", "mean recovery", "median", "mean/(m ln m)"]);
+    for &n in sizes {
+        let m = n as u32;
+        let chain = AllocationChain::new(n, m, Removal::RandomBall, Abku::new(2));
+        // One warmed probe per size; sample all observables on a thinned
+        // stationary stream to get each observable's own band.
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x0B5 ^ n as u64);
+        let mut probe = LoadVector::balanced(n, m);
+        chain.run(&mut probe, 20 * u64::from(m), &mut rng);
+        let samples = 300usize;
+        let thin = (n / 4).max(1) as u64;
+        let mut streams: Vec<Vec<f64>> = vec![Vec::with_capacity(samples); observables.len()];
+        for _ in 0..samples {
+            chain.run(&mut probe, thin, &mut rng);
+            for ((_, f), out) in observables.iter().zip(&mut streams) {
+                out.push(f(&probe));
+            }
+        }
+        for ((name, f), stream) in observables.iter().zip(&streams) {
+            // 95% quantile plus a hair of slack so the threshold is
+            // genuinely inside the stationary regime.
+            let q95 = rt_sim::stats::quantile(stream, 0.95);
+            let band_hi = q95 + 0.02 * q95.abs().max(1.0);
+            let times =
+                par_trials(trials, cfg.seed ^ n as u64 ^ name.len() as u64, |_, seed| {
+                    let chain = AllocationChain::new(n, m, Removal::RandomBall, Abku::new(2));
+                    let mut rng = SmallRng::seed_from_u64(seed);
+                    let mut v = LoadVector::all_in_one(n, m);
+                    recovery::time_to_threshold(
+                        &mut v,
+                        |s| chain.step(s, &mut rng),
+                        f,
+                        band_hi,
+                        (n as u64) * (n as u64) * 100,
+                    )
+                    .expect("recovers") as f64
+                });
+            let s = stats::Summary::of(&times);
+            let mlnm = f64::from(m) * f64::from(m).ln();
+            tbl.push_row([
+                name.to_string(),
+                n.to_string(),
+                table::f(band_hi, 3),
+                table::g(s.mean),
+                table::g(s.median),
+                table::f(s.mean / mlnm, 3),
+            ]);
+        }
+    }
+    println!("\n{}", tbl.render());
+    println!(
+        "Shape check: each observable's mean/(m ln m) column is flat in n —\n\
+         every critical measure recovers on the Theorem-1 clock, with the\n\
+         observable's sensitivity only moving the constant."
+    );
+}

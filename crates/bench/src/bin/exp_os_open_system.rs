@@ -1,0 +1,73 @@
+//! Experiment OS — open systems (the §7 extension).
+//!
+//! The paper closes by sketching how the coupling approach extends to
+//! *open* systems where the ball count varies: e.g. each step inserts a
+//! ball with probability p and removes a random ball otherwise. The
+//! coupling estimates the time until two differently-initialized copies
+//! (empty vs. loaded) have almost the same distribution.
+//!
+//! Measurement: coalescence time of the shared-randomness open coupling
+//! from the (0 balls) vs. (4n balls in one bin) start pair, for a
+//! subcritical insertion rate, across n. The check: coalescence is
+//! dominated by draining the initial load (linear-ish in the start
+//! mass, with the usual logarithmic dressing) — recovery works even
+//! without a fixed ball count.
+
+use rt_bench::{header, Config};
+use rt_core::open::{OpenChain, OpenCoupling};
+use rt_core::rules::Abku;
+use rt_core::LoadVector;
+use rt_sim::{coalescence, fit, table, Table};
+
+fn main() {
+    let cfg = Config::from_env();
+    header(
+        "OS — open systems: varying ball count (§7 extension)",
+        "Coupling coalescence from (empty) vs. (4n balls in one bin), insert rate p = 0.45.",
+    );
+    let sizes = cfg.sizes(&[16usize, 32, 64, 128], &[16, 32, 64, 128, 256, 512, 1024]);
+    let trials = cfg.trials_or(24);
+    let p_insert = 0.45;
+
+    let mut tbl = Table::new(["n", "start mass", "mean", "median", "max", "mean/(M ln M)"]);
+    let mut masses = Vec::new();
+    let mut means = Vec::new();
+    for &n in sizes {
+        let m0 = 4 * n as u32;
+        let chain = OpenChain::new(n, p_insert, Abku::new(2));
+        let coupling = OpenCoupling(chain);
+        let report = coalescence::measure(
+            &coupling,
+            &LoadVector::empty(n),
+            &LoadVector::all_in_one(n, m0),
+            trials,
+            (n as u64).pow(3) * 1_000,
+            cfg.seed ^ n as u64,
+        );
+        assert_eq!(report.failures, 0, "open coupling failed to coalesce at n={n}");
+        let s = report.summary();
+        let model = f64::from(m0) * f64::from(m0).ln();
+        masses.push(f64::from(m0));
+        means.push(s.mean);
+        tbl.push_row([
+            n.to_string(),
+            m0.to_string(),
+            table::g(s.mean),
+            table::g(s.median),
+            table::g(s.max),
+            table::f(s.mean / model, 3),
+        ]);
+    }
+    println!("\n{}", tbl.render());
+    let (_, slope, r2) = fit::power_law_fit(&masses, &means);
+    println!(
+        "fit: log–log slope in the start mass M = {} (r² = {})",
+        table::f(slope, 3),
+        table::f(r2, 4)
+    );
+    println!(
+        "Shape check: near-linear growth in the initial mass (slope ≈ 1, log\n\
+         dressing visible in the M ln M column) — the open-system coupling\n\
+         recovers from an arbitrary backlog, as §7 sketches."
+    );
+}

@@ -1,0 +1,86 @@
+//! Experiment PB — batched (parallel) arrivals.
+//!
+//! Context: the paper's introduction situates its processes among
+//! parallel allocation schemes (Adler et al. \[1\], Stemann \[24\]). When
+//! `k` arrivals per round dispatch concurrently against stale loads,
+//! synchronization gets cheaper but placement noisier. Measured, for
+//! `Id-ABKU[2]` at n = m: stationary max load and recovery (in *ball
+//! operations*, so the sequential clock is comparable) as the batch
+//! size grows from 1 (sequential) to n (fully parallel rounds).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rt_bench::{header, Config};
+use rt_core::batch::BatchedProcess;
+use rt_core::rules::Abku;
+use rt_core::Removal;
+use rt_sim::{par_trials, recovery, stats, table, Table};
+
+fn main() {
+    let cfg = Config::from_env();
+    header(
+        "PB — batched (parallel) dispatch: balance vs. batch size",
+        "k arrivals per round commit against stale loads. k = 1 is the paper's\n\
+         sequential process; larger k trades balance for synchronization.",
+    );
+    let n: usize = if cfg.full { 16_384 } else { 4_096 };
+    let m = n as u32;
+    let trials = cfg.trials_or(8);
+    println!("n = m = {n}, Id-ABKU[2]\n");
+
+    let batches = [1usize, 4, 16, 64, 256, n / 4, n];
+    let mut tbl = Table::new([
+        "batch k", "stationary max load", "recovery (ball ops)", "rec/(m ln m)",
+    ]);
+    for &k in &batches {
+        let level = {
+            let obs = par_trials(trials, cfg.seed ^ k as u64, |_, seed| {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let mut p =
+                    BatchedProcess::new(Removal::RandomBall, Abku::new(2), vec![1u32; n], k);
+                p.run((30 * n / k) as u64, &mut rng);
+                let mut acc = 0.0;
+                let samples = 16;
+                for _ in 0..samples {
+                    p.run(((n / k) / 2).max(1) as u64, &mut rng);
+                    acc += f64::from(p.max_load());
+                }
+                acc / samples as f64
+            });
+            stats::Summary::of(&obs)
+        };
+        let rec = {
+            let times = par_trials(trials, cfg.seed ^ (k as u64) << 20, |_, seed| {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let mut loads = vec![0u32; n];
+                loads[0] = m;
+                let mut p = BatchedProcess::new(Removal::RandomBall, Abku::new(2), loads, k);
+                let target = level.mean.ceil() + 1.0;
+                let rounds = recovery::time_to_threshold(
+                    &mut p,
+                    |p| p.round(&mut rng),
+                    |p| f64::from(p.max_load()),
+                    target,
+                    (n as u64) * (n as u64) / k as u64,
+                )
+                .expect("recovers");
+                (rounds * k as u64) as f64 // ball operations, not rounds
+            });
+            stats::Summary::of(&times)
+        };
+        let mlnm = f64::from(m) * f64::from(m).ln();
+        tbl.push_row([
+            k.to_string(),
+            table::f(level.mean, 2),
+            table::g(rec.mean),
+            table::f(rec.mean / mlnm, 3),
+        ]);
+    }
+    println!("{}", tbl.render());
+    println!(
+        "Shape check: the recovery clock in ball operations stays on the m ln m\n\
+         scale across three decades of batch size (parallelism is nearly free for\n\
+         recovery), while the stationary max load degrades only once k approaches\n\
+         n and the snapshot staleness dominates."
+    );
+}

@@ -1,0 +1,110 @@
+//! Experiment RT — the recovery trajectory "figure".
+//!
+//! The paper's motivating picture (§1): a crash leaves the system in an
+//! arbitrarily bad state; the dynamic process then drains the excess and
+//! settles at the typical maximum load. This experiment prints the max
+//! load as a time series from the crash state (all m balls in one bin)
+//! on a geometric time grid, for both scenarios and several rules —
+//! showing the Θ(m ln m) drain of scenario A and the slower scenario B,
+//! with the time axis also shown in units of m ln m.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rt_bench::{header, Config};
+use rt_core::process::{FastProcess, FastRule};
+use rt_core::rules::{Abku, Adap};
+use rt_core::Removal;
+use rt_sim::{par_trials, table, Table};
+
+fn trajectory<D: FastRule + Clone + Sync>(
+    rule: D,
+    removal: Removal,
+    n: usize,
+    grid: &[u64],
+    trials: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let m = n as u32;
+    let runs = par_trials(trials, seed, |_, s| {
+        let mut rng = SmallRng::seed_from_u64(s);
+        let mut loads = vec![0u32; n];
+        loads[0] = m;
+        let mut proc = FastProcess::new(removal, rule.clone(), loads);
+        let mut out = Vec::with_capacity(grid.len());
+        let mut t = 0u64;
+        for &g in grid {
+            proc.run(g - t, &mut rng);
+            t = g;
+            out.push(f64::from(proc.max_load()));
+        }
+        out
+    });
+    let mut mean = vec![0.0; grid.len()];
+    for run in &runs {
+        for (m, v) in mean.iter_mut().zip(run) {
+            *m += v;
+        }
+    }
+    for v in &mut mean {
+        *v /= runs.len() as f64;
+    }
+    mean
+}
+
+fn main() {
+    let cfg = Config::from_env();
+    header(
+        "RT — recovery trajectory from the crash state (the paper's motivating figure)",
+        "Max load vs. time from v(0) = m·e₁, n = m; geometric time grid.",
+    );
+    let n: usize = if cfg.full { 16_384 } else { 4_096 };
+    let m = n as u32;
+    let trials = cfg.trials_or(12);
+    let mlnm = (m as f64) * (m as f64).ln();
+
+    // Geometric grid out to ~4·m ln m.
+    let mut grid = vec![0u64];
+    let mut g = (n / 16).max(1) as u64;
+    while (g as f64) < 4.0 * mlnm {
+        grid.push(g);
+        g = (g as f64 * 1.9) as u64 + 1;
+    }
+    grid.push((4.0 * mlnm) as u64);
+
+    let series: Vec<(&str, Vec<f64>)> = vec![
+        ("A d=1", trajectory(Abku::new(1), Removal::RandomBall, n, &grid, trials, cfg.seed)),
+        ("A d=2", trajectory(Abku::new(2), Removal::RandomBall, n, &grid, trials, cfg.seed + 1)),
+        ("A d=3", trajectory(Abku::new(3), Removal::RandomBall, n, &grid, trials, cfg.seed + 2)),
+        (
+            "A ADAP",
+            trajectory(Adap::new(|l: u32| l + 1), Removal::RandomBall, n, &grid, trials, cfg.seed + 3),
+        ),
+        ("B d=2", trajectory(Abku::new(2), Removal::RandomNonEmptyBin, n, &grid, trials, cfg.seed + 4)),
+    ];
+
+    let mut headers = vec!["t".to_string(), "t/(m ln m)".to_string()];
+    headers.extend(series.iter().map(|(l, _)| l.to_string()));
+    let mut tbl = Table::new(headers);
+    for (i, &t) in grid.iter().enumerate() {
+        let mut row = vec![t.to_string(), table::f(t as f64 / mlnm, 3)];
+        row.extend(series.iter().map(|(_, s)| table::f(s[i], 1)));
+        tbl.push_row(row);
+    }
+    println!("n = m = {n}, mean over {trials} runs\n");
+    println!("{}", tbl.render());
+
+    // The same data as a log-log ASCII figure (log₁₀ max load vs.
+    // log₁₀(1 + t)): the scenario-A curves dive together, B stays flat.
+    let log_xs: Vec<f64> = grid.iter().map(|&t| ((t + 1) as f64).log10()).collect();
+    let log_series: Vec<(&str, Vec<f64>)> = series
+        .iter()
+        .map(|(label, s)| (*label, s.iter().map(|&v| v.max(1.0).log10()).collect()))
+        .collect();
+    println!("log₁₀ max load vs. log₁₀(1+t):\n");
+    println!("{}", rt_sim::plot::ascii_plot(&log_xs, &log_series, 64, 16));
+    println!(
+        "Shape check: scenario A drains the crash bin and flattens at its typical\n\
+         level by t ≈ m ln m (all rules, d = 1 settling higher); scenario B is\n\
+         still draining at the same horizon — the m ln m vs. m² separation."
+    );
+}

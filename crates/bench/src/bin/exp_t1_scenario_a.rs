@@ -1,0 +1,91 @@
+//! Experiment T1 — **Theorem 1**: for any right-oriented rule, the
+//! scenario-A chain mixes in `τ(ε) = ⌈m ln(m ε⁻¹)⌉` steps.
+//!
+//! Measurement: coalescence time of the §4 coupling (composite form)
+//! from the diameter pair — all balls in one bin vs. balanced — for
+//! `Id-ABKU[1..3]` and `Id-ADAP(ℓ+1)`, over a size sweep with `n = m`.
+//! The check: mean coalescence grows ∝ `m ln m` (model fit with high
+//! r², log–log slope slightly above 1), and sits below the Theorem-1
+//! bound's scale.
+
+use rt_bench::{header, Config};
+use rt_core::coupling_a::CouplingA;
+use rt_core::rules::{Abku, Adap};
+use rt_core::{AllocationChain, LoadVector, Removal, RightOriented};
+use rt_markov::path_coupling::theorem1_bound;
+use rt_sim::{coalescence, fit, table, Table};
+
+fn run_rule<D: RightOriented + Sync>(
+    label: &str,
+    make: impl Fn(usize, u32) -> AllocationChain<D>,
+    sizes: &[usize],
+    trials: usize,
+    seed: u64,
+    tbl: &mut Table,
+) {
+    let mut ms = Vec::new();
+    let mut means = Vec::new();
+    for &n in sizes {
+        let m = n as u32;
+        let coupling = CouplingA::new(make(n, m));
+        let bound = theorem1_bound(u64::from(m), 0.25);
+        let report = coalescence::measure(
+            &coupling,
+            &LoadVector::all_in_one(n, m),
+            &LoadVector::balanced(n, m),
+            trials,
+            1_000 * bound,
+            seed ^ (n as u64).wrapping_mul(0x9E37),
+        );
+        assert_eq!(report.failures, 0, "coupling failed to coalesce at n={n}");
+        let s = report.summary();
+        ms.push(m as f64);
+        means.push(s.mean);
+        tbl.push_row([
+            label.to_string(),
+            n.to_string(),
+            table::g(s.mean),
+            table::g(s.median),
+            table::g(s.max),
+            bound.to_string(),
+            table::f(s.mean / bound as f64, 3),
+        ]);
+    }
+    let (c, r2) = fit::model_fit(&ms, &means, |m| m * m.ln());
+    let (_, slope, _) = fit::power_law_fit(&ms, &means);
+    println!(
+        "[{label}] fit: mean ≈ {} · m ln m   (r² = {}, log–log slope = {})",
+        table::f(c, 3),
+        table::f(r2, 4),
+        table::f(slope, 3)
+    );
+}
+
+fn main() {
+    let cfg = Config::from_env();
+    header(
+        "T1 — recovery time in scenario A (Theorem 1)",
+        "Claim: τ(ε) = ⌈m·ln(m ε⁻¹)⌉ for every right-oriented rule.\n\
+         Measured: §4-coupling coalescence from the diameter pair (n = m).",
+    );
+    let sizes = cfg.sizes(&[64usize, 128, 256, 512, 1024], &[64, 128, 256, 512, 1024, 2048, 4096]);
+    let trials = cfg.trials_or(24);
+
+    let mut tbl = Table::new(["rule", "n=m", "mean", "median", "max", "T1 bound (ε=¼)", "mean/bound"]);
+    run_rule("Id-ABKU[1]", |n, m| AllocationChain::new(n, m, Removal::RandomBall, Abku::new(1)), sizes, trials, cfg.seed, &mut tbl);
+    run_rule("Id-ABKU[2]", |n, m| AllocationChain::new(n, m, Removal::RandomBall, Abku::new(2)), sizes, trials, cfg.seed + 1, &mut tbl);
+    run_rule("Id-ABKU[3]", |n, m| AllocationChain::new(n, m, Removal::RandomBall, Abku::new(3)), sizes, trials, cfg.seed + 2, &mut tbl);
+    run_rule(
+        "Id-ADAP(ℓ+1)",
+        |n, m| AllocationChain::new(n, m, Removal::RandomBall, Adap::new(|l: u32| l + 1)),
+        sizes,
+        trials,
+        cfg.seed + 3,
+        &mut tbl,
+    );
+    println!("\n{}", tbl.render());
+    println!(
+        "Shape check: mean/bound stays O(1) across the sweep and the m·ln m\n\
+         model fit has r² ≈ 1 — the Theorem-1 rate, for every rule."
+    );
+}

@@ -1,0 +1,77 @@
+//! Experiment TV — the coupling inequality, visualized.
+//!
+//! The entire framework rests on `‖L(X_t) − π‖_TV ≤ Pr[coupling not
+//! coalesced by t]` (paper §3). On an instance small enough for exact
+//! analysis, this experiment prints both curves on one time grid:
+//! the exact TV decay `d(t)` from the crash state, and the empirical
+//! survival curve of the §4/§5 couplings from (crash, balanced). The
+//! survival curve must dominate the exact curve at every t — and the
+//! gap shows how much the coupling bound gives away.
+
+use rt_bench::{header, Config};
+use rt_core::coupling_a::CouplingA;
+use rt_core::coupling_b::CouplingB;
+use rt_core::rules::Abku;
+use rt_core::{AllocationChain, LoadVector, Removal};
+use rt_markov::ExactChain;
+use rt_sim::trajectory::geometric_grid;
+use rt_sim::{coalescence, table, Table};
+
+fn main() {
+    let cfg = Config::from_env();
+    header(
+        "TV — exact TV decay vs. coupling survival (the coupling inequality)",
+        "On (n,m) = (6,8): exact ‖P^t(crash,·) − π‖ vs. Pr[coupling alive at t].\n\
+         The survival curve must dominate — with the slack the bound gives away.",
+    );
+    let (n, m) = (6usize, 8u32);
+    let trials = cfg.trials_or(4_000);
+    let crash = LoadVector::all_in_one(n, m);
+    let balanced = LoadVector::balanced(n, m);
+
+    // Scenario A.
+    let chain_a = AllocationChain::new(n, m, Removal::RandomBall, Abku::new(2));
+    let mut exact_a = ExactChain::build(&chain_a);
+    let grid = geometric_grid(1, 256, 1.6);
+    let tv_a = exact_a.tv_curve(&crash, &grid);
+    let coupling_a = CouplingA::new(chain_a);
+    let rep_a = coalescence::measure(&coupling_a, &crash, &balanced, trials, 1 << 20, cfg.seed);
+    let surv_a = rep_a.survival_curve(&grid);
+
+    // Scenario B.
+    let chain_b = AllocationChain::new(n, m, Removal::RandomNonEmptyBin, Abku::new(2));
+    let mut exact_b = ExactChain::build(&chain_b);
+    let grid_b = geometric_grid(1, 2048, 1.8);
+    let tv_b = exact_b.tv_curve(&crash, &grid_b);
+    let coupling_b = CouplingB::new(chain_b);
+    let rep_b =
+        coalescence::measure(&coupling_b, &crash, &balanced, trials, 1 << 22, cfg.seed + 1);
+    let surv_b = rep_b.survival_curve(&grid_b);
+
+    let mut tbl = Table::new(["t", "A: exact TV", "A: Pr[alive]", "dominates"]);
+    for (i, &t) in grid.iter().enumerate() {
+        tbl.push_row([
+            t.to_string(),
+            table::f(tv_a[i], 4),
+            table::f(surv_a[i], 4),
+            if surv_a[i] + 0.02 >= tv_a[i] { "✓" } else { "✗" }.to_string(),
+        ]);
+    }
+    println!("\nScenario A (Id-ABKU[2], n=6, m=8):\n{}", tbl.render());
+
+    let mut tbl_b = Table::new(["t", "B: exact TV", "B: Pr[alive]", "dominates"]);
+    for (i, &t) in grid_b.iter().enumerate() {
+        tbl_b.push_row([
+            t.to_string(),
+            table::f(tv_b[i], 4),
+            table::f(surv_b[i], 4),
+            if surv_b[i] + 0.02 >= tv_b[i] { "✓" } else { "✗" }.to_string(),
+        ]);
+    }
+    println!("Scenario B (IB-ABKU[2], n=6, m=8):\n{}", tbl_b.render());
+    println!(
+        "Shape check: the survival curve sits above the exact TV curve at every t\n\
+         (up to Monte Carlo noise) and both decay geometrically — the coupling\n\
+         inequality in action, with scenario B's curves stretched ~m/ln m wider."
+    );
+}

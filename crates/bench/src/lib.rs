@@ -1,0 +1,89 @@
+//! # rt-bench — experiment harness
+//!
+//! One binary per quantitative claim of the paper (see DESIGN.md §3 for
+//! the full index). Each binary prints the claim, the measurement
+//! table, and the scaling-law fit that checks the claim's *shape*.
+//!
+//! Run an experiment with, e.g.:
+//!
+//! ```text
+//! cargo run --release -p rt-bench --bin exp_t1_scenario_a
+//! ```
+//!
+//! Every binary honors three environment variables:
+//!
+//! * `RT_SEED` — master seed (default 12345);
+//! * `RT_TRIALS` — trials per configuration (experiment-specific default);
+//! * `RT_FULL=1` — run the full-size sweep from EXPERIMENTS.md instead
+//!   of the quick default.
+
+use std::env;
+
+/// Shared experiment configuration read from the environment.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Master seed for deterministic parallel trials.
+    pub seed: u64,
+    /// Trials per configuration (0 = use the experiment default).
+    pub trials: usize,
+    /// Full-size sweep toggle.
+    pub full: bool,
+}
+
+impl Config {
+    /// Read `RT_SEED`, `RT_TRIALS`, `RT_FULL`.
+    pub fn from_env() -> Self {
+        Config {
+            seed: parse_env("RT_SEED", 12345),
+            trials: parse_env("RT_TRIALS", 0usize),
+            full: env::var("RT_FULL").map(|v| v == "1").unwrap_or(false),
+        }
+    }
+
+    /// The trial count: the override if set, else the default.
+    pub fn trials_or(&self, default: usize) -> usize {
+        if self.trials == 0 {
+            default
+        } else {
+            self.trials
+        }
+    }
+
+    /// Pick the quick or full sweep.
+    pub fn sizes<'a, T: Copy>(&self, quick: &'a [T], full: &'a [T]) -> &'a [T] {
+        if self.full {
+            full
+        } else {
+            quick
+        }
+    }
+}
+
+fn parse_env<T: std::str::FromStr + Copy>(name: &str, default: T) -> T {
+    env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Print the standard experiment header.
+pub fn header(id: &str, claim: &str) {
+    println!("================================================================");
+    println!("{id}");
+    println!("{claim}");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_without_env() {
+        // Env vars are process-global; just verify the accessors.
+        let cfg = Config { seed: 1, trials: 0, full: false };
+        assert_eq!(cfg.trials_or(7), 7);
+        let cfg2 = Config { seed: 1, trials: 3, full: false };
+        assert_eq!(cfg2.trials_or(7), 3);
+        assert_eq!(cfg.sizes(&[1, 2], &[1, 2, 3]).len(), 2);
+        let cfg3 = Config { seed: 1, trials: 0, full: true };
+        assert_eq!(cfg3.sizes(&[1, 2], &[1, 2, 3]).len(), 3);
+    }
+}

@@ -1,0 +1,176 @@
+//! Batched (parallel) arrivals — the parallel-allocation setting the
+//! paper's introduction cites (Adler et al. \[1\], Stemann \[24\],
+//! Berenbrink et al. \[6\]).
+//!
+//! In a parallel system, arrivals within one round are dispatched
+//! concurrently: each of the `k` balls in a batch samples its `d` bins
+//! and commits against the *stale* loads from the start of the round
+//! (no intra-round coordination). Bigger batches mean cheaper
+//! synchronization but noisier placement — the classical
+//! parallelism-vs-balance trade-off.
+//!
+//! [`BatchedProcess`] wraps the fast simulator with round-based
+//! semantics for the closed dynamic process: each round removes `k`
+//! balls (per the scenario) and re-places `k` balls against a frozen
+//! load snapshot. With `k = 1` it degenerates to the sequential
+//! process exactly. The batch experiment measures how the stationary
+//! max load and the recovery clock degrade as `k` grows.
+
+use crate::process::{FastProcess, FastRule};
+use crate::scenario::Removal;
+use rand::Rng;
+
+/// A closed dynamic allocation process with batched (stale-view)
+/// insertions.
+pub struct BatchedProcess<D> {
+    inner: FastProcess<D>,
+    batch: usize,
+    /// Scratch snapshot of the loads at the start of each round.
+    snapshot: Vec<u32>,
+    /// Scratch buffer of the round's placement decisions.
+    pending: Vec<usize>,
+}
+
+impl<D: FastRule> BatchedProcess<D> {
+    /// Create a batched process.
+    ///
+    /// # Panics
+    /// If `batch == 0` or `batch` exceeds the ball count (a round may
+    /// not remove more balls than exist).
+    pub fn new(removal: Removal, rule: D, loads: Vec<u32>, batch: usize) -> Self {
+        let inner = FastProcess::new(removal, rule, loads);
+        assert!(batch >= 1, "batch size must be ≥ 1");
+        assert!(
+            batch as u64 <= inner.total(),
+            "batch ({batch}) larger than the ball count ({})",
+            inner.total()
+        );
+        let n = inner.loads().len();
+        BatchedProcess { inner, batch, snapshot: vec![0; n], pending: Vec::with_capacity(batch) }
+    }
+
+    /// The batch size `k`.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Current maximum load.
+    pub fn max_load(&self) -> u32 {
+        self.inner.max_load()
+    }
+
+    /// Total ball count.
+    pub fn total(&self) -> u64 {
+        self.inner.total()
+    }
+
+    /// The underlying sequential process (read-only).
+    pub fn inner(&self) -> &FastProcess<D> {
+        &self.inner
+    }
+
+    /// One round: remove `k` balls sequentially (departures are
+    /// asynchronous events), then place `k` new balls that all consult
+    /// the loads as they stood *after the removals* — concurrent,
+    /// uncoordinated dispatch.
+    pub fn round<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for _ in 0..self.batch {
+            self.inner.remove_one(rng);
+        }
+        self.snapshot.clear();
+        self.snapshot.extend_from_slice(self.inner.loads());
+        self.pending.clear();
+        for _ in 0..self.batch {
+            let (rule, snapshot) = (self.inner.rule(), &self.snapshot);
+            self.pending.push(rule.choose_bin(snapshot, rng));
+        }
+        for i in 0..self.batch {
+            let b = self.pending[i];
+            self.inner.insert_into(b);
+        }
+    }
+
+    /// Run `rounds` full rounds.
+    pub fn run<R: Rng + ?Sized>(&mut self, rounds: u64, rng: &mut R) {
+        for _ in 0..rounds {
+            self.round(rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Abku;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rounds_preserve_ball_count() {
+        let mut p =
+            BatchedProcess::new(Removal::RandomBall, Abku::new(2), vec![4u32; 32], 8);
+        let mut rng = SmallRng::seed_from_u64(311);
+        for _ in 0..2_000 {
+            p.round(&mut rng);
+            assert_eq!(p.total(), 128);
+        }
+        let max = p.inner().loads().iter().copied().max().unwrap();
+        assert_eq!(max, p.max_load());
+    }
+
+    #[test]
+    fn batch_one_matches_sequential_distribution() {
+        // k = 1 is exactly one sequential phase per round: compare the
+        // stationary mean max load against the plain FastProcess.
+        let n = 64usize;
+        let mut rng = SmallRng::seed_from_u64(313);
+        let mut batched =
+            BatchedProcess::new(Removal::RandomBall, Abku::new(2), vec![1u32; n], 1);
+        batched.run(20_000, &mut rng);
+        let mut acc_b = 0.0;
+        for _ in 0..20_000 {
+            batched.round(&mut rng);
+            acc_b += f64::from(batched.max_load());
+        }
+        let mut seq = FastProcess::new(Removal::RandomBall, Abku::new(2), vec![1u32; n]);
+        seq.run(20_000, &mut rng);
+        let mut acc_s = 0.0;
+        for _ in 0..20_000 {
+            seq.step(&mut rng);
+            acc_s += f64::from(seq.max_load());
+        }
+        let (mb, ms) = (acc_b / 20_000.0, acc_s / 20_000.0);
+        assert!((mb - ms).abs() < 0.1, "batched k=1 {mb} vs sequential {ms}");
+    }
+
+    #[test]
+    fn larger_batches_degrade_balance() {
+        // With k = m every placement sees the empty-ish snapshot, so
+        // collisions pile up: stationary max load must exceed k = 1's.
+        let n = 256usize;
+        let mut rng = SmallRng::seed_from_u64(317);
+        let level = |k: usize, rng: &mut SmallRng| {
+            let mut p =
+                BatchedProcess::new(Removal::RandomBall, Abku::new(2), vec![1u32; n], k);
+            p.run((40 * n / k) as u64, rng);
+            let mut worst = 0u32;
+            for _ in 0..200 {
+                p.run((n / k).max(1) as u64, rng);
+                worst = worst.max(p.max_load());
+            }
+            worst
+        };
+        let small = level(1, &mut rng);
+        let huge = level(n, &mut rng);
+        assert!(
+            huge > small,
+            "full-batch dispatch should be worse: k=1 → {small}, k=n → {huge}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "batch")]
+    fn oversized_batch_rejected() {
+        BatchedProcess::new(Removal::RandomBall, Abku::new(2), vec![1u32; 4], 5);
+    }
+}

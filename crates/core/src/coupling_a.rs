@@ -1,0 +1,305 @@
+//! The scenario-A path coupling of paper §4.
+//!
+//! For an adjacent pair `v = u + e_λ − e_δ` (distance Δ = 1) one coupled
+//! phase works as follows:
+//!
+//! * **Removal** — sample `i ~ 𝒜(v)`; set `j = i` unless `i = λ`, in
+//!   which case `j = δ` with probability `1/v_λ` (and `j = i`
+//!   otherwise). This makes `j ~ 𝒜(u)` exactly.
+//! * **Insertion** — the Lemma 3.3 coupling: both copies place with the
+//!   shared seed `rs` (and `Φ_D`, the identity for the paper's rules).
+//!
+//! Lemma 4.1: the distance never increases, and whenever `i ≠ j` the
+//! copies coalesce. Corollary 4.2: `E[Δ(v°, u°)] ≤ (1 − 1/m)·Δ`, which
+//! through the Path Coupling Lemma yields Theorem 1:
+//! `τ(ε) = ⌈m ln(m ε⁻¹)⌉`.
+//!
+//! [`CouplingA`] is a *composite* coupling usable from any pair: equal
+//! pairs move synchronously, adjacent pairs use the §4 coupling above,
+//! and all other pairs use the monotone quantile coupling (shared
+//! removal quantile + shared insertion seed). Every branch is a valid
+//! coupling, so the marginals are faithful everywhere; the §4 branch is
+//! the one whose contraction the experiments measure.
+
+use crate::dist;
+use crate::right_oriented::{coupled_insert, RightOriented, SeqSeed};
+use crate::scenario::{AllocationChain, Removal};
+use crate::LoadVector;
+use rand::Rng;
+use rt_markov::coupling::PairCoupling;
+use rt_markov::MarkovChain;
+
+/// Composite coupling for a scenario-A chain (see module docs).
+pub struct CouplingA<D> {
+    chain: AllocationChain<D>,
+}
+
+impl<D: RightOriented> CouplingA<D> {
+    /// Wrap a scenario-A chain.
+    ///
+    /// # Panics
+    /// If the chain does not use [`Removal::RandomBall`].
+    pub fn new(chain: AllocationChain<D>) -> Self {
+        assert_eq!(
+            chain.removal(),
+            Removal::RandomBall,
+            "CouplingA requires a scenario-A (random-ball) chain"
+        );
+        CouplingA { chain }
+    }
+
+    /// The underlying chain.
+    pub fn chain(&self) -> &AllocationChain<D> {
+        &self.chain
+    }
+
+    /// The exact §4 coupled phase for an adjacent pair
+    /// `v = u + e_λ − e_δ`.
+    ///
+    /// # Panics
+    /// If the pair is not adjacent (`Δ(v, u) ≠ 1`).
+    pub fn step_adjacent<R: Rng + ?Sized>(
+        &self,
+        v: &mut LoadVector,
+        u: &mut LoadVector,
+        rng: &mut R,
+    ) {
+        // Orient so that v = u + e_λ − e_δ; the construction does not
+        // depend on the paper's wlog λ < δ, only on the offsets.
+        if let Some((lambda, delta)) = v.adjacent_offsets(u) {
+            self.step_adjacent_oriented(v, u, lambda, delta, rng);
+        } else if let Some((lambda, delta)) = u.adjacent_offsets(v) {
+            self.step_adjacent_oriented(u, v, lambda, delta, rng);
+        } else {
+            panic!("step_adjacent called on a non-adjacent pair");
+        }
+    }
+
+    fn step_adjacent_oriented<R: Rng + ?Sized>(
+        &self,
+        v: &mut LoadVector,
+        u: &mut LoadVector,
+        lambda: usize,
+        delta: usize,
+        rng: &mut R,
+    ) {
+        // Removal coupling.
+        let i = dist::sample_ball_weighted(v, rng);
+        let j = if i == lambda {
+            // v_λ ≥ 1 here because i was sampled from 𝒜(v).
+            if rng.random_range(0..u64::from(v.load(lambda))) == 0 {
+                delta
+            } else {
+                i
+            }
+        } else {
+            i
+        };
+        v.sub_at(i);
+        u.sub_at(j);
+        // Insertion coupling (Lemma 3.3).
+        let rs = SeqSeed::sample(rng);
+        coupled_insert(self.chain.rule(), v, u, rs);
+    }
+
+    /// The monotone quantile coupling used for non-adjacent pairs:
+    /// shared removal quantile `r ∈ [0, m)` inverted through each copy's
+    /// 𝒜-CDF, then shared-seed insertion.
+    pub fn step_quantile<R: Rng + ?Sized>(
+        &self,
+        v: &mut LoadVector,
+        u: &mut LoadVector,
+        rng: &mut R,
+    ) {
+        debug_assert_eq!(v.total(), u.total());
+        let r = rng.random_range(0..v.total());
+        let i = dist::quantile_ball_weighted(v, r);
+        let j = dist::quantile_ball_weighted(u, r);
+        v.sub_at(i);
+        u.sub_at(j);
+        let rs = SeqSeed::sample(rng);
+        coupled_insert(self.chain.rule(), v, u, rs);
+    }
+}
+
+impl<D: RightOriented> PairCoupling for CouplingA<D> {
+    type State = LoadVector;
+
+    fn step_pair<R: Rng + ?Sized>(&self, x: &mut LoadVector, y: &mut LoadVector, rng: &mut R) {
+        if x == y {
+            self.chain.step(x, rng);
+            *y = x.clone();
+        } else if x.delta(y) == 1 {
+            self.step_adjacent(x, y, rng);
+        } else {
+            self.step_quantile(x, y, rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Abku;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use rt_markov::coupling::coalescence_time;
+    use rt_markov::path_coupling::{theorem1_bound, ContractionStats};
+    use std::collections::HashMap;
+
+    fn adjacent_pair(n: usize, m: u32, rng: &mut SmallRng) -> (LoadVector, LoadVector) {
+        // Random adjacent pair: random state u, random legal unit shift.
+        loop {
+            let mut loads = vec![0u32; n];
+            for _ in 0..m {
+                loads[rng.random_range(0..n)] += 1;
+            }
+            let u = LoadVector::from_loads(loads);
+            let lambda = rng.random_range(0..n);
+            let delta = rng.random_range(0..n);
+            if let Some(v) = u.try_shift(lambda, delta) {
+                return (v, u);
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_4_1_distance_never_increases() {
+        let chain = AllocationChain::new(5, 10, Removal::RandomBall, Abku::new(2));
+        let c = CouplingA::new(chain);
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..2_000 {
+            let (mut v, mut u) = adjacent_pair(5, 10, &mut rng);
+            c.step_adjacent(&mut v, &mut u, &mut rng);
+            assert!(v.delta(&u) <= 1, "Lemma 4.1 violated: {v:?} {u:?}");
+        }
+    }
+
+    #[test]
+    fn corollary_4_2_contraction_factor() {
+        let m = 10u32;
+        let chain = AllocationChain::new(5, m, Removal::RandomBall, Abku::new(2));
+        let c = CouplingA::new(chain);
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mut stats = ContractionStats::new();
+        for _ in 0..60_000 {
+            let (mut v, mut u) = adjacent_pair(5, m, &mut rng);
+            let before = v.delta(&u);
+            c.step_adjacent(&mut v, &mut u, &mut rng);
+            stats.record(before, v.delta(&u));
+        }
+        // E[Δ'] ≤ 1 − 1/m, with ample statistical slack.
+        let bound = 1.0 - 1.0 / f64::from(m);
+        assert!(
+            stats.beta_hat() <= bound + 0.01,
+            "β̂ = {} exceeds Corollary 4.2 bound {}",
+            stats.beta_hat(),
+            bound
+        );
+    }
+
+    #[test]
+    fn coupled_marginal_matches_chain_distribution() {
+        // The v-copy of the adjacent coupling must be a faithful step of
+        // the chain: compare against the exact transition row.
+        let chain = AllocationChain::new(3, 4, Removal::RandomBall, Abku::new(2));
+        use rt_markov::chain::EnumerableChain;
+        let u = LoadVector::from_loads(vec![2, 1, 1]);
+        let v = u.try_shift(0, 2).unwrap(); // [3,1,0]
+        let mut exact: HashMap<Vec<u32>, f64> = HashMap::new();
+        for (next, p) in chain.transition_row(&v) {
+            *exact.entry(next.as_slice().to_vec()).or_default() += p;
+        }
+        let c = CouplingA::new(chain);
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut counts: HashMap<Vec<u32>, u64> = HashMap::new();
+        let trials = 400_000;
+        for _ in 0..trials {
+            let mut vv = v.clone();
+            let mut uu = u.clone();
+            c.step_adjacent(&mut vv, &mut uu, &mut rng);
+            *counts.entry(vv.as_slice().to_vec()).or_default() += 1;
+        }
+        for (state, p) in &exact {
+            let emp = counts.get(state).copied().unwrap_or(0) as f64 / trials as f64;
+            assert!((emp - p).abs() < 0.006, "state {state:?}: {emp} vs {p}");
+        }
+    }
+
+    #[test]
+    fn coupled_marginal_of_u_copy_matches_chain_distribution() {
+        let chain = AllocationChain::new(3, 4, Removal::RandomBall, Abku::new(2));
+        use rt_markov::chain::EnumerableChain;
+        let u = LoadVector::from_loads(vec![2, 1, 1]);
+        let v = u.try_shift(0, 2).unwrap();
+        let mut exact: HashMap<Vec<u32>, f64> = HashMap::new();
+        for (next, p) in chain.transition_row(&u) {
+            *exact.entry(next.as_slice().to_vec()).or_default() += p;
+        }
+        let c = CouplingA::new(chain);
+        let mut rng = SmallRng::seed_from_u64(19);
+        let mut counts: HashMap<Vec<u32>, u64> = HashMap::new();
+        let trials = 400_000;
+        for _ in 0..trials {
+            let mut vv = v.clone();
+            let mut uu = u.clone();
+            c.step_adjacent(&mut vv, &mut uu, &mut rng);
+            *counts.entry(uu.as_slice().to_vec()).or_default() += 1;
+        }
+        for (state, p) in &exact {
+            let emp = counts.get(state).copied().unwrap_or(0) as f64 / trials as f64;
+            assert!((emp - p).abs() < 0.006, "state {state:?}: {emp} vs {p}");
+        }
+    }
+
+    #[test]
+    fn coalescence_from_diameter_within_theorem1_scale() {
+        let n = 16usize;
+        let m = 16u32;
+        let chain = AllocationChain::new(n, m, Removal::RandomBall, Abku::new(2));
+        let c = CouplingA::new(chain);
+        let mut rng = SmallRng::seed_from_u64(23);
+        let bound = theorem1_bound(u64::from(m), 0.25);
+        let mut total = 0u64;
+        let trials = 40;
+        for _ in 0..trials {
+            let t = coalescence_time(
+                &c,
+                LoadVector::all_in_one(n, m),
+                LoadVector::balanced(n, m),
+                100 * bound,
+                &mut rng,
+            )
+            .expect("must coalesce well before 100× the Theorem-1 bound");
+            total += t;
+        }
+        let mean = total as f64 / trials as f64;
+        // The coupling bound is an upper bound on expectation up to the
+        // ln factor; sanity-band the measurement around m ln m.
+        assert!(mean < 20.0 * bound as f64, "mean coalescence {mean} vs bound {bound}");
+    }
+
+    #[test]
+    fn equal_pairs_stay_equal() {
+        let chain = AllocationChain::new(4, 8, Removal::RandomBall, Abku::new(2));
+        let c = CouplingA::new(chain);
+        let mut rng = SmallRng::seed_from_u64(29);
+        let mut x = LoadVector::balanced(4, 8);
+        let mut y = x.clone();
+        for _ in 0..200 {
+            c.step_pair(&mut x, &mut y, &mut rng);
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-adjacent")]
+    fn step_adjacent_rejects_distant_pairs() {
+        let chain = AllocationChain::new(4, 8, Removal::RandomBall, Abku::new(2));
+        let c = CouplingA::new(chain);
+        let mut rng = SmallRng::seed_from_u64(31);
+        let mut v = LoadVector::all_in_one(4, 8);
+        let mut u = LoadVector::balanced(4, 8);
+        c.step_adjacent(&mut v, &mut u, &mut rng);
+    }
+}

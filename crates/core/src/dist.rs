@@ -1,0 +1,143 @@
+//! Removal distributions 𝒜(v) and ℬ(v) (paper Defs. 3.2 and 3.3).
+//!
+//! * 𝒜(v) picks a normalized index `i` with probability `v_i / m`
+//!   ("remove a ball chosen i.u.r. among all balls", scenario A).
+//! * ℬ(v) picks `i` uniformly among the non-empty indices
+//!   ("remove one ball from a non-empty bin chosen i.u.r.", scenario B).
+//!
+//! Besides plain sampling, each distribution exposes its exact pmf (for
+//! the exact transition matrices in `rt-markov`) and a *quantile*
+//! sampler — the inverse-CDF form used by the general-pair monotone
+//! couplings, where two chains share one uniform variate.
+
+use crate::LoadVector;
+use rand::Rng;
+
+/// Sample `i ~ 𝒜(v)`: probability of index `i` is `v_i / m`.
+///
+/// # Panics
+/// If `v` carries no balls.
+pub fn sample_ball_weighted<R: Rng + ?Sized>(v: &LoadVector, rng: &mut R) -> usize {
+    assert!(v.total() > 0, "𝒜(v) is undefined for an empty system");
+    let r = rng.random_range(0..v.total());
+    quantile_ball_weighted(v, r)
+}
+
+/// Inverse CDF of 𝒜(v): maps `r ∈ [0, m)` to the index `i` such that
+/// `Σ_{t<i} v_t ≤ r < Σ_{t≤i} v_t`.
+pub fn quantile_ball_weighted(v: &LoadVector, r: u64) -> usize {
+    debug_assert!(r < v.total());
+    let mut acc = 0u64;
+    for i in 0..v.n() {
+        acc += u64::from(v.load(i));
+        if r < acc {
+            return i;
+        }
+    }
+    unreachable!("quantile index out of range")
+}
+
+/// Exact pmf of 𝒜(v) over `0..n`.
+pub fn pmf_ball_weighted(v: &LoadVector) -> Vec<f64> {
+    assert!(v.total() > 0);
+    let m = v.total() as f64;
+    (0..v.n()).map(|i| f64::from(v.load(i)) / m).collect()
+}
+
+/// Sample `i ~ ℬ(v)`: uniform over the `s` non-empty indices `0..s`.
+///
+/// # Panics
+/// If `v` carries no balls.
+pub fn sample_nonempty<R: Rng + ?Sized>(v: &LoadVector, rng: &mut R) -> usize {
+    let s = v.nonempty();
+    assert!(s > 0, "ℬ(v) is undefined for an empty system");
+    rng.random_range(0..s)
+}
+
+/// Inverse CDF of ℬ(v): maps a uniform `q ∈ [0,1)` to `⌊q·s⌋`.
+pub fn quantile_nonempty(v: &LoadVector, q: f64) -> usize {
+    let s = v.nonempty();
+    debug_assert!(s > 0 && (0.0..1.0).contains(&q));
+    ((q * s as f64) as usize).min(s - 1)
+}
+
+/// Exact pmf of ℬ(v) over `0..n`.
+pub fn pmf_nonempty(v: &LoadVector) -> Vec<f64> {
+    let s = v.nonempty();
+    assert!(s > 0);
+    let p = 1.0 / s as f64;
+    (0..v.n()).map(|i| if i < s { p } else { 0.0 }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn empirical(counts: &[u64]) -> Vec<f64> {
+        let total: u64 = counts.iter().sum();
+        counts.iter().map(|&c| c as f64 / total as f64).collect()
+    }
+
+    #[test]
+    fn pmf_a_sums_to_one_and_weights_by_load() {
+        let v = LoadVector::from_loads(vec![3, 1, 0]);
+        let p = pmf_ball_weighted(&v);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(p, vec![0.75, 0.25, 0.0]);
+    }
+
+    #[test]
+    fn pmf_b_uniform_on_nonempty() {
+        let v = LoadVector::from_loads(vec![3, 1, 0]);
+        assert_eq!(pmf_nonempty(&v), vec![0.5, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn sampling_matches_pmf_a() {
+        let v = LoadVector::from_loads(vec![5, 3, 2, 0]);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = vec![0u64; v.n()];
+        let trials = 200_000;
+        for _ in 0..trials {
+            counts[sample_ball_weighted(&v, &mut rng)] += 1;
+        }
+        let emp = empirical(&counts);
+        for (e, p) in emp.iter().zip(pmf_ball_weighted(&v)) {
+            assert!((e - p).abs() < 0.01, "empirical {e} vs exact {p}");
+        }
+    }
+
+    #[test]
+    fn sampling_matches_pmf_b() {
+        let v = LoadVector::from_loads(vec![5, 3, 2, 0]);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut counts = vec![0u64; v.n()];
+        for _ in 0..120_000 {
+            counts[sample_nonempty(&v, &mut rng)] += 1;
+        }
+        let emp = empirical(&counts);
+        for (e, p) in emp.iter().zip(pmf_nonempty(&v)) {
+            assert!((e - p).abs() < 0.01, "empirical {e} vs exact {p}");
+        }
+    }
+
+    #[test]
+    fn quantiles_cover_support_in_order() {
+        let v = LoadVector::from_loads(vec![2, 1, 1, 0]);
+        let picks: Vec<usize> = (0..v.total()).map(|r| quantile_ball_weighted(&v, r)).collect();
+        assert_eq!(picks, vec![0, 0, 1, 2]);
+        assert_eq!(quantile_nonempty(&v, 0.0), 0);
+        assert_eq!(quantile_nonempty(&v, 0.34), 1);
+        assert_eq!(quantile_nonempty(&v, 0.999), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined for an empty system")]
+    fn empty_system_panics() {
+        let v = LoadVector::empty(3);
+        let mut rng = SmallRng::seed_from_u64(0);
+        sample_ball_weighted(&v, &mut rng);
+    }
+}

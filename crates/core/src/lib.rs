@@ -1,0 +1,54 @@
+//! # rt-core — dynamic allocation processes
+//!
+//! Implementation of the model of Czumaj, *Recovery Time of Dynamic
+//! Allocation Processes* (SPAA 1998): normalized load vectors, the two
+//! removal scenarios, right-oriented allocation rules (ABKU\[d\] and
+//! ADAP(x)), and the path couplings of Sections 4 and 5.
+//!
+//! ## Model overview
+//!
+//! The state of a balls-into-bins system with `n` bins and `m` balls is a
+//! *normalized load vector* `v` — the multiset of bin loads sorted in
+//! non-increasing order ([`LoadVector`], paper §3.1). A *dynamic
+//! allocation process* repeats a two-part phase (paper §2):
+//!
+//! 1. **Removal** — either a ball chosen i.u.r. among all balls
+//!    (*scenario A*, distribution 𝒜(v), Def. 3.2) or one ball from a
+//!    non-empty bin chosen i.u.r. (*scenario B*, distribution ℬ(v),
+//!    Def. 3.3).
+//! 2. **Insertion** — a new ball is placed by a *right-oriented random
+//!    function* (Def. 3.4): ABKU\[d\] ("pick d bins i.u.r., use the least
+//!    full") or its adaptive extension ADAP(x).
+//!
+//! The paper bounds the *recovery time* — the mixing time of the induced
+//! Markov chain — via path coupling. This crate provides both the exact
+//! normalized-vector chain used by those arguments and a fast unsorted
+//! representation ([`process::FastProcess`]) for long simulations.
+//!
+//! ## Index conventions
+//!
+//! The paper indexes bins `1..=n`; this crate uses `0..n` throughout.
+//! In a normalized vector a *larger* index means a *smaller-or-equal*
+//! load.
+
+pub mod batch;
+pub mod coupling_a;
+pub mod coupling_b;
+pub mod dist;
+pub mod load_vector;
+pub mod observables;
+pub mod open;
+pub mod partitions;
+pub mod process;
+pub mod relocation;
+pub mod removal;
+pub mod right_oriented;
+pub mod rules;
+pub mod scenario;
+pub mod static_alloc;
+pub mod weighted;
+
+pub use load_vector::LoadVector;
+pub use right_oriented::{RightOriented, SeqSeed};
+pub use rules::{Abku, Adap, ThresholdSeq};
+pub use scenario::{AllocationChain, Removal};

@@ -1,0 +1,357 @@
+//! Normalized load vectors (paper §3.1).
+//!
+//! A load vector records the multiset of bin loads of an allocation
+//! state. *Normalized* means sorted in non-increasing order, so two
+//! states that differ only by a permutation of bins are identified —
+//! exactly the state space Ω_m of the paper's Markov chains.
+//!
+//! The central operations are `v ⊕ e_i` ([`LoadVector::add_at`]) and
+//! `v ⊖ e_i` ([`LoadVector::sub_at`]): add/remove one ball at index `i`
+//! and re-normalize. By Fact 3.2 the re-normalization moves the change
+//! to the first (resp. last) index holding the same load, so both are
+//! O(log n) binary searches instead of a sort.
+
+/// A normalized (non-increasing) vector of bin loads.
+///
+/// Invariants, checked in debug builds:
+/// * `loads` is sorted in non-increasing order;
+/// * `total == loads.iter().sum()`.
+///
+/// ```
+/// use rt_core::LoadVector;
+/// let mut v = LoadVector::from_loads(vec![1, 3, 2, 0]);
+/// assert_eq!(v.as_slice(), &[3, 2, 1, 0]);
+/// // ⊕ e₂ lands at the first index with the same load (Fact 3.2):
+/// let j = v.add_at(2);
+/// assert_eq!((j, v.as_slice()), (2, &[3, 2, 2, 0][..]));
+/// // Δ to the balanced state = half the L1 distance:
+/// let balanced = LoadVector::balanced(4, 7);
+/// assert_eq!(v.delta(&balanced), 2 * v.l1(&balanced) / 4);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LoadVector {
+    loads: Vec<u32>,
+    total: u64,
+}
+
+impl std::fmt::Debug for LoadVector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LoadVector{:?}", self.loads)
+    }
+}
+
+impl LoadVector {
+    /// An empty system: `n` bins, zero balls.
+    pub fn empty(n: usize) -> Self {
+        assert!(n > 0, "need at least one bin");
+        LoadVector { loads: vec![0; n], total: 0 }
+    }
+
+    /// Normalize an arbitrary multiset of loads.
+    pub fn from_loads(mut loads: Vec<u32>) -> Self {
+        assert!(!loads.is_empty(), "need at least one bin");
+        loads.sort_unstable_by(|a, b| b.cmp(a));
+        let total = loads.iter().map(|&l| u64::from(l)).sum();
+        LoadVector { loads, total }
+    }
+
+    /// The "crash" state used as the adversarial start throughout the
+    /// experiments: all `m` balls in a single bin.
+    pub fn all_in_one(n: usize, m: u32) -> Self {
+        let mut loads = vec![0; n];
+        loads[0] = m;
+        LoadVector { loads, total: u64::from(m) }
+    }
+
+    /// The most balanced state with `m` balls in `n` bins
+    /// (`⌈m/n⌉` in the first `m mod n` bins, `⌊m/n⌋` elsewhere).
+    pub fn balanced(n: usize, m: u32) -> Self {
+        let q = m / n as u32;
+        let r = (m % n as u32) as usize;
+        let mut loads = vec![q; n];
+        for l in loads.iter_mut().take(r) {
+            *l += 1;
+        }
+        LoadVector { loads, total: u64::from(m) }
+    }
+
+    /// Number of bins `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Total number of balls `m`.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Load of the bin at (normalized) index `i`.
+    #[inline]
+    pub fn load(&self, i: usize) -> u32 {
+        self.loads[i]
+    }
+
+    /// The loads as a non-increasing slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.loads
+    }
+
+    /// Maximum load (the paper's main observable).
+    #[inline]
+    pub fn max_load(&self) -> u32 {
+        self.loads[0]
+    }
+
+    /// Minimum load.
+    #[inline]
+    pub fn min_load(&self) -> u32 {
+        *self.loads.last().unwrap()
+    }
+
+    /// Number of non-empty bins, i.e. `s = max{i : v_i > 0}` of Def. 3.3
+    /// (as a count; the bins `0..s` are the non-empty ones).
+    #[inline]
+    pub fn nonempty(&self) -> usize {
+        self.loads.partition_point(|&l| l > 0)
+    }
+
+    /// First (smallest) index holding the same load as index `i`
+    /// (`min{t : v_t = v_i}` of Fact 3.2).
+    #[inline]
+    pub fn first_eq(&self, i: usize) -> usize {
+        let x = self.loads[i];
+        self.loads.partition_point(|&l| l > x)
+    }
+
+    /// Last (largest) index holding the same load as index `i`
+    /// (`max{t : v_t = v_i}` of Fact 3.2).
+    #[inline]
+    pub fn last_eq(&self, i: usize) -> usize {
+        let x = self.loads[i];
+        self.loads.partition_point(|&l| l >= x) - 1
+    }
+
+    /// `v ⊕ e_i`: add one ball at index `i` and re-normalize.
+    ///
+    /// Returns the index `j = min{t : v_t = v_i}` that actually received
+    /// the increment (Fact 3.2: `v ⊕ e_i = v + e_j`).
+    pub fn add_at(&mut self, i: usize) -> usize {
+        let j = self.first_eq(i);
+        self.loads[j] += 1;
+        self.total += 1;
+        self.debug_check();
+        j
+    }
+
+    /// `v ⊖ e_i`: remove one ball at index `i` and re-normalize.
+    ///
+    /// Returns the index `s = max{t : v_t = v_i}` that was actually
+    /// decremented (Fact 3.2: `v ⊖ e_i = v − e_s`).
+    ///
+    /// # Panics
+    /// If the bin at index `i` is empty.
+    pub fn sub_at(&mut self, i: usize) -> usize {
+        assert!(self.loads[i] > 0, "cannot remove a ball from an empty bin");
+        let s = self.last_eq(i);
+        self.loads[s] -= 1;
+        self.total -= 1;
+        self.debug_check();
+        s
+    }
+
+    /// The paper's distance `Δ(v, u) = ½‖v − u‖₁ = Σ_i max(v_i − u_i, 0)`
+    /// (§4, §5). The second equality holds because both vectors carry the
+    /// same total; this method requires equal `n` and equal totals.
+    pub fn delta(&self, other: &LoadVector) -> u64 {
+        assert_eq!(self.n(), other.n(), "delta requires equal bin counts");
+        assert_eq!(self.total, other.total, "delta requires equal ball counts");
+        self.loads
+            .iter()
+            .zip(&other.loads)
+            .map(|(&a, &b)| u64::from(a.saturating_sub(b)))
+            .sum()
+    }
+
+    /// `‖v − u‖₁` without the equal-total requirement (used by the
+    /// open-system extension of §7 where ball counts differ).
+    pub fn l1(&self, other: &LoadVector) -> u64 {
+        assert_eq!(self.n(), other.n(), "l1 requires equal bin counts");
+        self.loads
+            .iter()
+            .zip(&other.loads)
+            .map(|(&a, &b)| u64::from(a.abs_diff(b)))
+            .sum()
+    }
+
+    /// `v + e_λ − e_δ` for `λ ≠ δ`, *requiring* the result to stay
+    /// normalized (used to construct adjacent pairs `Δ = 1` on the path
+    /// coupling set Γ). Returns `None` if the result would not be sorted
+    /// or would need a ball the δ-bin doesn't have.
+    pub fn try_shift(&self, lambda: usize, delta: usize) -> Option<LoadVector> {
+        if lambda == delta || self.loads[delta] == 0 {
+            return None;
+        }
+        let mut loads = self.loads.clone();
+        loads[lambda] += 1;
+        loads[delta] -= 1;
+        if loads.windows(2).all(|w| w[0] >= w[1]) {
+            Some(LoadVector { loads, total: self.total })
+        } else {
+            None
+        }
+    }
+
+    /// If `self = other + e_λ − e_δ` componentwise for a single pair of
+    /// indices `(λ, δ)`, return that pair. This is the adjacency test for
+    /// the path-coupling set Γ (`Δ(v, u) = 1`).
+    pub fn adjacent_offsets(&self, other: &LoadVector) -> Option<(usize, usize)> {
+        if self.n() != other.n() || self.total != other.total {
+            return None;
+        }
+        let mut lambda = None;
+        let mut delta = None;
+        for (i, (&a, &b)) in self.loads.iter().zip(&other.loads).enumerate() {
+            match i32::try_from(a).unwrap() - i32::try_from(b).unwrap() {
+                0 => {}
+                1 if lambda.is_none() => lambda = Some(i),
+                -1 if delta.is_none() => delta = Some(i),
+                _ => return None,
+            }
+        }
+        match (lambda, delta) {
+            (Some(l), Some(d)) => Some((l, d)),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn debug_check(&self) {
+        debug_assert!(
+            self.loads.windows(2).all(|w| w[0] >= w[1]),
+            "load vector lost normalization: {:?}",
+            self.loads
+        );
+        debug_assert_eq!(
+            self.total,
+            self.loads.iter().map(|&l| u64::from(l)).sum::<u64>(),
+            "cached total out of sync"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_loads_normalizes() {
+        let v = LoadVector::from_loads(vec![1, 3, 2, 0]);
+        assert_eq!(v.as_slice(), &[3, 2, 1, 0]);
+        assert_eq!(v.total(), 6);
+        assert_eq!(v.max_load(), 3);
+        assert_eq!(v.min_load(), 0);
+        assert_eq!(v.nonempty(), 3);
+    }
+
+    #[test]
+    fn all_in_one_and_balanced() {
+        let v = LoadVector::all_in_one(4, 7);
+        assert_eq!(v.as_slice(), &[7, 0, 0, 0]);
+        let u = LoadVector::balanced(4, 7);
+        assert_eq!(u.as_slice(), &[2, 2, 2, 1]);
+        assert_eq!(u.total(), 7);
+    }
+
+    #[test]
+    fn fact_3_2_add_moves_to_first_equal() {
+        // v = [3,2,2,2,1]; adding at index 3 must increment index 1.
+        let mut v = LoadVector::from_loads(vec![3, 2, 2, 2, 1]);
+        let j = v.add_at(3);
+        assert_eq!(j, 1);
+        assert_eq!(v.as_slice(), &[3, 3, 2, 2, 1]);
+    }
+
+    #[test]
+    fn fact_3_2_sub_moves_to_last_equal() {
+        // v = [3,2,2,2,1]; removing at index 1 must decrement index 3.
+        let mut v = LoadVector::from_loads(vec![3, 2, 2, 2, 1]);
+        let s = v.sub_at(1);
+        assert_eq!(s, 3);
+        assert_eq!(v.as_slice(), &[3, 2, 2, 1, 1]);
+    }
+
+    #[test]
+    fn add_then_sub_roundtrip() {
+        let orig = LoadVector::from_loads(vec![5, 4, 4, 1, 0]);
+        for i in 0..orig.n() {
+            let mut v = orig.clone();
+            let j = v.add_at(i);
+            let s = v.sub_at(j);
+            // Removing exactly where we added must restore the state.
+            assert_eq!(v, orig, "i={i} j={j} s={s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty bin")]
+    fn sub_from_empty_panics() {
+        let mut v = LoadVector::from_loads(vec![1, 0]);
+        v.sub_at(1);
+    }
+
+    #[test]
+    fn delta_is_half_l1() {
+        let v = LoadVector::from_loads(vec![4, 2, 0]);
+        let u = LoadVector::from_loads(vec![3, 2, 1]);
+        assert_eq!(v.delta(&u), 1);
+        assert_eq!(u.delta(&v), 1);
+        assert_eq!(v.l1(&u), 2);
+        assert_eq!(v.delta(&v), 0);
+    }
+
+    #[test]
+    fn delta_diameter_bound() {
+        // Δ(v,u) ≤ m − ⌈m/n⌉ for all pairs (paper §4).
+        let n = 4;
+        let m = 9u32;
+        let worst = LoadVector::all_in_one(n, m);
+        let best = LoadVector::balanced(n, m);
+        let bound = u64::from(m) - u64::from(m.div_ceil(n as u32));
+        assert!(worst.delta(&best) <= bound);
+    }
+
+    #[test]
+    fn adjacent_offsets_detects_unit_pairs() {
+        let u = LoadVector::from_loads(vec![3, 2, 2, 1]);
+        let v = u.try_shift(0, 3).expect("shift keeps normalization");
+        assert_eq!(v.as_slice(), &[4, 2, 2, 0]);
+        assert_eq!(v.delta(&u), 1);
+        assert_eq!(v.adjacent_offsets(&u), Some((0, 3)));
+        assert_eq!(u.adjacent_offsets(&v), Some((3, 0)));
+        assert_eq!(u.adjacent_offsets(&u), None);
+    }
+
+    #[test]
+    fn try_shift_rejects_denormalizing_moves() {
+        let u = LoadVector::from_loads(vec![3, 2, 2, 1]);
+        // Adding at index 2 and removing at index 1 would give [3,1,3,1].
+        assert!(u.try_shift(2, 1).is_none());
+        // Removing from an empty bin is rejected.
+        let w = LoadVector::from_loads(vec![2, 0]);
+        assert!(w.try_shift(0, 1).is_none());
+    }
+
+    #[test]
+    fn first_last_eq_bounds() {
+        let v = LoadVector::from_loads(vec![5, 5, 3, 3, 3, 0]);
+        assert_eq!(v.first_eq(0), 0);
+        assert_eq!(v.last_eq(0), 1);
+        assert_eq!(v.first_eq(4), 2);
+        assert_eq!(v.last_eq(2), 4);
+        assert_eq!(v.first_eq(5), 5);
+        assert_eq!(v.last_eq(5), 5);
+    }
+}

@@ -1,0 +1,128 @@
+//! Observables on load vectors — the "critical measures of the system"
+//! (paper §1: "the process reaches a typical (predicted) maximum load
+//! (or other critical measure of the system)").
+//!
+//! The paper's recovery-time guarantee is distributional, so it applies
+//! to *every* observable simultaneously; the experiments use these to
+//! show different measures recover on the same Θ(m ln m) clock (with
+//! different constants).
+
+use crate::LoadVector;
+
+/// Maximum load — the paper's primary observable.
+#[inline]
+pub fn max_load(v: &LoadVector) -> f64 {
+    f64::from(v.max_load())
+}
+
+/// Load gap `max − min`: zero iff perfectly balanced.
+#[inline]
+pub fn gap(v: &LoadVector) -> f64 {
+    f64::from(v.max_load() - v.min_load())
+}
+
+/// Fraction of empty bins.
+#[inline]
+pub fn empty_fraction(v: &LoadVector) -> f64 {
+    (v.n() - v.nonempty()) as f64 / v.n() as f64
+}
+
+/// Overload mass: the fraction of balls sitting above the fair share
+/// `⌈m/n⌉` — i.e. `Σ_i max(v_i − ⌈m/n⌉, 0) / m`. Zero iff no bin
+/// exceeds the fair share; 1 − 1/m-ish at the crash state.
+pub fn overload_mass(v: &LoadVector) -> f64 {
+    if v.total() == 0 {
+        return 0.0;
+    }
+    let fair = (v.total() as u32).div_ceil(v.n() as u32);
+    let excess: u64 =
+        (0..v.n()).map(|i| u64::from(v.load(i).saturating_sub(fair))).sum();
+    excess as f64 / v.total() as f64
+}
+
+/// Normalized L2 imbalance: `√(Σ (v_i − m/n)² / n)` — the standard
+/// deviation of the loads around the fair share.
+pub fn l2_imbalance(v: &LoadVector) -> f64 {
+    let fair = v.total() as f64 / v.n() as f64;
+    let ss: f64 = (0..v.n())
+        .map(|i| {
+            let d = f64::from(v.load(i)) - fair;
+            d * d
+        })
+        .sum();
+    (ss / v.n() as f64).sqrt()
+}
+
+/// Shannon entropy of the ball distribution over bins, in nats,
+/// normalized by `ln n` (so 1 = perfectly spread, 0 = all in one bin).
+/// Zero-ball systems report 1 (vacuously spread).
+pub fn normalized_entropy(v: &LoadVector) -> f64 {
+    if v.total() == 0 || v.n() == 1 {
+        return 1.0;
+    }
+    let m = v.total() as f64;
+    let h: f64 = (0..v.n())
+        .filter(|&i| v.load(i) > 0)
+        .map(|i| {
+            let p = f64::from(v.load(i)) / m;
+            -p * p.ln()
+        })
+        .sum();
+    h / (v.n() as f64).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_state_is_extremal() {
+        let crash = LoadVector::all_in_one(8, 16);
+        assert_eq!(max_load(&crash), 16.0);
+        assert_eq!(gap(&crash), 16.0);
+        assert!((empty_fraction(&crash) - 7.0 / 8.0).abs() < 1e-12);
+        // 14 of 16 balls above the fair share of 2.
+        assert!((overload_mass(&crash) - 14.0 / 16.0).abs() < 1e-12);
+        assert!(normalized_entropy(&crash) < 1e-12);
+        assert!(l2_imbalance(&crash) > 4.0);
+    }
+
+    #[test]
+    fn balanced_state_is_minimal() {
+        let b = LoadVector::balanced(8, 16);
+        assert_eq!(max_load(&b), 2.0);
+        assert_eq!(gap(&b), 0.0);
+        assert_eq!(empty_fraction(&b), 0.0);
+        assert_eq!(overload_mass(&b), 0.0);
+        assert!((normalized_entropy(&b) - 1.0).abs() < 1e-12);
+        assert!(l2_imbalance(&b) < 1e-12);
+    }
+
+    #[test]
+    fn observables_are_monotone_under_balancing_moves() {
+        // Moving a ball from the fullest to an empty bin must not
+        // increase any imbalance observable.
+        let worse = LoadVector::from_loads(vec![5, 2, 1, 0]);
+        let better = LoadVector::from_loads(vec![4, 2, 1, 1]);
+        assert!(max_load(&better) <= max_load(&worse));
+        assert!(gap(&better) <= gap(&worse));
+        assert!(empty_fraction(&better) <= empty_fraction(&worse));
+        assert!(overload_mass(&better) <= overload_mass(&worse));
+        assert!(l2_imbalance(&better) <= l2_imbalance(&worse));
+        assert!(normalized_entropy(&better) >= normalized_entropy(&worse));
+    }
+
+    #[test]
+    fn entropy_handles_degenerate_systems() {
+        assert_eq!(normalized_entropy(&LoadVector::empty(5)), 1.0);
+        assert_eq!(normalized_entropy(&LoadVector::all_in_one(1, 3)), 1.0);
+    }
+
+    #[test]
+    fn overload_mass_uses_ceiling_fair_share() {
+        // m = 5, n = 3: fair = 2; loads [3,1,1] → excess 1/5.
+        let v = LoadVector::from_loads(vec![3, 1, 1]);
+        assert!((overload_mass(&v) - 0.2).abs() < 1e-12);
+        assert_eq!(overload_mass(&LoadVector::empty(3)), 0.0);
+    }
+}

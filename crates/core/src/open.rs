@@ -1,0 +1,165 @@
+//! Open systems (paper §7 — extension): the number of balls varies.
+//!
+//! The paper's closing example: "start with 0 balls and repeatedly,
+//! with probability ½ remove a random existing ball and with
+//! probability ½ allocate a new ball." [`OpenChain`] generalizes this
+//! to an arbitrary insertion probability and any right-oriented rule,
+//! and [`OpenCoupling`] implements the coupling the paper sketches for
+//! estimating the time until two differently-initialized copies have
+//! almost the same distribution: shared insert/remove coin, shared
+//! insertion seed, shared removal quantile (a copy with no balls simply
+//! skips its removal).
+
+use crate::dist;
+use crate::right_oriented::{coupled_insert, RightOriented, SeqSeed};
+use crate::LoadVector;
+use rand::Rng;
+use rt_markov::coupling::PairCoupling;
+use rt_markov::MarkovChain;
+
+/// An open dynamic allocation process on `n` bins: each step inserts a
+/// ball (probability `p_insert`, placed by the rule) or removes a ball
+/// chosen i.u.r. among those present (with no balls the removal is a
+/// no-op).
+#[derive(Clone, Debug)]
+pub struct OpenChain<D> {
+    n: usize,
+    p_insert: f64,
+    rule: D,
+}
+
+impl<D: RightOriented> OpenChain<D> {
+    /// Create an open chain.
+    ///
+    /// # Panics
+    /// If `p_insert ∉ [0, 1]` or `n == 0`.
+    pub fn new(n: usize, p_insert: f64, rule: D) -> Self {
+        assert!(n > 0);
+        assert!((0.0..=1.0).contains(&p_insert), "p_insert must be a probability");
+        OpenChain { n, p_insert, rule }
+    }
+
+    /// Number of bins.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Insertion probability per step.
+    pub fn p_insert(&self) -> f64 {
+        self.p_insert
+    }
+
+    /// The insertion rule.
+    pub fn rule(&self) -> &D {
+        &self.rule
+    }
+}
+
+impl<D: RightOriented> MarkovChain for OpenChain<D> {
+    type State = LoadVector;
+
+    fn step<R: Rng + ?Sized>(&self, v: &mut LoadVector, rng: &mut R) {
+        debug_assert_eq!(v.n(), self.n);
+        if rng.random::<f64>() < self.p_insert {
+            self.rule.insert(v, rng);
+        } else if v.total() > 0 {
+            let i = dist::sample_ball_weighted(v, rng);
+            v.sub_at(i);
+        }
+    }
+}
+
+/// The shared-randomness coupling for an open chain (see module docs).
+pub struct OpenCoupling<D>(pub OpenChain<D>);
+
+impl<D: RightOriented> PairCoupling for OpenCoupling<D> {
+    type State = LoadVector;
+
+    fn step_pair<R: Rng + ?Sized>(&self, x: &mut LoadVector, y: &mut LoadVector, rng: &mut R) {
+        let insert = rng.random::<f64>() < self.0.p_insert;
+        if insert {
+            let rs = SeqSeed::sample(rng);
+            coupled_insert(self.0.rule(), x, y, rs);
+        } else {
+            let q: f64 = rng.random();
+            for v in [x, y] {
+                if v.total() > 0 {
+                    let r = ((q * v.total() as f64) as u64).min(v.total() - 1);
+                    let i = dist::quantile_ball_weighted(v, r);
+                    v.sub_at(i);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Abku;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use rt_markov::coupling::coalescence_time;
+
+    #[test]
+    fn ball_count_random_walks_with_reflection_at_zero() {
+        let chain = OpenChain::new(4, 0.5, Abku::new(2));
+        let mut v = LoadVector::empty(4);
+        let mut rng = SmallRng::seed_from_u64(61);
+        let mut seen_positive = false;
+        for _ in 0..5_000 {
+            chain.step(&mut v, &mut rng);
+            if v.total() > 0 {
+                seen_positive = true;
+            }
+        }
+        assert!(seen_positive);
+    }
+
+    #[test]
+    fn subcritical_chain_keeps_ball_count_small() {
+        // p_insert = 0.4 < 0.5: the ball count is a reflected random
+        // walk with negative drift, so it stays O(1) on average.
+        let chain = OpenChain::new(8, 0.4, Abku::new(2));
+        let mut v = LoadVector::empty(8);
+        let mut rng = SmallRng::seed_from_u64(67);
+        let mut sum = 0u64;
+        let steps = 20_000;
+        for _ in 0..steps {
+            chain.step(&mut v, &mut rng);
+            sum += v.total();
+        }
+        let mean = sum as f64 / steps as f64;
+        assert!(mean < 10.0, "mean ball count {mean} too large for subcritical drift");
+    }
+
+    #[test]
+    fn coupling_coalesces_empty_vs_loaded_start() {
+        let chain = OpenChain::new(6, 0.45, Abku::new(2));
+        let c = OpenCoupling(chain);
+        let mut rng = SmallRng::seed_from_u64(71);
+        for _ in 0..10 {
+            let t = coalescence_time(
+                &c,
+                LoadVector::empty(6),
+                LoadVector::all_in_one(6, 24),
+                2_000_000,
+                &mut rng,
+            );
+            assert!(t.is_some(), "open coupling failed to coalesce");
+        }
+    }
+
+    #[test]
+    fn coupling_preserves_equality() {
+        let chain = OpenChain::new(5, 0.5, Abku::new(2));
+        let c = OpenCoupling(chain);
+        let mut rng = SmallRng::seed_from_u64(73);
+        let mut x = LoadVector::from_loads(vec![2, 1, 0, 0, 0]);
+        let mut y = x.clone();
+        for _ in 0..500 {
+            c.step_pair(&mut x, &mut y, &mut rng);
+            assert_eq!(x, y);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Enumeration of the state space Ω_m (paper §3.1).
+//!
+//! A normalized load vector with `n` bins and `m` balls is exactly a
+//! partition of `m` into at most `n` parts (padded with zeros). The
+//! exact Markov-chain analysis in `rt-markov` enumerates this space to
+//! build full transition matrices for small instances.
+
+use crate::LoadVector;
+
+/// Number of partitions of `m` into at most `n` parts, i.e. `|Ω_m|`.
+///
+/// Computed by the standard DP `p(m, n) = p(m, n−1) + p(m − n, n)`
+/// (partitions by largest part vs. number of parts duality).
+pub fn count_partitions(m: u32, n: usize) -> u64 {
+    let m = m as usize;
+    // table[j] = number of partitions of j into parts of size ≤ current k,
+    // which by conjugation equals partitions into at most k parts.
+    let mut table = vec![0u64; m + 1];
+    table[0] = 1;
+    for k in 1..=n.min(m.max(1)) {
+        for j in k..=m {
+            table[j] += table[j - k];
+        }
+    }
+    table[m]
+}
+
+/// Enumerate every normalized load vector with `n` bins and `m` balls.
+///
+/// The output is sorted in lexicographically decreasing order of the
+/// load slice (the all-in-one state first, the balanced state last),
+/// which gives a stable canonical indexing of Ω_m.
+pub fn enumerate_states(m: u32, n: usize) -> Vec<LoadVector> {
+    assert!(n > 0);
+    let mut out = Vec::new();
+    let mut prefix = Vec::with_capacity(n);
+    rec(m, n, m, &mut prefix, &mut out);
+    out
+}
+
+fn rec(remaining: u32, slots: usize, cap: u32, prefix: &mut Vec<u32>, out: &mut Vec<LoadVector>) {
+    if slots == 0 {
+        if remaining == 0 {
+            out.push(LoadVector::from_loads(prefix.clone()));
+        }
+        return;
+    }
+    // Largest feasible next part: ≤ cap, and small enough that the rest fits.
+    // Smallest feasible next part: ⌈remaining/slots⌉ (parts are non-increasing).
+    let hi = cap.min(remaining);
+    let lo = remaining.div_ceil(slots as u32);
+    if lo > hi {
+        return;
+    }
+    let mut part = hi;
+    loop {
+        prefix.push(part);
+        rec(remaining - part, slots - 1, part, prefix, out);
+        prefix.pop();
+        if part == lo {
+            break;
+        }
+        part -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn counts_match_partition_numbers() {
+        // p(m) with unbounded parts: 1, 1, 2, 3, 5, 7, 11, 15, 22, 30, 42
+        for (m, want) in [(0, 1), (1, 1), (2, 2), (3, 3), (4, 5), (5, 7), (10, 42)] {
+            assert_eq!(count_partitions(m, m.max(1) as usize), want, "p({m})");
+        }
+    }
+
+    #[test]
+    fn counts_with_bounded_parts() {
+        // Partitions of 5 into at most 2 parts: 5, 4+1, 3+2 → 3.
+        assert_eq!(count_partitions(5, 2), 3);
+        // Partitions of 6 into at most 3 parts: 6,51,42,33,411,321,222 → 7.
+        assert_eq!(count_partitions(6, 3), 7);
+    }
+
+    #[test]
+    fn enumeration_matches_count_and_is_unique() {
+        for (m, n) in [(0u32, 3usize), (1, 1), (4, 4), (6, 3), (7, 5), (10, 10)] {
+            let states = enumerate_states(m, n);
+            assert_eq!(states.len() as u64, count_partitions(m, n), "m={m} n={n}");
+            let set: HashSet<_> = states.iter().map(|s| s.as_slice().to_vec()).collect();
+            assert_eq!(set.len(), states.len(), "duplicates for m={m} n={n}");
+            for s in &states {
+                assert_eq!(s.n(), n);
+                assert_eq!(s.total(), u64::from(m));
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_order_is_lex_decreasing() {
+        let states = enumerate_states(6, 3);
+        assert_eq!(states[0].as_slice(), &[6, 0, 0]);
+        assert_eq!(states.last().unwrap().as_slice(), &[2, 2, 2]);
+        for w in states.windows(2) {
+            assert!(w[0].as_slice() > w[1].as_slice());
+        }
+    }
+}

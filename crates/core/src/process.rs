@@ -1,0 +1,378 @@
+//! Fast unsorted simulation of dynamic allocation processes.
+//!
+//! The normalized-vector chain ([`crate::AllocationChain`]) is the
+//! object the paper's proofs live on, but its per-step cost is
+//! O(n)/O(log n). Long recovery-time runs (n up to 10⁶, 10⁸ steps)
+//! instead use [`FastProcess`]: raw unsorted bin loads plus the
+//! auxiliary structures that make one phase O(d):
+//!
+//! * scenario A keeps a ball table (`bin of ball k`) → O(1) uniform
+//!   ball removal via `swap_remove`;
+//! * scenario B keeps a dense list of non-empty bins with back-pointers
+//!   → O(1) uniform non-empty-bin removal;
+//! * a load histogram tracks the maximum load in O(1) amortized.
+//!
+//! The induced distribution over normalized states is identical to the
+//! exact chain's (bins are exchangeable; tie-breaking among equal-load
+//! sampled bins does not affect the load multiset) — cross-validated in
+//! tests against exact transition rows.
+
+use crate::rules::{Abku, Adap, ThresholdSeq};
+use crate::scenario::Removal;
+use crate::LoadVector;
+use rand::Rng;
+
+/// An allocation rule evaluated directly on unsorted loads.
+///
+/// Mirrors [`crate::RightOriented`] but avoids the normalized
+/// representation; implementations must induce the same distribution
+/// over load multisets.
+pub trait FastRule {
+    /// Choose the destination bin for a new ball given raw loads.
+    fn choose_bin<R: Rng + ?Sized>(&self, loads: &[u32], rng: &mut R) -> usize;
+}
+
+impl FastRule for Abku {
+    #[inline]
+    fn choose_bin<R: Rng + ?Sized>(&self, loads: &[u32], rng: &mut R) -> usize {
+        let n = loads.len();
+        let mut best = rng.random_range(0..n);
+        for _ in 1..self.d() {
+            let b = rng.random_range(0..n);
+            if loads[b] < loads[best] {
+                best = b;
+            }
+        }
+        best
+    }
+}
+
+impl<T: ThresholdSeq> FastRule for Adap<T> {
+    #[inline]
+    fn choose_bin<R: Rng + ?Sized>(&self, loads: &[u32], rng: &mut R) -> usize {
+        let n = loads.len();
+        let mut best = rng.random_range(0..n);
+        let mut samples = 1u32;
+        loop {
+            if self.threshold(loads[best]) <= samples {
+                return best;
+            }
+            let b = rng.random_range(0..n);
+            if loads[b] < loads[best] {
+                best = b;
+            }
+            samples += 1;
+        }
+    }
+}
+
+/// Fast simulation state for a closed dynamic allocation process.
+///
+/// ```
+/// use rand::{rngs::SmallRng, SeedableRng};
+/// use rt_core::process::FastProcess;
+/// use rt_core::{Abku, Removal};
+/// // Crash state: 100 balls in the first of 100 bins.
+/// let mut loads = vec![0u32; 100];
+/// loads[0] = 100;
+/// let mut p = FastProcess::new(Removal::RandomBall, Abku::new(2), loads);
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// p.run(10_000, &mut rng);
+/// assert_eq!(p.total(), 100);       // closed system
+/// assert!(p.max_load() <= 5);       // recovered to the typical level
+/// ```
+pub struct FastProcess<D> {
+    rule: D,
+    removal: Removal,
+    loads: Vec<u32>,
+    total: u64,
+    /// Scenario A only: `balls[k]` = bin of ball `k`.
+    balls: Vec<u32>,
+    /// Scenario B only: dense list of non-empty bins…
+    nonempty: Vec<u32>,
+    /// …with back-pointers (`u32::MAX` = not present).
+    pos: Vec<u32>,
+    /// `hist[l]` = number of bins with load `l`.
+    hist: Vec<u32>,
+    max_load: u32,
+}
+
+impl<D: FastRule> FastProcess<D> {
+    /// Create a process from raw (unsorted) initial loads.
+    pub fn new(removal: Removal, rule: D, loads: Vec<u32>) -> Self {
+        assert!(!loads.is_empty());
+        let n = loads.len();
+        let total: u64 = loads.iter().map(|&l| u64::from(l)).sum();
+        let max_load = loads.iter().copied().max().unwrap();
+        let mut hist = vec![0u32; max_load as usize + 1];
+        for &l in &loads {
+            hist[l as usize] += 1;
+        }
+        let mut balls = Vec::new();
+        let mut nonempty = Vec::new();
+        let mut pos = vec![u32::MAX; n];
+        match removal {
+            Removal::RandomBall => {
+                balls.reserve(total as usize);
+                for (b, &l) in loads.iter().enumerate() {
+                    for _ in 0..l {
+                        balls.push(b as u32);
+                    }
+                }
+            }
+            Removal::RandomNonEmptyBin => {
+                for (b, &l) in loads.iter().enumerate() {
+                    if l > 0 {
+                        pos[b] = nonempty.len() as u32;
+                        nonempty.push(b as u32);
+                    }
+                }
+            }
+        }
+        FastProcess { rule, removal, loads, total, balls, nonempty, pos, hist, max_load }
+    }
+
+    /// Current maximum load.
+    #[inline]
+    pub fn max_load(&self) -> u32 {
+        self.max_load
+    }
+
+    /// Raw (unsorted) loads.
+    #[inline]
+    pub fn loads(&self) -> &[u32] {
+        &self.loads
+    }
+
+    /// Total ball count.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The load histogram (`hist[l]` = bins at load `l`, indices up to
+    /// the historical maximum).
+    #[inline]
+    pub fn histogram(&self) -> &[u32] {
+        &self.hist
+    }
+
+    /// Snapshot as a normalized vector.
+    pub fn to_load_vector(&self) -> LoadVector {
+        LoadVector::from_loads(self.loads.clone())
+    }
+
+    #[inline]
+    fn inc_bin(&mut self, b: usize) {
+        let l = self.loads[b];
+        self.loads[b] = l + 1;
+        self.hist[l as usize] -= 1;
+        if self.hist.len() <= l as usize + 1 {
+            self.hist.push(0);
+        }
+        self.hist[l as usize + 1] += 1;
+        if l + 1 > self.max_load {
+            self.max_load = l + 1;
+        }
+        self.total += 1;
+        if self.removal == Removal::RandomNonEmptyBin && l == 0 {
+            self.pos[b] = self.nonempty.len() as u32;
+            self.nonempty.push(b as u32);
+        }
+        if self.removal == Removal::RandomBall {
+            self.balls.push(b as u32);
+        }
+    }
+
+    #[inline]
+    fn dec_bin(&mut self, b: usize) {
+        let l = self.loads[b];
+        debug_assert!(l > 0);
+        self.loads[b] = l - 1;
+        self.hist[l as usize] -= 1;
+        self.hist[l as usize - 1] += 1;
+        while self.max_load > 0 && self.hist[self.max_load as usize] == 0 {
+            self.max_load -= 1;
+        }
+        self.total -= 1;
+        if self.removal == Removal::RandomNonEmptyBin && l == 1 {
+            // Bin just became empty: swap-remove it from the dense list.
+            let p = self.pos[b] as usize;
+            let last = *self.nonempty.last().unwrap();
+            self.nonempty[p] = last;
+            self.pos[last as usize] = p as u32;
+            self.nonempty.pop();
+            self.pos[b] = u32::MAX;
+        }
+    }
+
+    /// The insertion rule.
+    #[inline]
+    pub fn rule(&self) -> &D {
+        &self.rule
+    }
+
+    /// The removal half of a phase alone: remove one ball per the
+    /// scenario (used by batched processes that interleave removals and
+    /// insertions differently).
+    ///
+    /// # Panics
+    /// If the system has no balls.
+    pub fn remove_one<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        assert!(self.total > 0, "a removal needs at least one ball");
+        match self.removal {
+            Removal::RandomBall => {
+                let k = rng.random_range(0..self.balls.len());
+                let b = self.balls.swap_remove(k) as usize;
+                self.dec_bin(b);
+            }
+            Removal::RandomNonEmptyBin => {
+                let k = rng.random_range(0..self.nonempty.len());
+                let b = self.nonempty[k] as usize;
+                self.dec_bin(b);
+            }
+        }
+    }
+
+    /// The insertion half of a phase with the destination already
+    /// decided (used by batched processes that choose against a stale
+    /// snapshot).
+    ///
+    /// # Panics
+    /// If `b` is out of range.
+    pub fn insert_into(&mut self, b: usize) {
+        assert!(b < self.loads.len(), "bin index out of range");
+        self.inc_bin(b);
+    }
+
+    /// One phase: remove per the scenario, insert per the rule.
+    ///
+    /// # Panics
+    /// If the system has no balls.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.remove_one(rng);
+        let j = self.rule.choose_bin(&self.loads, rng);
+        self.inc_bin(j);
+    }
+
+    /// Run `t` phases.
+    pub fn run<R: Rng + ?Sized>(&mut self, t: u64, rng: &mut R) {
+        for _ in 0..t {
+            self.step(rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::AllocationChain;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use rt_markov::MarkovChain;
+    use std::collections::HashMap;
+
+    #[test]
+    fn invariants_hold_over_long_runs() {
+        for removal in [Removal::RandomBall, Removal::RandomNonEmptyBin] {
+            let mut p = FastProcess::new(removal, Abku::new(2), vec![10, 0, 0, 0, 0]);
+            let mut rng = SmallRng::seed_from_u64(83);
+            for _ in 0..20_000 {
+                p.step(&mut rng);
+                debug_assert_eq!(p.total(), 10);
+            }
+            assert_eq!(p.total(), 10);
+            assert_eq!(p.loads().iter().map(|&l| u64::from(l)).sum::<u64>(), 10);
+            let max = p.loads().iter().copied().max().unwrap();
+            assert_eq!(max, p.max_load(), "{removal:?}");
+            let hist_total: u32 = p.histogram().iter().sum();
+            assert_eq!(hist_total as usize, p.loads().len());
+        }
+    }
+
+    #[test]
+    fn fast_and_exact_chains_agree_distributionally() {
+        // Compare the distribution over normalized states after t steps.
+        for removal in [Removal::RandomBall, Removal::RandomNonEmptyBin] {
+            let n = 3;
+            let m = 4u32;
+            let t = 6u64;
+            let trials = 150_000;
+            let mut rng = SmallRng::seed_from_u64(89);
+            let mut fast_counts: HashMap<Vec<u32>, u64> = HashMap::new();
+            for _ in 0..trials {
+                let mut p = FastProcess::new(removal, Abku::new(2), vec![m, 0, 0]);
+                p.run(t, &mut rng);
+                *fast_counts.entry(p.to_load_vector().as_slice().to_vec()).or_default() += 1;
+            }
+            let chain = AllocationChain::new(n, m, removal, Abku::new(2));
+            let mut exact_counts: HashMap<Vec<u32>, u64> = HashMap::new();
+            for _ in 0..trials {
+                let mut v = LoadVector::all_in_one(n, m);
+                chain.run(&mut v, t, &mut rng);
+                *exact_counts.entry(v.as_slice().to_vec()).or_default() += 1;
+            }
+            for (state, &c_fast) in &fast_counts {
+                let p_fast = c_fast as f64 / trials as f64;
+                let p_exact =
+                    exact_counts.get(state).copied().unwrap_or(0) as f64 / trials as f64;
+                assert!(
+                    (p_fast - p_exact).abs() < 0.01,
+                    "{removal:?} state {state:?}: fast {p_fast} vs chain {p_exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adap_fast_rule_matches_normalized_semantics() {
+        // ADAP with x_ℓ = ℓ+1 on [5,5,5,0]: a heavy bin (x₅ = 6) wins
+        // only if the first 6 samples all miss the empty bin, so
+        // Pr[empty bin] = 1 − (3/4)⁶ ≈ 0.822.
+        let adap = Adap::new(|l: u32| l + 1);
+        let loads = vec![5u32, 5, 5, 0];
+        let mut rng = SmallRng::seed_from_u64(97);
+        let trials = 40_000u32;
+        let mut empty_hits = 0u32;
+        for _ in 0..trials {
+            if adap.choose_bin(&loads, &mut rng) == 3 {
+                empty_hits += 1;
+            }
+        }
+        let expect = 1.0 - (0.75f64).powi(6);
+        let emp = f64::from(empty_hits) / f64::from(trials);
+        assert!((emp - expect).abs() < 0.01, "empirical {emp} vs exact {expect}");
+    }
+
+    #[test]
+    fn scenario_b_nonempty_list_stays_consistent() {
+        let mut p = FastProcess::new(Removal::RandomNonEmptyBin, Abku::new(1), vec![1, 1, 1, 0]);
+        let mut rng = SmallRng::seed_from_u64(101);
+        for _ in 0..10_000 {
+            p.step(&mut rng);
+            let expect: Vec<u32> = (0..p.loads().len() as u32)
+                .filter(|&b| p.loads()[b as usize] > 0)
+                .collect();
+            let mut got = p.nonempty.clone();
+            got.sort_unstable();
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn max_load_decreases_when_top_bin_drains() {
+        let mut p = FastProcess::new(Removal::RandomBall, Abku::new(2), vec![3, 1]);
+        // Force the top bin down by stepping until max load drops; with
+        // d = 2 on two bins the system balances quickly.
+        let mut rng = SmallRng::seed_from_u64(103);
+        let mut saw_lower = false;
+        for _ in 0..2_000 {
+            p.step(&mut rng);
+            if p.max_load() <= 2 {
+                saw_lower = true;
+                break;
+            }
+        }
+        assert!(saw_lower, "max load never dropped from the skewed start");
+    }
+}

@@ -1,0 +1,203 @@
+//! Relocation processes (paper §7, Conclusions).
+//!
+//! "Finally, we defer to the full version analysis of dynamic processes
+//! that allow relocations of the balls."
+//!
+//! [`RelocatingChain`] augments a closed scenario-A/B process with a
+//! limited relocation budget: after each removal/insertion phase, with
+//! probability `p_reloc` the system additionally picks one ball i.u.r.
+//! and re-places it using the insertion rule (a "rebalancing daemon").
+//! One relocation is itself a scenario-A phase, so the composite chain
+//! remains ergodic on Ω_m, remains analyzable by the same coupling
+//! arguments (each sub-phase contracts), and mixes *faster* — the
+//! relocation experiment measures the speedup as a function of
+//! `p_reloc`.
+
+use crate::dist;
+use crate::right_oriented::{RightOriented, SeqSeed};
+use crate::scenario::AllocationChain;
+use crate::LoadVector;
+use rand::Rng;
+use rt_markov::chain::{EnumerableChain, MarkovChain};
+
+/// A dynamic allocation process with a relocation daemon.
+#[derive(Clone, Debug)]
+pub struct RelocatingChain<D> {
+    base: AllocationChain<D>,
+    p_reloc: f64,
+}
+
+impl<D: RightOriented> RelocatingChain<D> {
+    /// Wrap a base chain with relocation probability `p_reloc`.
+    ///
+    /// # Panics
+    /// If `p_reloc ∉ [0, 1]`.
+    pub fn new(base: AllocationChain<D>, p_reloc: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p_reloc), "p_reloc must be a probability");
+        RelocatingChain { base, p_reloc }
+    }
+
+    /// The wrapped chain.
+    pub fn base(&self) -> &AllocationChain<D> {
+        &self.base
+    }
+
+    /// The relocation probability per phase.
+    pub fn p_reloc(&self) -> f64 {
+        self.p_reloc
+    }
+
+    /// One relocation: remove a ball chosen i.u.r., re-insert by the
+    /// rule (a scenario-A sub-phase).
+    pub fn relocate<R: Rng + ?Sized>(&self, v: &mut LoadVector, rng: &mut R) {
+        let i = dist::sample_ball_weighted(v, rng);
+        v.sub_at(i);
+        let rs = SeqSeed::sample(rng);
+        let j = self.base.rule().choose(v, rs);
+        v.add_at(j);
+    }
+}
+
+impl<D: RightOriented> MarkovChain for RelocatingChain<D> {
+    type State = LoadVector;
+
+    fn step<R: Rng + ?Sized>(&self, v: &mut LoadVector, rng: &mut R) {
+        self.base.step(v, rng);
+        if self.p_reloc > 0.0 && rng.random::<f64>() < self.p_reloc {
+            self.relocate(v, rng);
+        }
+    }
+}
+
+impl<D: RightOriented> EnumerableChain for RelocatingChain<D> {
+    fn states(&self) -> Vec<LoadVector> {
+        self.base.states()
+    }
+
+    /// Row = base row composed with (1 − p)·Id + p·(scenario-A phase).
+    fn transition_row(&self, v: &LoadVector) -> Vec<(LoadVector, f64)> {
+        let mut out = Vec::new();
+        for (mid, p_base) in self.base.transition_row(v) {
+            if self.p_reloc < 1.0 {
+                out.push((mid.clone(), p_base * (1.0 - self.p_reloc)));
+            }
+            if self.p_reloc > 0.0 {
+                let rm = dist::pmf_ball_weighted(&mid);
+                for (i, &p_rm) in rm.iter().enumerate() {
+                    if p_rm == 0.0 {
+                        continue;
+                    }
+                    let mut after_rm = mid.clone();
+                    after_rm.sub_at(i);
+                    for (j, &p_ins) in
+                        self.base.rule().insertion_pmf(&after_rm).iter().enumerate()
+                    {
+                        if p_ins == 0.0 {
+                            continue;
+                        }
+                        let mut next = after_rm.clone();
+                        next.add_at(j);
+                        out.push((next, p_base * self.p_reloc * p_rm * p_ins));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Abku;
+    use crate::scenario::Removal;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use rt_markov::ExactChain;
+
+    fn base(n: usize, m: u32) -> AllocationChain<Abku> {
+        AllocationChain::new(n, m, Removal::RandomNonEmptyBin, Abku::new(2))
+    }
+
+    #[test]
+    fn zero_relocation_matches_base_rows() {
+        let b = base(4, 5);
+        let r = RelocatingChain::new(b.clone(), 0.0);
+        let v = LoadVector::from_loads(vec![3, 1, 1, 0]);
+        use std::collections::HashMap;
+        let collapse = |rows: Vec<(LoadVector, f64)>| {
+            let mut map: HashMap<LoadVector, f64> = HashMap::new();
+            for (s, p) in rows {
+                *map.entry(s).or_default() += p;
+            }
+            map
+        };
+        let a = collapse(b.transition_row(&v));
+        let c = collapse(r.transition_row(&v));
+        for (s, p) in &a {
+            assert!((p - c.get(s).copied().unwrap_or(0.0)).abs() < 1e-12, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn rows_are_stochastic_for_all_p() {
+        for p in [0.0, 0.3, 0.7, 1.0] {
+            let r = RelocatingChain::new(base(4, 5), p);
+            for s in r.states() {
+                let total: f64 = r.transition_row(&s).iter().map(|(_, q)| q).sum();
+                assert!((total - 1.0).abs() < 1e-9, "p={p} {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_matches_exact_rows() {
+        let r = RelocatingChain::new(base(3, 4), 0.5);
+        let v = LoadVector::from_loads(vec![2, 1, 1]);
+        use std::collections::HashMap;
+        let mut exact: HashMap<Vec<u32>, f64> = HashMap::new();
+        for (s, p) in r.transition_row(&v) {
+            *exact.entry(s.as_slice().to_vec()).or_default() += p;
+        }
+        let mut rng = SmallRng::seed_from_u64(251);
+        let mut counts: HashMap<Vec<u32>, u64> = HashMap::new();
+        let trials = 300_000;
+        for _ in 0..trials {
+            let mut w = v.clone();
+            r.step(&mut w, &mut rng);
+            *counts.entry(w.as_slice().to_vec()).or_default() += 1;
+        }
+        for (s, p) in &exact {
+            let emp = counts.get(s).copied().unwrap_or(0) as f64 / trials as f64;
+            assert!((emp - p).abs() < 0.006, "{s:?}: {emp} vs {p}");
+        }
+    }
+
+    #[test]
+    fn relocation_accelerates_mixing() {
+        // Scenario B is slow; adding relocations must not slow it down,
+        // and at p = 1 should measurably accelerate it.
+        let (n, m) = (4usize, 6u32);
+        let tau = |p: f64| {
+            let mut e = ExactChain::build(&RelocatingChain::new(base(n, m), p));
+            e.mixing_time(0.25, 1 << 24).unwrap()
+        };
+        let plain = tau(0.0);
+        let boosted = tau(1.0);
+        assert!(
+            boosted <= plain,
+            "relocation made mixing slower: τ(p=1) = {boosted} > τ(p=0) = {plain}"
+        );
+    }
+
+    #[test]
+    fn ball_count_invariant() {
+        let r = RelocatingChain::new(base(5, 8), 0.8);
+        let mut v = LoadVector::all_in_one(5, 8);
+        let mut rng = SmallRng::seed_from_u64(257);
+        for _ in 0..5_000 {
+            r.step(&mut v, &mut rng);
+            assert_eq!(v.total(), 8);
+        }
+    }
+}

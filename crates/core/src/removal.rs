@@ -1,0 +1,277 @@
+//! Generalized removal distributions (paper §7, Conclusions).
+//!
+//! "Although we have assumed that in each step a random ball is
+//! removed, or the load of a random non-empty bin is decreased, our
+//! techniques can also be applied to processes in which we remove a
+//! ball according to other probability distributions."
+//!
+//! [`RemovalDist`] abstracts the removal half of a phase;
+//! [`PowerWeighted`] is a one-parameter family interpolating between
+//! (and beyond) the paper's two scenarios:
+//!
+//! * `α = 1` — probability ∝ load: exactly 𝒜(v) (scenario A);
+//! * `α = 0` — uniform over non-empty bins: exactly ℬ(v) (scenario B);
+//! * `α > 1` — biased toward heavy bins (an "impatient scheduler" that
+//!   preferentially finishes jobs on overloaded servers — recovery
+//!   accelerates);
+//! * large `α` — nearly always drains a currently-heaviest bin.
+//!
+//! [`GeneralChain`] runs any removal distribution with any
+//! right-oriented insertion rule and exposes exact transition rows, so
+//! the whole exact/coupling toolchain applies unchanged.
+
+use crate::partitions::enumerate_states;
+use crate::right_oriented::{RightOriented, SeqSeed};
+use crate::LoadVector;
+use rand::Rng;
+use rt_markov::chain::{EnumerableChain, MarkovChain};
+
+/// A distribution over the (non-empty) bins of a state, used to pick
+/// where the departing ball comes from.
+pub trait RemovalDist {
+    /// Sample a removal index for `v`. Must return an index with
+    /// positive load.
+    fn sample<R: Rng + ?Sized>(&self, v: &LoadVector, rng: &mut R) -> usize;
+
+    /// Exact pmf over `0..n` (zero on empty bins, sums to 1).
+    fn pmf(&self, v: &LoadVector) -> Vec<f64>;
+}
+
+/// `Pr[i] ∝ v_i^α` over non-empty bins.
+#[derive(Clone, Copy, Debug)]
+pub struct PowerWeighted {
+    alpha: f64,
+}
+
+impl PowerWeighted {
+    /// Create a power-weighted removal distribution.
+    ///
+    /// # Panics
+    /// If `α` is negative or non-finite.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha.is_finite() && alpha >= 0.0, "need finite α ≥ 0");
+        PowerWeighted { alpha }
+    }
+
+    /// The exponent α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl RemovalDist for PowerWeighted {
+    fn sample<R: Rng + ?Sized>(&self, v: &LoadVector, rng: &mut R) -> usize {
+        let s = v.nonempty();
+        assert!(s > 0, "removal from an empty system");
+        let weights: Vec<f64> =
+            (0..s).map(|i| f64::from(v.load(i)).powf(self.alpha)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut r = rng.random::<f64>() * total;
+        for (i, w) in weights.iter().enumerate() {
+            r -= w;
+            if r <= 0.0 {
+                return i;
+            }
+        }
+        s - 1
+    }
+
+    fn pmf(&self, v: &LoadVector) -> Vec<f64> {
+        let s = v.nonempty();
+        assert!(s > 0, "removal from an empty system");
+        let mut pmf: Vec<f64> =
+            (0..v.n()).map(|i| if i < s { f64::from(v.load(i)).powf(self.alpha) } else { 0.0 }).collect();
+        let total: f64 = pmf.iter().sum();
+        for p in &mut pmf {
+            *p /= total;
+        }
+        pmf
+    }
+}
+
+/// A dynamic allocation chain with an arbitrary removal distribution
+/// and a right-oriented insertion rule.
+#[derive(Clone, Debug)]
+pub struct GeneralChain<Rm, D> {
+    n: usize,
+    m: u32,
+    removal: Rm,
+    rule: D,
+}
+
+impl<Rm: RemovalDist, D: RightOriented> GeneralChain<Rm, D> {
+    /// Create a chain on `n` bins and `m ≥ 1` balls.
+    pub fn new(n: usize, m: u32, removal: Rm, rule: D) -> Self {
+        assert!(n > 0 && m > 0);
+        GeneralChain { n, m, removal, rule }
+    }
+
+    /// Number of bins.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of balls.
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// The removal distribution.
+    pub fn removal(&self) -> &Rm {
+        &self.removal
+    }
+
+    /// The insertion rule.
+    pub fn rule(&self) -> &D {
+        &self.rule
+    }
+}
+
+impl<Rm: RemovalDist, D: RightOriented> MarkovChain for GeneralChain<Rm, D> {
+    type State = LoadVector;
+
+    fn step<R: Rng + ?Sized>(&self, v: &mut LoadVector, rng: &mut R) {
+        debug_assert_eq!(v.total(), u64::from(self.m));
+        let i = self.removal.sample(v, rng);
+        v.sub_at(i);
+        let rs = SeqSeed::sample(rng);
+        let j = self.rule.choose(v, rs);
+        v.add_at(j);
+    }
+}
+
+impl<Rm: RemovalDist, D: RightOriented> EnumerableChain for GeneralChain<Rm, D> {
+    fn states(&self) -> Vec<LoadVector> {
+        enumerate_states(self.m, self.n)
+    }
+
+    fn transition_row(&self, v: &LoadVector) -> Vec<(LoadVector, f64)> {
+        let rm = self.removal.pmf(v);
+        let mut out = Vec::new();
+        for (i, &p_rm) in rm.iter().enumerate() {
+            if p_rm == 0.0 {
+                continue;
+            }
+            let mut mid = v.clone();
+            mid.sub_at(i);
+            for (j, &p_ins) in self.rule.insertion_pmf(&mid).iter().enumerate() {
+                if p_ins == 0.0 {
+                    continue;
+                }
+                let mut next = mid.clone();
+                next.add_at(j);
+                out.push((next, p_rm * p_ins));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Abku;
+    use crate::scenario::{AllocationChain, Removal};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use rt_markov::ExactChain;
+    use std::collections::HashMap;
+
+    #[test]
+    fn alpha_one_matches_scenario_a_rows() {
+        let v = LoadVector::from_loads(vec![3, 2, 1, 0]);
+        let general = GeneralChain::new(4, 6, PowerWeighted::new(1.0), Abku::new(2));
+        let classic = AllocationChain::new(4, 6, Removal::RandomBall, Abku::new(2));
+        let collapse = |rows: Vec<(LoadVector, f64)>| {
+            let mut map: HashMap<LoadVector, f64> = HashMap::new();
+            for (s, p) in rows {
+                *map.entry(s).or_default() += p;
+            }
+            map
+        };
+        let a = collapse(general.transition_row(&v));
+        let b = collapse(classic.transition_row(&v));
+        assert_eq!(a.len(), b.len());
+        for (s, p) in &a {
+            assert!((p - b[s]).abs() < 1e-12, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn alpha_zero_matches_scenario_b_rows() {
+        let v = LoadVector::from_loads(vec![3, 2, 1, 0]);
+        let general = GeneralChain::new(4, 6, PowerWeighted::new(0.0), Abku::new(2));
+        let classic = AllocationChain::new(4, 6, Removal::RandomNonEmptyBin, Abku::new(2));
+        let collapse = |rows: Vec<(LoadVector, f64)>| {
+            let mut map: HashMap<LoadVector, f64> = HashMap::new();
+            for (s, p) in rows {
+                *map.entry(s).or_default() += p;
+            }
+            map
+        };
+        let a = collapse(general.transition_row(&v));
+        let b = collapse(classic.transition_row(&v));
+        for (s, p) in &a {
+            assert!((p - b[s]).abs() < 1e-12, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn sampling_matches_pmf() {
+        let v = LoadVector::from_loads(vec![4, 2, 1, 0]);
+        let rm = PowerWeighted::new(2.0);
+        let pmf = rm.pmf(&v);
+        assert!((pmf.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Pr ∝ 16, 4, 1 → 16/21, 4/21, 1/21.
+        assert!((pmf[0] - 16.0 / 21.0).abs() < 1e-12);
+        let mut rng = SmallRng::seed_from_u64(239);
+        let mut counts = [0u64; 4];
+        let trials = 200_000;
+        for _ in 0..trials {
+            counts[rm.sample(&v, &mut rng)] += 1;
+        }
+        for (c, p) in counts.iter().zip(&pmf) {
+            let emp = *c as f64 / trials as f64;
+            assert!((emp - p).abs() < 0.006, "empirical {emp} vs exact {p}");
+        }
+    }
+
+    #[test]
+    fn large_alpha_drains_heavy_bins_and_mixes_fast() {
+        // With α = 8 the removal almost always hits the heaviest bin, so
+        // recovery from the crash state should be near-instant compared
+        // to α = 1 — measure via exact mixing from the crash state.
+        let (n, m) = (4usize, 6u32);
+        let crash = LoadVector::all_in_one(n, m);
+        let tau = |alpha: f64| {
+            let chain = GeneralChain::new(n, m, PowerWeighted::new(alpha), Abku::new(2));
+            let mut exact = ExactChain::build(&chain);
+            exact.mixing_time_from(&crash, 0.25, 1 << 24).unwrap()
+        };
+        let fast = tau(8.0);
+        let slow = tau(0.0);
+        assert!(fast <= slow, "heavy-biased removal (τ={fast}) should mix no slower than uniform-bin (τ={slow})");
+    }
+
+    #[test]
+    fn general_chain_preserves_ball_count() {
+        let chain = GeneralChain::new(5, 10, PowerWeighted::new(0.5), Abku::new(2));
+        let mut v = LoadVector::all_in_one(5, 10);
+        let mut rng = SmallRng::seed_from_u64(241);
+        for _ in 0..5_000 {
+            chain.step(&mut v, &mut rng);
+            assert_eq!(v.total(), 10);
+        }
+    }
+
+    #[test]
+    fn rows_are_stochastic_across_alpha() {
+        for alpha in [0.0, 0.5, 1.0, 2.0, 4.0] {
+            let chain = GeneralChain::new(4, 5, PowerWeighted::new(alpha), Abku::new(2));
+            for s in chain.states() {
+                let total: f64 = chain.transition_row(&s).iter().map(|(_, p)| p).sum();
+                assert!((total - 1.0).abs() < 1e-9, "α={alpha} {s:?}");
+            }
+        }
+    }
+}

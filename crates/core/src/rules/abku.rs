@@ -1,0 +1,158 @@
+//! The ABKU\[d\] rule of Azar, Broder, Karlin and Upfal (paper §2).
+//!
+//! "Pick `d` bins i.u.r. (with replacement) and place the ball into the
+//! least full of the chosen bins."
+//!
+//! On a *normalized* vector the least full of the sampled bins is the
+//! one with the largest normalized index, so the rule's deterministic
+//! map is simply `D(v, b) = max(b₁, …, b_d)` — formula (1) of the paper
+//! specialized to the constant threshold sequence `x_ℓ = d`. In
+//! particular `D` does not inspect the loads at all, which makes ABKU
+//! trivially right-oriented (both Def. 3.4 premises force `i_v = i_u`).
+
+use crate::right_oriented::{RightOriented, SeqSeed};
+use crate::LoadVector;
+
+/// The ABKU\[d\] allocation rule. `d = 1` is uniform placement.
+///
+/// ```
+/// use rt_core::{Abku, LoadVector, RightOriented};
+/// let rule = Abku::new(2);
+/// let v = LoadVector::balanced(4, 8);
+/// // Exact insertion distribution: Pr[j] = ((j+1)² − j²)/16.
+/// let pmf = rule.insertion_pmf(&v);
+/// assert!((pmf[3] - 7.0 / 16.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Abku {
+    d: u32,
+}
+
+impl Abku {
+    /// Create an ABKU\[d\] rule.
+    ///
+    /// # Panics
+    /// If `d == 0`.
+    pub fn new(d: u32) -> Self {
+        assert!(d >= 1, "ABKU[d] needs d ≥ 1");
+        Abku { d }
+    }
+
+    /// The number of sampled bins `d`.
+    #[inline]
+    pub fn d(&self) -> u32 {
+        self.d
+    }
+}
+
+impl RightOriented for Abku {
+    /// `D(v, b) = max(b₁, …, b_d)`: the largest sampled normalized index
+    /// is a least-loaded sampled bin.
+    #[inline]
+    fn choose(&self, v: &LoadVector, rs: SeqSeed) -> usize {
+        let n = v.n();
+        (0..self.d).map(|i| rs.bin(i, n)).max().expect("d ≥ 1")
+    }
+
+    /// `Pr[D = j] = ((j+1)^d − j^d) / n^d` for 0-based `j` — the maximum
+    /// of `d` i.u.r. indices. Independent of the loads.
+    fn insertion_pmf(&self, v: &LoadVector) -> Vec<f64> {
+        let n = v.n();
+        let d = i32::try_from(self.d).expect("d fits in i32");
+        (0..n)
+            .map(|j| {
+                let hi = ((j + 1) as f64 / n as f64).powi(d);
+                let lo = (j as f64 / n as f64).powi(d);
+                hi - lo
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::right_oriented::check_right_oriented_at;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn pmf_sums_to_one_and_favors_large_indices() {
+        let v = LoadVector::balanced(10, 10);
+        for d in [1, 2, 3, 5] {
+            let p = Abku::new(d).insertion_pmf(&v);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12, "d={d}");
+            if d > 1 {
+                // max of d uniforms is stochastically increasing in d.
+                assert!(p[9] > p[0], "d={d}: {p:?}");
+                for w in p.windows(2) {
+                    assert!(w[0] <= w[1] + 1e-12, "pmf must be nondecreasing in j");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn d1_is_uniform() {
+        let v = LoadVector::all_in_one(7, 3);
+        let p = Abku::new(1).insertion_pmf(&v);
+        for &x in &p {
+            assert!((x - 1.0 / 7.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn choose_matches_pmf_empirically() {
+        let v = LoadVector::balanced(6, 12);
+        let rule = Abku::new(3);
+        let pmf = rule.insertion_pmf(&v);
+        let mut counts = vec![0u64; v.n()];
+        let mut rng = SmallRng::seed_from_u64(17);
+        let trials = 300_000;
+        for _ in 0..trials {
+            counts[rule.choose(&v, SeqSeed::sample(&mut rng))] += 1;
+        }
+        for (c, p) in counts.iter().zip(&pmf) {
+            let emp = *c as f64 / trials as f64;
+            assert!((emp - p).abs() < 0.006, "empirical {emp} vs exact {p}");
+        }
+    }
+
+    #[test]
+    fn choose_ignores_loads() {
+        // Same seed, different load profiles, same index: the normalized
+        // formulation of ABKU depends only on the sampled indices.
+        let a = LoadVector::all_in_one(8, 20);
+        let b = LoadVector::balanced(8, 20);
+        let rule = Abku::new(2);
+        let mut rng = SmallRng::seed_from_u64(23);
+        for _ in 0..200 {
+            let rs = SeqSeed(rng.random());
+            assert_eq!(rule.choose(&a, rs), rule.choose(&b, rs));
+        }
+    }
+
+    #[test]
+    fn right_orientedness_holds_on_random_pairs() {
+        let rule = Abku::new(2);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..2_000 {
+            let mut loads_v = vec![0u32; 6];
+            let mut loads_u = vec![0u32; 6];
+            for _ in 0..12 {
+                loads_v[rng.random_range(0..6)] += 1;
+                loads_u[rng.random_range(0..6)] += 1;
+            }
+            let v = LoadVector::from_loads(loads_v);
+            let u = LoadVector::from_loads(loads_u);
+            let rs = SeqSeed(rng.random());
+            assert!(check_right_oriented_at(&rule, &v, &u, rs));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "d ≥ 1")]
+    fn zero_d_rejected() {
+        Abku::new(0);
+    }
+}

@@ -1,0 +1,244 @@
+//! The adaptive rule ADAP(x) of Czumaj and Stemann (paper §2).
+//!
+//! Given a nondecreasing sequence `x = (x₀, x₁, …)` of positive
+//! integers, the rule samples bins one at a time; after `M` samples, let
+//! `b` be the least-loaded bin seen so far (on a normalized vector: the
+//! largest sampled index, the running max `p(b)_M`) with load `ℓ`. The
+//! ball is placed into `b` as soon as `x_ℓ ≤ M`: light bins are accepted
+//! quickly, heavy bins demand more samples.
+//!
+//! This is formula (1) of the paper: `D(v, b) = p(b)_j` with
+//! `j = min{t : x_{v_{p(b)_t}} ≤ t}`, which Lemma 3.4 proves
+//! right-oriented (with `Φ_D` the identity). ABKU\[d\] is the special
+//! case `x_ℓ ≡ d`.
+//!
+//! The paper's `x` is an infinite sequence; here it is a callback
+//! [`ThresholdSeq`] evaluated lazily — only the finitely many values
+//! `x_{v_p}` along the running-max walk are ever needed, and the walk
+//! provably stops by step `x_{v₀}` (the threshold of the current maximum
+//! load) because thresholds are nondecreasing.
+
+use crate::right_oriented::{RightOriented, SeqSeed};
+use crate::LoadVector;
+
+/// A nondecreasing sequence of positive integers `ℓ ↦ x_ℓ`, indexed by
+/// bin load. Implemented for any `Fn(u32) -> u32`.
+///
+/// Implementations must return values ≥ 1 and be nondecreasing in `ℓ`;
+/// [`Adap`] checks both in debug builds.
+pub trait ThresholdSeq {
+    /// The threshold `x_ℓ` for load `ℓ`: the minimum number of sampled
+    /// bins required before accepting a bin of load `ℓ`.
+    fn x(&self, load: u32) -> u32;
+}
+
+impl<F: Fn(u32) -> u32> ThresholdSeq for F {
+    #[inline]
+    fn x(&self, load: u32) -> u32 {
+        self(load)
+    }
+}
+
+/// The ADAP(x) allocation rule.
+#[derive(Clone, Copy, Debug)]
+pub struct Adap<T> {
+    thresholds: T,
+}
+
+/// Exact-pmf computations refuse walks longer than this; it bounds the
+/// DP cost for pathological threshold sequences (e.g. `x_ℓ = 2^ℓ` at a
+/// huge maximum load). Sampling ([`RightOriented::choose`]) has no cap —
+/// it stops at `x_{v₀}` by monotonicity.
+pub const MAX_PMF_STEPS: u32 = 1 << 20;
+
+impl<T: ThresholdSeq> Adap<T> {
+    /// Create an ADAP(x) rule from a threshold sequence.
+    pub fn new(thresholds: T) -> Self {
+        Adap { thresholds }
+    }
+
+    /// The threshold `x_ℓ` for load `ℓ`.
+    #[inline]
+    pub fn threshold(&self, load: u32) -> u32 {
+        self.thresholds.x(load)
+    }
+
+    /// Largest step index the running-max walk can reach on `v`:
+    /// the threshold of the current maximum load.
+    fn walk_cap(&self, v: &LoadVector) -> u32 {
+        self.thresholds.x(v.max_load()).max(1)
+    }
+
+    #[cfg(debug_assertions)]
+    fn debug_validate(&self, v: &LoadVector) {
+        let mut prev = 0u32;
+        for l in 0..=v.max_load() {
+            let x = self.thresholds.x(l);
+            debug_assert!(x >= 1, "threshold x_{l} = {x} must be ≥ 1");
+            debug_assert!(x >= prev, "threshold sequence must be nondecreasing at load {l}");
+            prev = x;
+        }
+    }
+}
+
+impl<T: ThresholdSeq> RightOriented for Adap<T> {
+    fn choose(&self, v: &LoadVector, rs: SeqSeed) -> usize {
+        #[cfg(debug_assertions)]
+        self.debug_validate(v);
+        let n = v.n();
+        let cap = self.walk_cap(v);
+        let mut p = rs.bin(0, n);
+        for step in 1..=cap {
+            if step > 1 {
+                p = p.max(rs.bin(step - 1, n));
+            }
+            if self.thresholds.x(v.load(p)) <= step {
+                return p;
+            }
+        }
+        // Unreachable for a valid (nondecreasing, ≥1) sequence:
+        // x_{v_p} ≤ x_{v₀} = cap ≤ step at step = cap.
+        unreachable!("ADAP walk exceeded its monotonicity cap; threshold sequence is invalid")
+    }
+
+    /// Exact distribution of the chosen index via a running-max DP.
+    ///
+    /// State after `M` samples: the running max `p` (0-based index).
+    /// Mass at `(M, p)` stops iff `x_{v_p} ≤ M`; otherwise one more
+    /// uniform sample moves `p` to `max(p, b)`. Each transition step is
+    /// O(n) using prefix sums, and the walk ends by `M = x_{v₀}`.
+    fn insertion_pmf(&self, v: &LoadVector) -> Vec<f64> {
+        #[cfg(debug_assertions)]
+        self.debug_validate(v);
+        let n = v.n();
+        let cap = self.walk_cap(v);
+        assert!(
+            cap <= MAX_PMF_STEPS,
+            "ADAP exact pmf needs {cap} DP steps (> MAX_PMF_STEPS); \
+             use sampling for this threshold sequence"
+        );
+        let mut pmf = vec![0.0f64; n];
+        // After the first sample the running max is uniform.
+        let mut f = vec![1.0 / n as f64; n];
+        for step in 1..=cap {
+            let mut alive = 0.0;
+            for p in 0..n {
+                if f[p] > 0.0 && self.thresholds.x(v.load(p)) <= step {
+                    pmf[p] += f[p];
+                    f[p] = 0.0;
+                } else {
+                    alive += f[p];
+                }
+            }
+            if alive <= 1e-15 {
+                break;
+            }
+            if step < cap {
+                // new_f[q] = f[q]·(q+1)/n + (Σ_{p<q} f[p])/n
+                let mut prefix = 0.0;
+                for (q, fq) in f.iter_mut().enumerate() {
+                    let keep = *fq * (q + 1) as f64 / n as f64;
+                    let inflow = prefix / n as f64;
+                    prefix += *fq;
+                    *fq = keep + inflow;
+                }
+            }
+        }
+        debug_assert!(
+            (pmf.iter().sum::<f64>() - 1.0).abs() < 1e-9,
+            "ADAP pmf mass leak: Σ = {}",
+            pmf.iter().sum::<f64>()
+        );
+        pmf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::right_oriented::check_right_oriented_at;
+    use crate::rules::Abku;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn constant_thresholds_reproduce_abku() {
+        let d = 3u32;
+        let adap = Adap::new(move |_| d);
+        let abku = Abku::new(d);
+        let v = LoadVector::from_loads(vec![4, 3, 3, 1, 1, 0]);
+        // Same deterministic map under every shared seed…
+        let mut rng = SmallRng::seed_from_u64(31);
+        for _ in 0..500 {
+            let rs = SeqSeed(rng.random());
+            assert_eq!(adap.choose(&v, rs), abku.choose(&v, rs));
+        }
+        // …and identical exact pmfs.
+        for (a, b) in adap.insertion_pmf(&v).iter().zip(abku.insertion_pmf(&v)) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pmf_matches_sampling_for_adaptive_sequence() {
+        // x_ℓ = ℓ + 1: a load-ℓ bin requires ℓ+1 samples.
+        let adap = Adap::new(|l: u32| l + 1);
+        let v = LoadVector::from_loads(vec![3, 2, 1, 1, 0]);
+        let pmf = adap.insertion_pmf(&v);
+        assert!((pmf.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let mut counts = vec![0u64; v.n()];
+        let mut rng = SmallRng::seed_from_u64(41);
+        let trials = 400_000;
+        for _ in 0..trials {
+            counts[adap.choose(&v, SeqSeed::sample(&mut rng))] += 1;
+        }
+        for (c, p) in counts.iter().zip(&pmf) {
+            let emp = *c as f64 / trials as f64;
+            assert!((emp - p).abs() < 0.006, "empirical {emp} vs exact {p} ({pmf:?})");
+        }
+    }
+
+    #[test]
+    fn adaptive_rule_prefers_empty_bins_strongly() {
+        // With x_ℓ = 2^ℓ, only an empty bin is accepted on the first
+        // sample; heavier bins demand exponentially many samples, so the
+        // empty bin should receive almost all of the mass when present.
+        let adap = Adap::new(|l: u32| 1u32 << l.min(20));
+        let v = LoadVector::from_loads(vec![5, 5, 5, 0]);
+        let pmf = adap.insertion_pmf(&v);
+        assert!(pmf[3] > 0.95, "pmf {pmf:?}");
+    }
+
+    #[test]
+    fn right_orientedness_lemma_3_4() {
+        let adap = Adap::new(|l: u32| l + 1);
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..3_000 {
+            let n = 6;
+            let mut lv = vec![0u32; n];
+            let mut lu = vec![0u32; n];
+            for _ in 0..10 {
+                lv[rng.random_range(0..n)] += 1;
+                lu[rng.random_range(0..n)] += 1;
+            }
+            let v = LoadVector::from_loads(lv);
+            let u = LoadVector::from_loads(lu);
+            let rs = SeqSeed(rng.random());
+            assert!(
+                check_right_oriented_at(&adap, &v, &u, rs),
+                "right-orientedness violated for v={v:?} u={u:?} rs={rs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn walk_always_terminates_within_cap() {
+        let adap = Adap::new(|l: u32| l + 1);
+        let v = LoadVector::all_in_one(4, 30);
+        let mut rng = SmallRng::seed_from_u64(13);
+        for _ in 0..1_000 {
+            let j = adap.choose(&v, SeqSeed::sample(&mut rng));
+            assert!(j < v.n());
+        }
+    }
+}

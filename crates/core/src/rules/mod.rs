@@ -1,0 +1,16 @@
+//! Allocation (scheduling) rules: how a new ball chooses its bin.
+//!
+//! The paper analyzes two families, both right-oriented (Lemma 3.4):
+//!
+//! * [`Abku`] — the rule of Azar, Broder, Karlin, Upfal: sample `d` bins
+//!   i.u.r. (with replacement) and place the ball in the least full.
+//!   `Abku::new(1)` is the classical uniform baseline.
+//! * [`Adap`] — the adaptive extension of Czumaj and Stemann: keep
+//!   sampling bins while the best load seen so far still demands more
+//!   samples, governed by a nondecreasing threshold sequence `x`.
+
+mod abku;
+mod adap;
+
+pub use abku::Abku;
+pub use adap::{Adap, ThresholdSeq};

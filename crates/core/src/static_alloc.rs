@@ -1,0 +1,104 @@
+//! Static (one-shot) allocation — the original setting of Azar et al.
+//! (paper §1).
+//!
+//! `m` balls arrive once and are placed by a rule; nothing is ever
+//! removed. The classical results the dynamic processes are measured
+//! against: uniform placement (`d = 1`) reaches max load
+//! `Θ(ln n / ln ln n)` at `m = n`, while ABKU\[d\] with `d ≥ 2` reaches
+//! `ln ln n / ln d + Θ(1)` — the "power of two choices". Mitzenmacher's
+//! correspondence says the dynamic processes' stationary levels match
+//! these static levels up to additive constants, which experiment ST
+//! verifies using this module as the baseline.
+
+use crate::process::FastRule;
+use crate::LoadVector;
+use rand::Rng;
+
+/// Throw `m` balls into `n` bins one at a time using `rule`, returning
+/// the final (normalized) state.
+pub fn throw<D: FastRule, R: Rng + ?Sized>(
+    n: usize,
+    m: u32,
+    rule: &D,
+    rng: &mut R,
+) -> LoadVector {
+    assert!(n > 0);
+    let mut loads = vec![0u32; n];
+    for _ in 0..m {
+        let j = rule.choose_bin(&loads, rng);
+        loads[j] += 1;
+    }
+    LoadVector::from_loads(loads)
+}
+
+/// Max load of a single static throw.
+pub fn max_load<D: FastRule, R: Rng + ?Sized>(n: usize, m: u32, rule: &D, rng: &mut R) -> u32 {
+    throw(n, m, rule, rng).max_load()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Abku, Adap};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn throw_places_every_ball() {
+        let mut rng = SmallRng::seed_from_u64(211);
+        let v = throw(16, 64, &Abku::new(2), &mut rng);
+        assert_eq!(v.total(), 64);
+        assert_eq!(v.n(), 16);
+    }
+
+    #[test]
+    fn two_choices_beat_one_choice() {
+        let n = 4096;
+        let m = n as u32;
+        let mut rng = SmallRng::seed_from_u64(223);
+        let trials = 6;
+        let mut sum1 = 0u32;
+        let mut sum2 = 0u32;
+        for _ in 0..trials {
+            sum1 += max_load(n, m, &Abku::new(1), &mut rng);
+            sum2 += max_load(n, m, &Abku::new(2), &mut rng);
+        }
+        assert!(
+            sum2 < sum1,
+            "ABKU[2] ({sum2}) must beat uniform ({sum1}) on average"
+        );
+        // d = 2 static max load at n = 4096 is ln ln n / ln 2 + O(1) ≈ 4±2.
+        assert!(sum2 / trials <= 6, "d=2 static max load too high: {}", sum2 / trials);
+    }
+
+    #[test]
+    fn adaptive_rule_matches_two_choices_quality() {
+        let n = 4096;
+        let m = n as u32;
+        let mut rng = SmallRng::seed_from_u64(227);
+        let adap = Adap::new(|l: u32| l + 1);
+        let mut worst = 0;
+        for _ in 0..5 {
+            worst = worst.max(max_load(n, m, &adap, &mut rng));
+        }
+        assert!(worst <= 6, "ADAP static max load too high: {worst}");
+    }
+
+    #[test]
+    fn heavily_loaded_case_scales() {
+        // m = 8n: average load 8; d = 2 keeps the overshoot tiny.
+        let n = 1024;
+        let m = 8 * n as u32;
+        let mut rng = SmallRng::seed_from_u64(229);
+        let v = throw(n, m, &Abku::new(2), &mut rng);
+        assert!(v.max_load() <= 8 + 4, "max load {} way above m/n + O(1)", v.max_load());
+        assert!(v.min_load() >= 8 - 4, "min load {} way below m/n − O(1)", v.min_load());
+    }
+
+    #[test]
+    fn zero_balls_is_empty_state() {
+        let mut rng = SmallRng::seed_from_u64(233);
+        let v = throw(5, 0, &Abku::new(2), &mut rng);
+        assert_eq!(v, LoadVector::empty(5));
+    }
+}

@@ -1,0 +1,243 @@
+//! Weighted jobs — the heterogeneous-task setting of Berenbrink, Meyer
+//! auf der Heide and Schröder ("Allocating weighted jobs in parallel",
+//! SPAA 1997, reference \[6\] of the paper).
+//!
+//! Balls carry positive integer weights; a bin's load is the *sum* of
+//! the weights it holds. The dynamic process mirrors scenario A: a
+//! departing ball is chosen i.u.r. among the balls (so heavy jobs are
+//! no likelier to finish than light ones), and the replacement is
+//! placed by a `d`-choice rule comparing weighted loads. This breaks
+//! the exchangeability tricks of the unit-weight analysis — exactly why
+//! \[6\] is its own paper — but the *recovery* behaviour measured by the
+//! weighted experiment still follows the Θ(m ln m) clock: the coupling
+//! framework never used unit weights, only the removal lottery.
+
+use rand::Rng;
+
+/// A ball with a positive weight, assigned to a bin.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Ball {
+    bin: u32,
+    weight: u32,
+}
+
+/// Fast simulation of the weighted scenario-A dynamic process with
+/// `d`-choice insertion on weighted loads.
+#[derive(Clone, Debug)]
+pub struct WeightedProcess {
+    d: u32,
+    loads: Vec<u64>,
+    balls: Vec<Ball>,
+    total_weight: u64,
+    max_load: u64,
+    max_dirty: bool,
+}
+
+impl WeightedProcess {
+    /// Create a process: `n` bins, the given ball weights, initially
+    /// all placed in bin 0 (the weighted crash state).
+    ///
+    /// # Panics
+    /// If `n == 0`, `d == 0`, no balls, or any weight is 0.
+    pub fn crashed(n: usize, d: u32, weights: &[u32]) -> Self {
+        assert!(n > 0 && d > 0 && !weights.is_empty());
+        assert!(weights.iter().all(|&w| w > 0), "weights must be positive");
+        let mut loads = vec![0u64; n];
+        let balls: Vec<Ball> =
+            weights.iter().map(|&weight| Ball { bin: 0, weight }).collect();
+        let total_weight: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+        loads[0] = total_weight;
+        WeightedProcess { d, loads, balls, total_weight, max_load: total_weight, max_dirty: false }
+    }
+
+    /// Create a process with balls spread round-robin (a balanced-ish
+    /// start for stationary measurements).
+    pub fn spread(n: usize, d: u32, weights: &[u32]) -> Self {
+        let mut p = Self::crashed(n, d, weights);
+        p.loads = vec![0u64; n];
+        for (k, ball) in p.balls.iter_mut().enumerate() {
+            ball.bin = (k % n) as u32;
+            p.loads[k % n] += u64::from(ball.weight);
+        }
+        p.max_load = p.loads.iter().copied().max().unwrap();
+        p
+    }
+
+    /// Number of bins.
+    pub fn n(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Number of balls.
+    pub fn n_balls(&self) -> usize {
+        self.balls.len()
+    }
+
+    /// Total weight in the system (invariant).
+    pub fn total_weight(&self) -> u64 {
+        self.total_weight
+    }
+
+    /// Current maximum weighted load (recomputed lazily after the rare
+    /// step in which the previous maximum bin lost weight).
+    pub fn max_load(&mut self) -> u64 {
+        if self.max_dirty {
+            self.max_load = self.loads.iter().copied().max().unwrap();
+            self.max_dirty = false;
+        }
+        self.max_load
+    }
+
+    /// Weighted loads per bin.
+    pub fn loads(&self) -> &[u64] {
+        &self.loads
+    }
+
+    /// One phase: a ball chosen i.u.r. departs; a new ball of the same
+    /// weight arrives and joins the least (weighted-)loaded of `d`
+    /// sampled bins. Weights are thus conserved as a multiset.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let k = rng.random_range(0..self.balls.len());
+        let Ball { bin, weight } = self.balls[k];
+        let old_bin = bin as usize;
+        self.loads[old_bin] -= u64::from(weight);
+        if !self.max_dirty && self.loads[old_bin] + u64::from(weight) == self.max_load {
+            self.max_dirty = true;
+        }
+        let n = self.loads.len();
+        let mut best = rng.random_range(0..n);
+        for _ in 1..self.d {
+            let b = rng.random_range(0..n);
+            if self.loads[b] < self.loads[best] {
+                best = b;
+            }
+        }
+        self.loads[best] += u64::from(weight);
+        self.balls[k] = Ball { bin: best as u32, weight };
+        if !self.max_dirty && self.loads[best] > self.max_load {
+            self.max_load = self.loads[best];
+        }
+    }
+
+    /// Run `t` phases.
+    pub fn run<R: Rng + ?Sized>(&mut self, t: u64, rng: &mut R) {
+        for _ in 0..t {
+            self.step(rng);
+        }
+    }
+
+    /// Internal consistency: per-bin loads must match the ball table.
+    pub fn check_consistency(&self) -> bool {
+        let mut loads = vec![0u64; self.loads.len()];
+        for b in &self.balls {
+            loads[b.bin as usize] += u64::from(b.weight);
+        }
+        loads == self.loads
+            && self.total_weight == loads.iter().sum::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn mixed_weights(m: usize) -> Vec<u32> {
+        // Half light (1), half heavy (4).
+        (0..m).map(|k| if k % 2 == 0 { 1 } else { 4 }).collect()
+    }
+
+    #[test]
+    fn weight_is_conserved() {
+        let mut p = WeightedProcess::crashed(16, 2, &mixed_weights(64));
+        let total = p.total_weight();
+        let mut rng = SmallRng::seed_from_u64(353);
+        for _ in 0..20_000 {
+            p.step(&mut rng);
+        }
+        assert_eq!(p.total_weight(), total);
+        assert!(p.check_consistency());
+        assert_eq!(p.loads().iter().sum::<u64>(), total);
+    }
+
+    #[test]
+    fn max_load_tracking_matches_recomputation() {
+        let mut p = WeightedProcess::crashed(8, 2, &mixed_weights(32));
+        let mut rng = SmallRng::seed_from_u64(359);
+        for _ in 0..5_000 {
+            p.step(&mut rng);
+            let expect = p.loads().iter().copied().max().unwrap();
+            assert_eq!(p.max_load(), expect);
+        }
+    }
+
+    #[test]
+    fn unit_weights_match_unweighted_process_distribution() {
+        use crate::process::FastProcess;
+        use crate::rules::Abku;
+        use crate::scenario::Removal;
+        // All weights 1 → must behave exactly like FastProcess/A.
+        let n = 32;
+        let m = 32;
+        let mut rng = SmallRng::seed_from_u64(367);
+        let mut w = WeightedProcess::spread(n, 2, &vec![1u32; m]);
+        w.run(20_000, &mut rng);
+        let mut acc_w = 0.0;
+        let steps = 40_000;
+        for _ in 0..steps {
+            w.step(&mut rng);
+            acc_w += w.max_load() as f64;
+        }
+        let mut u = FastProcess::new(Removal::RandomBall, Abku::new(2), vec![1u32; n]);
+        u.run(20_000, &mut rng);
+        let mut acc_u = 0.0;
+        for _ in 0..steps {
+            u.step(&mut rng);
+            acc_u += f64::from(u.max_load());
+        }
+        let (mw, mu) = (acc_w / steps as f64, acc_u / steps as f64);
+        assert!((mw - mu).abs() < 0.1, "weighted-unit {mw} vs unweighted {mu}");
+    }
+
+    #[test]
+    fn recovery_from_weighted_crash() {
+        // 64 bins, mixed weights, everything on bin 0: the weighted
+        // max load must drain to a small multiple of the mean load.
+        let n = 64;
+        let weights = mixed_weights(n);
+        let mut p = WeightedProcess::crashed(n, 2, &weights);
+        let mean_load = p.total_weight() as f64 / n as f64;
+        let mut rng = SmallRng::seed_from_u64(373);
+        let horizon = 20 * (n as u64) * ((n as f64).ln() as u64 + 1);
+        p.run(horizon, &mut rng);
+        assert!(
+            (p.max_load() as f64) <= 4.0 * mean_load + 4.0,
+            "weighted crash failed to drain: max {} vs mean {mean_load}",
+            p.max_load()
+        );
+    }
+
+    #[test]
+    fn heavy_jobs_dominate_the_max_but_two_choices_contain_it() {
+        // With weights {1, 8}, d = 2 keeps the max near the heaviest
+        // weight + small change rather than stacking heavies.
+        let n = 256;
+        let weights: Vec<u32> = (0..n).map(|k| if k % 8 == 0 { 8 } else { 1 }).collect();
+        let mut p = WeightedProcess::spread(n, 2, &weights);
+        let mut rng = SmallRng::seed_from_u64(379);
+        p.run(200_000, &mut rng);
+        let mut worst = 0u64;
+        for _ in 0..2_000 {
+            p.step(&mut rng);
+            worst = worst.max(p.max_load());
+        }
+        assert!(worst <= 8 + 8, "max weighted load {worst} far above heavy + O(1)");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weight_rejected() {
+        WeightedProcess::crashed(4, 2, &[1, 0, 2]);
+    }
+}

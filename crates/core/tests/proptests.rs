@@ -1,0 +1,291 @@
+//! Property-based tests for the core model invariants.
+//!
+//! These pin down the algebra the paper's proofs lean on: Fact 3.2
+//! normalization, the metric structure of Δ, Lemma 3.3's insertion
+//! contraction, and the stochasticity of every transition row.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rt_core::right_oriented::{check_right_oriented_at, coupled_insert, SeqSeed};
+use rt_core::rules::{Abku, Adap};
+use rt_core::{AllocationChain, LoadVector, Removal, RightOriented};
+use rt_markov::chain::EnumerableChain;
+
+/// Strategy: raw loads for up to `n_max` bins and `m_max` total balls.
+fn raw_loads(n_max: usize, m_max: u32) -> impl Strategy<Value = Vec<u32>> {
+    (1..=n_max).prop_flat_map(move |n| {
+        proptest::collection::vec(0..=m_max / 2, n)
+    })
+}
+
+proptest! {
+    #[test]
+    fn from_loads_is_sorted_and_sums(loads in raw_loads(12, 24)) {
+        let total: u64 = loads.iter().map(|&l| u64::from(l)).sum();
+        let v = LoadVector::from_loads(loads);
+        prop_assert!(v.as_slice().windows(2).all(|w| w[0] >= w[1]));
+        prop_assert_eq!(v.total(), total);
+    }
+
+    #[test]
+    fn add_at_matches_fact_3_2(loads in raw_loads(12, 24), idx_seed in 0usize..1000) {
+        let v = LoadVector::from_loads(loads);
+        let i = idx_seed % v.n();
+        // Reference: raw add + full re-sort.
+        let mut raw = v.as_slice().to_vec();
+        raw[i] += 1;
+        let reference = LoadVector::from_loads(raw);
+        let mut fast = v.clone();
+        let j = fast.add_at(i);
+        prop_assert_eq!(&fast, &reference);
+        // Fact 3.2: the increment landed at the first equal index.
+        prop_assert_eq!(v.first_eq(i), j);
+    }
+
+    #[test]
+    fn sub_at_matches_fact_3_2(loads in raw_loads(12, 24), idx_seed in 0usize..1000) {
+        let v = LoadVector::from_loads(loads);
+        prop_assume!(v.total() > 0);
+        let nonzero: Vec<usize> = (0..v.n()).filter(|&i| v.load(i) > 0).collect();
+        let i = nonzero[idx_seed % nonzero.len()];
+        let mut raw = v.as_slice().to_vec();
+        raw[i] -= 1;
+        let reference = LoadVector::from_loads(raw);
+        let mut fast = v.clone();
+        let s = fast.sub_at(i);
+        prop_assert_eq!(&fast, &reference);
+        prop_assert_eq!(v.last_eq(i), s);
+    }
+
+    #[test]
+    fn delta_is_a_metric(a in raw_loads(8, 12), b_seed in any::<u64>(), c_seed in any::<u64>()) {
+        // Build three same-total vectors by random redistribution.
+        let a = LoadVector::from_loads(a);
+        let m = a.total() as u32;
+        let n = a.n();
+        let redistribute = |seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut loads = vec![0u32; n];
+            for _ in 0..m {
+                use rand::Rng;
+                loads[rng.random_range(0..n)] += 1;
+            }
+            LoadVector::from_loads(loads)
+        };
+        let b = redistribute(b_seed);
+        let c = redistribute(c_seed);
+        // Symmetry, identity, triangle inequality.
+        prop_assert_eq!(a.delta(&b), b.delta(&a));
+        prop_assert_eq!(a.delta(&a), 0);
+        prop_assert!(a.delta(&c) <= a.delta(&b) + b.delta(&c));
+        // Δ = ½ L1 for equal totals.
+        prop_assert_eq!(2 * a.delta(&b), a.l1(&b));
+        // Diameter bound from §4: Δ ≤ m − ⌈m/n⌉.
+        if m > 0 {
+            prop_assert!(a.delta(&b) <= u64::from(m) - u64::from(m.div_ceil(n as u32)));
+        }
+    }
+
+    #[test]
+    fn try_shift_and_adjacent_offsets_are_inverse(
+        loads in raw_loads(10, 20),
+        l in 0usize..10,
+        d in 0usize..10,
+    ) {
+        let u = LoadVector::from_loads(loads);
+        let l = l % u.n();
+        let d = d % u.n();
+        if let Some(v) = u.try_shift(l, d) {
+            prop_assert_eq!(v.delta(&u), 1);
+            let (lam, del) = v.adjacent_offsets(&u).expect("unit pair must be detected");
+            // The detected offsets reproduce the shift.
+            let mut raw = u.as_slice().to_vec();
+            raw[lam] += 1;
+            raw[del] -= 1;
+            prop_assert_eq!(LoadVector::from_loads(raw), v);
+        }
+    }
+
+    #[test]
+    fn abku_equals_adap_with_constant_thresholds(
+        loads in raw_loads(10, 20),
+        d in 1u32..5,
+        seed in any::<u64>(),
+    ) {
+        let v = LoadVector::from_loads(loads);
+        let abku = Abku::new(d);
+        let adap = Adap::new(move |_| d);
+        let rs = SeqSeed(seed);
+        prop_assert_eq!(abku.choose(&v, rs), adap.choose(&v, rs));
+    }
+
+    #[test]
+    fn rules_are_right_oriented(
+        a in raw_loads(8, 16),
+        b_seed in any::<u64>(),
+        seed in any::<u64>(),
+        d in 1u32..4,
+    ) {
+        let v = LoadVector::from_loads(a);
+        let n = v.n();
+        let m = v.total() as u32;
+        let u = {
+            let mut rng = SmallRng::seed_from_u64(b_seed);
+            let mut loads = vec![0u32; n];
+            for _ in 0..m {
+                use rand::Rng;
+                loads[rng.random_range(0..n)] += 1;
+            }
+            LoadVector::from_loads(loads)
+        };
+        let rs = SeqSeed(seed);
+        prop_assert!(check_right_oriented_at(&Abku::new(d), &v, &u, rs));
+        prop_assert!(check_right_oriented_at(&Adap::new(|l: u32| l + 1), &v, &u, rs));
+        prop_assert!(check_right_oriented_at(&Adap::new(|l: u32| 2 * l + 1), &v, &u, rs));
+    }
+
+    #[test]
+    fn lemma_3_3_insertion_never_increases_distance(
+        a in raw_loads(8, 16),
+        b_seed in any::<u64>(),
+        seed in any::<u64>(),
+        d in 1u32..4,
+    ) {
+        let mut v = LoadVector::from_loads(a);
+        let n = v.n();
+        let m = v.total() as u32;
+        let mut u = {
+            let mut rng = SmallRng::seed_from_u64(b_seed);
+            let mut loads = vec![0u32; n];
+            for _ in 0..m {
+                use rand::Rng;
+                loads[rng.random_range(0..n)] += 1;
+            }
+            LoadVector::from_loads(loads)
+        };
+        let before = v.l1(&u);
+        coupled_insert(&Abku::new(d), &mut v, &mut u, SeqSeed(seed));
+        prop_assert!(v.l1(&u) <= before, "Lemma 3.3 violated: {} > {}", v.l1(&u), before);
+    }
+
+    #[test]
+    fn insertion_pmfs_are_distributions(loads in raw_loads(8, 16), d in 1u32..5) {
+        let v = LoadVector::from_loads(loads);
+        for pmf in [Abku::new(d).insertion_pmf(&v), Adap::new(|l: u32| l + 1).insertion_pmf(&v)] {
+            prop_assert!((pmf.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(pmf.iter().all(|&p| (0.0..=1.0 + 1e-12).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn transition_rows_are_stochastic(
+        n in 2usize..5,
+        m in 1u32..7,
+        scenario in prop::bool::ANY,
+    ) {
+        let removal = if scenario { Removal::RandomBall } else { Removal::RandomNonEmptyBin };
+        let chain = AllocationChain::new(n, m, removal, Abku::new(2));
+        for state in chain.states() {
+            let row = chain.transition_row(&state);
+            let total: f64 = row.iter().map(|(_, p)| p).sum();
+            prop_assert!((total - 1.0).abs() < 1e-9, "row sums to {total}");
+            for (next, p) in row {
+                prop_assert!(p > 0.0);
+                prop_assert_eq!(next.total(), u64::from(m));
+                prop_assert_eq!(next.n(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn seq_seed_bins_in_range(seed in any::<u64>(), i in 0u32..64, n in 1usize..1000) {
+        prop_assert!(SeqSeed(seed).bin(i, n) < n);
+    }
+}
+
+// ---------- extension-module properties ----------
+
+use rt_core::{observables, static_alloc};
+
+proptest! {
+    #[test]
+    fn observables_are_consistent_on_random_states(loads in raw_loads(10, 30)) {
+        let v = LoadVector::from_loads(loads);
+        prop_assert!(observables::gap(&v) <= observables::max_load(&v));
+        prop_assert!((0.0..=1.0).contains(&observables::empty_fraction(&v)));
+        prop_assert!((0.0..=1.0).contains(&observables::overload_mass(&v)));
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&observables::normalized_entropy(&v)));
+        prop_assert!(observables::l2_imbalance(&v) >= 0.0);
+        // Balanced states minimize every imbalance observable.
+        let b = LoadVector::balanced(v.n(), v.total() as u32);
+        prop_assert!(observables::gap(&b) <= observables::gap(&v) + 1.0);
+        prop_assert!(observables::l2_imbalance(&b) <= observables::l2_imbalance(&v) + 1e-9);
+    }
+
+    #[test]
+    fn static_throw_conserves_balls(n in 1usize..64, m in 0u32..200, d in 1u32..4, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let v = static_alloc::throw(n, m, &Abku::new(d), &mut rng);
+        prop_assert_eq!(v.total(), u64::from(m));
+        prop_assert_eq!(v.n(), n);
+        prop_assert!(v.max_load() <= m);
+    }
+
+    #[test]
+    fn power_weighted_pmf_is_a_distribution(
+        loads in raw_loads(8, 16),
+        alpha in 0.0f64..6.0,
+    ) {
+        use rt_core::removal::{PowerWeighted, RemovalDist};
+        let v = LoadVector::from_loads(loads);
+        prop_assume!(v.total() > 0);
+        let pmf = PowerWeighted::new(alpha).pmf(&v);
+        prop_assert!((pmf.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for (i, &p) in pmf.iter().enumerate() {
+            if v.load(i) == 0 {
+                prop_assert_eq!(p, 0.0, "empty bin got removal mass");
+            } else {
+                prop_assert!(p > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_rounds_conserve(
+        n in 2usize..24,
+        per_bin in 1u32..4,
+        k_seed in 1usize..100,
+        seed in any::<u64>(),
+    ) {
+        use rt_core::batch::BatchedProcess;
+        let m = n as u64 * u64::from(per_bin);
+        let k = 1 + k_seed % (m as usize);
+        let mut p = BatchedProcess::new(
+            Removal::RandomBall,
+            Abku::new(2),
+            vec![per_bin; n],
+            k,
+        );
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            p.round(&mut rng);
+            prop_assert_eq!(p.total(), m);
+        }
+    }
+
+    #[test]
+    fn weighted_process_conserves_weight_multiset(
+        n in 2usize..16,
+        seed in any::<u64>(),
+    ) {
+        use rt_core::weighted::WeightedProcess;
+        let weights: Vec<u32> = (0..2 * n).map(|k| 1 + (k % 5) as u32).collect();
+        let total: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+        let mut p = WeightedProcess::crashed(n, 2, &weights);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        p.run(500, &mut rng);
+        prop_assert_eq!(p.total_weight(), total);
+        prop_assert!(p.check_consistency());
+    }
+}

@@ -1,0 +1,187 @@
+//! The §6 path coupling for the edge-orientation chain.
+//!
+//! Both copies share the rank pair `(φ, ψ)` and — except in one case —
+//! the laziness bit `b`. The exception (case (7) of Lemma 6.2): when
+//! the pair `x = y + e_λ − 2e_{λ+1} + e_{λ+2}` is probed exactly at its
+//! difference (`x`'s ranks land in buckets `λ` and `λ+2` while both of
+//! `y`'s land in `λ+1`), the copies would *swap* rather than meet; the
+//! coupling flips `y`'s bit (`b* = 1 − b`) so that whichever copy moves
+//! lands on the other — coalescence instead of oscillation.
+//!
+//! In value terms the flip condition is: the shared ranks see equal
+//! values in `y` while `x` is one higher at rank `φ` and one lower at
+//! rank `ψ`. Lemmas 6.2/6.3 then give `E[Δ(x*, y*)] ≤ Δ − (n choose 2)⁻¹`
+//! on Γ, which powers Corollary 6.4 and (with the log-diameter argument)
+//! Theorem 2.
+
+use crate::chain::EdgeChain;
+use crate::state::DiscProfile;
+use rand::Rng;
+use rt_markov::coupling::PairCoupling;
+
+/// The shared-randomness coupling of §6 (see module docs).
+#[derive(Clone, Copy, Debug)]
+pub struct EdgeCoupling {
+    chain: EdgeChain,
+}
+
+impl EdgeCoupling {
+    /// Wrap an edge chain.
+    pub fn new(chain: EdgeChain) -> Self {
+        EdgeCoupling { chain }
+    }
+
+    /// The underlying chain.
+    pub fn chain(&self) -> &EdgeChain {
+        &self.chain
+    }
+}
+
+impl PairCoupling for EdgeCoupling {
+    type State = DiscProfile;
+
+    fn step_pair<R: Rng + ?Sized>(&self, x: &mut DiscProfile, y: &mut DiscProfile, rng: &mut R) {
+        let (phi, psi) = self.chain.sample_pair(rng);
+        let b: bool = rng.random();
+        // Case (7) bit flip: y sees a tie where x straddles it.
+        let flip = y.value(phi) == y.value(psi)
+            && x.value(phi) == y.value(phi) + 1
+            && x.value(psi) == y.value(psi) - 1;
+        let b_star = b ^ flip;
+        if b {
+            *x = x.apply_edge(phi, psi);
+        }
+        if b_star {
+            *y = y.apply_edge(phi, psi);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use rt_markov::chain::EnumerableChain;
+    use rt_markov::coupling::coalescence_time;
+    use rt_markov::path_coupling::ContractionStats;
+    use std::collections::HashMap;
+
+    #[test]
+    fn equal_pairs_stay_equal() {
+        let c = EdgeCoupling::new(EdgeChain::new(6));
+        let mut rng = SmallRng::seed_from_u64(151);
+        let mut x = DiscProfile::skewed(6, 2);
+        let mut y = x.clone();
+        for _ in 0..500 {
+            c.step_pair(&mut x, &mut y, &mut rng);
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn marginals_match_exact_rows() {
+        let chain = EdgeChain::new(4);
+        let c = EdgeCoupling::new(chain);
+        // A Γ pair: x = y + e_λ − 2e_{λ+1} + e_{λ+2} in bucket terms;
+        // in value terms, y has two vertices at 0 where x has +1, −1.
+        let y = DiscProfile::from_values(vec![1, 0, 0, -1]);
+        let x = DiscProfile::from_values(vec![1, 1, -1, -1]);
+        let mut exact_x: HashMap<DiscProfile, f64> = HashMap::new();
+        for (next, p) in chain.transition_row(&x) {
+            *exact_x.entry(next).or_default() += p;
+        }
+        let mut exact_y: HashMap<DiscProfile, f64> = HashMap::new();
+        for (next, p) in chain.transition_row(&y) {
+            *exact_y.entry(next).or_default() += p;
+        }
+        let mut rng = SmallRng::seed_from_u64(157);
+        let mut counts_x: HashMap<DiscProfile, u64> = HashMap::new();
+        let mut counts_y: HashMap<DiscProfile, u64> = HashMap::new();
+        let trials = 400_000;
+        for _ in 0..trials {
+            let mut xx = x.clone();
+            let mut yy = y.clone();
+            c.step_pair(&mut xx, &mut yy, &mut rng);
+            *counts_x.entry(xx).or_default() += 1;
+            *counts_y.entry(yy).or_default() += 1;
+        }
+        for (state, p) in &exact_x {
+            let emp = counts_x.get(state).copied().unwrap_or(0) as f64 / trials as f64;
+            assert!((emp - p).abs() < 0.006, "x-copy {state:?}: {emp} vs {p}");
+        }
+        for (state, p) in &exact_y {
+            let emp = counts_y.get(state).copied().unwrap_or(0) as f64 / trials as f64;
+            assert!((emp - p).abs() < 0.006, "y-copy {state:?}: {emp} vs {p}");
+        }
+    }
+
+    #[test]
+    fn lemma_6_2_contraction_on_unit_pairs() {
+        // Unit (Ḡ) pairs must contract in expectation by ≥ (n choose 2)⁻¹.
+        let n = 5;
+        let chain = EdgeChain::new(n);
+        let c = EdgeCoupling::new(chain);
+        let y = DiscProfile::from_values(vec![1, 0, 0, 0, -1]);
+        let x = DiscProfile::from_values(vec![1, 1, 0, -1, -1]);
+        assert_eq!(crate::metric::profile_distance(&x, &y, 4), Some(1));
+        let mut rng = SmallRng::seed_from_u64(163);
+        let mut stats = ContractionStats::new();
+        for _ in 0..60_000 {
+            let mut xx = x.clone();
+            let mut yy = y.clone();
+            c.step_pair(&mut xx, &mut yy, &mut rng);
+            let after = crate::metric::profile_distance(&xx, &yy, 4)
+                .expect("post-step distance must stay ≤ 2 (Lemma 6.2)");
+            assert!(after <= 2, "Lemma 6.2 allows at most distance 2");
+            stats.record(1, after);
+        }
+        let budget = 1.0 - 2.0 / (n as f64 * (n - 1) as f64);
+        assert!(
+            stats.beta_hat() <= budget + 0.01,
+            "E[Δ*] = {} exceeds Lemma 6.2 bound {budget}",
+            stats.beta_hat()
+        );
+    }
+
+    #[test]
+    fn coupling_coalesces_small_instances() {
+        let n = 6;
+        let c = EdgeCoupling::new(EdgeChain::new(n));
+        let mut rng = SmallRng::seed_from_u64(167);
+        for _ in 0..20 {
+            let t = coalescence_time(
+                &c,
+                DiscProfile::skewed(n, 2),
+                DiscProfile::zero(n),
+                10_000_000,
+                &mut rng,
+            );
+            assert!(t.is_some(), "edge coupling failed to coalesce");
+        }
+    }
+
+    #[test]
+    fn case_7_flip_forces_coalescence_geometry() {
+        // For the straddling pair, when the sampled ranks are exactly
+        // the differing vertices, the step must coalesce the pair
+        // (one copy moves, the other holds).
+        let y = DiscProfile::from_values(vec![0, 0]);
+        let x = DiscProfile::from_values(vec![1, -1]);
+        let c = EdgeCoupling::new(EdgeChain::new(2));
+        let mut rng = SmallRng::seed_from_u64(173);
+        let mut coalesced = 0;
+        let trials = 2_000;
+        for _ in 0..trials {
+            let mut xx = x.clone();
+            let mut yy = y.clone();
+            c.step_pair(&mut xx, &mut yy, &mut rng);
+            if xx == yy {
+                coalesced += 1;
+            }
+        }
+        // n = 2: the only pair is (0,1) and it always straddles, so the
+        // flip fires every step and the pair must coalesce immediately.
+        assert_eq!(coalesced, trials);
+    }
+}

@@ -1,0 +1,272 @@
+//! Fast simulation of the greedy edge-orientation protocol (paper §2).
+//!
+//! "Pick two distinct vertices i.u.r. and add an edge oriented from the
+//! vertex with the smaller difference between outdegree and indegree to
+//! the one with the larger difference."
+//!
+//! The state is the raw per-vertex discrepancy array; a value histogram
+//! with running max/min makes the unfairness an O(1) observable, so the
+//! recovery experiments can run `n² ln² n` steps at `n` in the hundreds
+//! of thousands.
+//!
+//! The optional laziness bit `b` of §6 (skip the arrival with
+//! probability ½) is supported so the simulation can mirror the chain
+//! analyzed by Theorem 2 exactly; Remark 1 notes the lazy chain is the
+//! original protocol slowed down by a factor ≈ 2.
+
+use crate::state::DiscProfile;
+use rand::Rng;
+
+/// Histogram over signed values with O(1) updates and running max/min.
+#[derive(Clone, Debug)]
+struct ValueHist {
+    counts: Vec<u64>,
+    /// Value represented by `counts[0]`.
+    offset: i32,
+    max: i32,
+    min: i32,
+}
+
+impl ValueHist {
+    fn new(values: &[i32]) -> Self {
+        let lo = values.iter().copied().min().unwrap() - 1;
+        let hi = values.iter().copied().max().unwrap() + 1;
+        let mut counts = vec![0u64; (hi - lo) as usize + 1];
+        for &v in values {
+            counts[(v - lo) as usize] += 1;
+        }
+        let max = values.iter().copied().max().unwrap();
+        let min = values.iter().copied().min().unwrap();
+        ValueHist { counts, offset: lo, max, min }
+    }
+
+    #[inline]
+    fn idx(&self, v: i32) -> usize {
+        (v - self.offset) as usize
+    }
+
+    fn grow_for(&mut self, v: i32) {
+        let hi = self.offset + self.counts.len() as i32 - 1;
+        if v < self.offset {
+            // Double the slack below.
+            let extra = (self.offset - v) as usize + self.counts.len();
+            let mut counts = vec![0u64; extra + self.counts.len()];
+            counts[extra..].copy_from_slice(&self.counts);
+            self.offset -= extra as i32;
+            self.counts = counts;
+        } else if v > hi {
+            let extra = (v - hi) as usize + self.counts.len();
+            self.counts.resize(self.counts.len() + extra, 0);
+        }
+    }
+
+    /// Move one unit of mass from `from` to `to = from ± 1`.
+    fn shift(&mut self, from: i32, to: i32) {
+        debug_assert_eq!((from - to).abs(), 1);
+        self.grow_for(to);
+        let fi = self.idx(from);
+        let ti = self.idx(to);
+        debug_assert!(self.counts[fi] > 0);
+        self.counts[fi] -= 1;
+        self.counts[ti] += 1;
+        if to > self.max {
+            self.max = to;
+        }
+        if to < self.min {
+            self.min = to;
+        }
+        while self.counts[self.idx(self.max)] == 0 {
+            self.max -= 1;
+        }
+        while self.counts[self.idx(self.min)] == 0 {
+            self.min += 1;
+        }
+    }
+}
+
+/// Fast greedy edge-orientation simulation.
+///
+/// ```
+/// use rand::{rngs::SmallRng, SeedableRng};
+/// use rt_edge::{DiscProfile, GreedySimulation};
+/// let mut sim = GreedySimulation::new(&DiscProfile::skewed(32, 8), false);
+/// assert_eq!(sim.unfairness(), 8);
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let t = sim.run_until_unfairness(2, 1_000_000, &mut rng).unwrap();
+/// assert!(t > 0 && sim.unfairness() <= 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GreedySimulation {
+    disc: Vec<i32>,
+    hist: ValueHist,
+    lazy: bool,
+}
+
+impl GreedySimulation {
+    /// Start from a discrepancy profile. `lazy = true` reproduces the
+    /// §6 chain (each arrival is dropped with probability ½); `false`
+    /// is the original protocol of Ajtai et al.
+    pub fn new(start: &DiscProfile, lazy: bool) -> Self {
+        let disc = start.as_slice().to_vec();
+        let hist = ValueHist::new(&disc);
+        GreedySimulation { disc, hist, lazy }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.disc.len()
+    }
+
+    /// Current unfairness `max_v |disc(v)|`.
+    #[inline]
+    pub fn unfairness(&self) -> i32 {
+        self.hist.max.max(-self.hist.min).max(0)
+    }
+
+    /// Raw per-vertex discrepancies (unsorted).
+    pub fn discrepancies(&self) -> &[i32] {
+        &self.disc
+    }
+
+    /// Snapshot as a canonical sorted profile.
+    pub fn to_profile(&self) -> DiscProfile {
+        DiscProfile::from_values(self.disc.clone())
+    }
+
+    /// One arrival: pick distinct vertices `u ≠ w` i.u.r. and orient
+    /// greedily (ties broken by the random order of the pair). In lazy
+    /// mode the arrival is dropped with probability ½.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let n = self.disc.len();
+        let u = rng.random_range(0..n);
+        let mut w = rng.random_range(0..n - 1);
+        if w >= u {
+            w += 1;
+        }
+        if self.lazy && rng.random::<bool>() {
+            return;
+        }
+        // Orient from the smaller discrepancy (tail, +1) to the larger
+        // (head, −1); (u, w) is already a uniformly random ordered pair,
+        // so on ties "u is the head" is an unbiased tie-break.
+        let (head, tail) = if self.disc[u] >= self.disc[w] { (u, w) } else { (w, u) };
+        let h = self.disc[head];
+        let t = self.disc[tail];
+        self.disc[head] = h - 1;
+        self.disc[tail] = t + 1;
+        self.hist.shift(h, h - 1);
+        self.hist.shift(t, t + 1);
+    }
+
+    /// Run `t` arrivals.
+    pub fn run<R: Rng + ?Sized>(&mut self, t: u64, rng: &mut R) {
+        for _ in 0..t {
+            self.step(rng);
+        }
+    }
+
+    /// Run until the unfairness drops to `target` or `t_max` arrivals
+    /// elapse; returns the number of arrivals used, or `None`.
+    pub fn run_until_unfairness<R: Rng + ?Sized>(
+        &mut self,
+        target: i32,
+        t_max: u64,
+        rng: &mut R,
+    ) -> Option<u64> {
+        if self.unfairness() <= target {
+            return Some(0);
+        }
+        for t in 1..=t_max {
+            self.step(rng);
+            if self.unfairness() <= target {
+                return Some(t);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unfairness_tracking_matches_recomputation() {
+        let mut sim = GreedySimulation::new(&DiscProfile::skewed(10, 4), false);
+        let mut rng = SmallRng::seed_from_u64(107);
+        for _ in 0..20_000 {
+            sim.step(&mut rng);
+            let expect = sim.disc.iter().map(|&d| d.abs()).max().unwrap();
+            assert_eq!(sim.unfairness(), expect);
+        }
+    }
+
+    #[test]
+    fn discrepancies_always_sum_to_zero() {
+        let mut sim = GreedySimulation::new(&DiscProfile::zero(7), true);
+        let mut rng = SmallRng::seed_from_u64(109);
+        for _ in 0..10_000 {
+            sim.step(&mut rng);
+            assert_eq!(sim.disc.iter().map(|&d| i64::from(d)).sum::<i64>(), 0);
+        }
+    }
+
+    #[test]
+    fn greedy_recovers_from_skewed_start() {
+        // From unfairness 16 on n = 32, the greedy protocol must reach
+        // O(log log n) quickly; give it generous headroom.
+        let n = 32;
+        let mut sim = GreedySimulation::new(&DiscProfile::skewed(n, 16), false);
+        let mut rng = SmallRng::seed_from_u64(113);
+        let t = sim
+            .run_until_unfairness(3, 100_000_000, &mut rng)
+            .expect("greedy failed to recover");
+        assert!(t > 0);
+        assert!(sim.unfairness() <= 3);
+    }
+
+    #[test]
+    fn stationary_unfairness_is_small() {
+        // After warmup from zero, unfairness should hover at Θ(log log n)
+        // — single digits for n = 64.
+        let mut sim = GreedySimulation::new(&DiscProfile::zero(64), false);
+        let mut rng = SmallRng::seed_from_u64(127);
+        sim.run(200_000, &mut rng);
+        let mut max_seen = 0;
+        for _ in 0..50 {
+            sim.run(1_000, &mut rng);
+            max_seen = max_seen.max(sim.unfairness());
+        }
+        assert!(max_seen <= 8, "unfairness {max_seen} way above Θ(log log n)");
+    }
+
+    #[test]
+    fn lazy_mode_halves_progress_rate() {
+        // Crude check: the lazy chain needs roughly twice the arrivals
+        // to drain the same skew.
+        let start = DiscProfile::skewed(16, 8);
+        let mut rng = SmallRng::seed_from_u64(131);
+        let mut sum_eager = 0u64;
+        let mut sum_lazy = 0u64;
+        for _ in 0..30 {
+            let mut e = GreedySimulation::new(&start, false);
+            sum_eager += e.run_until_unfairness(2, 10_000_000, &mut rng).unwrap();
+            let mut l = GreedySimulation::new(&start, true);
+            sum_lazy += l.run_until_unfairness(2, 10_000_000, &mut rng).unwrap();
+        }
+        let ratio = sum_lazy as f64 / sum_eager as f64;
+        assert!(ratio > 1.3 && ratio < 3.2, "lazy/eager ratio {ratio}");
+    }
+
+    #[test]
+    fn histogram_grows_beyond_initial_window() {
+        // Force values past the initial ±1 slack around a zero start.
+        let mut sim = GreedySimulation::new(&DiscProfile::zero(4), false);
+        let mut rng = SmallRng::seed_from_u64(137);
+        sim.run(5_000, &mut rng);
+        let expect = sim.disc.iter().map(|&d| d.abs()).max().unwrap();
+        assert_eq!(sim.unfairness(), expect);
+    }
+}

@@ -1,0 +1,40 @@
+//! # rt-edge — the edge orientation problem (paper §6)
+//!
+//! The problem of Ajtai et al.: undirected edges over `n` vertices
+//! arrive one by one (endpoints i.u.r.) and must be oriented on arrival;
+//! the *unfairness* is the maximum over vertices of
+//! |outdegree − indegree|. The greedy protocol orients each edge from
+//! the endpoint with the smaller discrepancy (outdeg − indeg) to the
+//! larger, keeping the expected unfairness at Θ(log log n); the paper
+//! bounds the *recovery time* of this process by O(n² ln² n)
+//! (Theorem 2), improving the previous O(n⁵).
+//!
+//! Modules:
+//!
+//! * [`state`] — sorted discrepancy profiles (the canonical state) and
+//!   the bucket representation `x` of §6.
+//! * [`greedy`] — fast unsorted simulation of the greedy protocol,
+//!   with O(1) unfairness tracking.
+//! * [`chain`] — the lazified Markov chain of §6 (rank pair `φ < ψ`,
+//!   orientation move, laziness bit `b`), including exact transition
+//!   rows for small `n`.
+//! * [`metric`] — the path metric of Definitions 6.1–6.3 (unit moves
+//!   `Ḡ`, weight-`k` moves `S̄_k`), computed by Dijkstra over the move
+//!   graph for small instances.
+//! * [`coupling`] — the §6 path coupling, including the `b*` bit flip
+//!   of case (7).
+
+pub mod arrival;
+pub mod baseline;
+pub mod chain;
+pub mod coupling;
+pub mod greedy;
+pub mod metric;
+pub mod multigraph;
+pub mod state;
+
+pub use chain::EdgeChain;
+pub use coupling::EdgeCoupling;
+pub use greedy::GreedySimulation;
+pub use multigraph::OrientedMultigraph;
+pub use state::DiscProfile;

@@ -1,0 +1,225 @@
+//! The path metric of paper Definitions 6.1–6.3.
+//!
+//! On bucket vectors `x` (counts per discrepancy value, highest value
+//! first), the metric is the shortest-path distance in the weighted
+//! *move graph*:
+//!
+//! * `Ḡ` moves (weight 1, Def. 6.1): `x ↔ x ∓ (e_λ − 2e_{λ+1} + e_{λ+2})`
+//!   — split one vertex pair around a middle value, or merge it.
+//! * `S̄_k` moves (weight `k`, Def. 6.2): `x ↔ x ∓ (e_λ − e_{λ+1} −
+//!   e_{λ+k} + e_{λ+k+1})` where the interior buckets `λ+1 … λ+k` of the
+//!   *spread* side are empty — slide a gap of width `k`.
+//!
+//! All moves preserve the vertex count and the (zero) discrepancy sum.
+//! [`distance`] runs Dijkstra with an early exit and a radius cap; the
+//! cap keeps the search tractable — experiment code compares distances
+//! against the Path Coupling Lemma's small post-step radii (≤ k + 1),
+//! so a cap of `k + 2` always suffices to decide.
+
+use crate::state::DiscProfile;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// All move-graph neighbors of `x` with their edge weights.
+pub fn neighbors(x: &[u32]) -> Vec<(Vec<u32>, u64)> {
+    let len = x.len();
+    let mut out = Vec::new();
+    // Ḡ moves (weight 1).
+    for l in 0..len.saturating_sub(2) {
+        // Merge two outer vertices into the middle: x − e_λ + 2e_{λ+1} − e_{λ+2}.
+        if x[l] >= 1 && x[l + 2] >= 1 {
+            let mut y = x.to_vec();
+            y[l] -= 1;
+            y[l + 1] += 2;
+            y[l + 2] -= 1;
+            out.push((y, 1));
+        }
+        // Split a middle pair outward: x + e_λ − 2e_{λ+1} + e_{λ+2}.
+        if x[l + 1] >= 2 {
+            let mut y = x.to_vec();
+            y[l] += 1;
+            y[l + 1] -= 2;
+            y[l + 2] += 1;
+            out.push((y, 1));
+        }
+    }
+    // S̄_k moves (weight k), k ≥ 2 (k = 1 coincides with a Ḡ move).
+    for k in 2..len.saturating_sub(1) {
+        for l in 0..len - k - 1 {
+            // Contract the gap: y = x − e_λ + e_{λ+1} + e_{λ+k} − e_{λ+k+1},
+            // requiring the interior of x to be empty (Def. 6.2).
+            if x[l] >= 1 && x[l + k + 1] >= 1 && (l + 1..=l + k).all(|i| x[i] == 0) {
+                let mut y = x.to_vec();
+                y[l] -= 1;
+                y[l + 1] += 1;
+                y[l + k] += 1;
+                y[l + k + 1] -= 1;
+                out.push((y, k as u64));
+            }
+            // Expand into a gap: y = x + e_λ − e_{λ+1} − e_{λ+k} + e_{λ+k+1},
+            // requiring the interior of y to be empty: the inner buckets
+            // of x must hold exactly the two vertices being moved.
+            let interior_ok = if k == 2 {
+                x[l + 1] == 1 && x[l + 2] == 1
+            } else {
+                x[l + 1] == 1 && x[l + k] == 1 && (l + 2..l + k).all(|i| x[i] == 0)
+            };
+            if interior_ok {
+                let mut y = x.to_vec();
+                y[l] += 1;
+                y[l + 1] -= 1;
+                y[l + k] -= 1;
+                y[l + k + 1] += 1;
+                out.push((y, k as u64));
+            }
+        }
+    }
+    out
+}
+
+/// Shortest-path distance between bucket vectors in the move graph,
+/// or `None` if it exceeds `cap`.
+///
+/// # Panics
+/// If the vectors have different lengths or different totals.
+pub fn distance(x: &[u32], y: &[u32], cap: u64) -> Option<u64> {
+    assert_eq!(x.len(), y.len(), "bucket windows must match");
+    assert_eq!(
+        x.iter().sum::<u32>(),
+        y.iter().sum::<u32>(),
+        "vertex counts must match"
+    );
+    if x == y {
+        return Some(0);
+    }
+    let mut dist: HashMap<Vec<u32>, u64> = HashMap::new();
+    let mut heap: BinaryHeap<Reverse<(u64, Vec<u32>)>> = BinaryHeap::new();
+    dist.insert(x.to_vec(), 0);
+    heap.push(Reverse((0, x.to_vec())));
+    while let Some(Reverse((d, state))) = heap.pop() {
+        if state.as_slice() == y {
+            return Some(d);
+        }
+        if d > *dist.get(&state).unwrap_or(&u64::MAX) {
+            continue;
+        }
+        for (next, w) in neighbors(&state) {
+            let nd = d + w;
+            if nd > cap {
+                continue;
+            }
+            if nd < *dist.get(&next).unwrap_or(&u64::MAX) {
+                dist.insert(next.clone(), nd);
+                heap.push(Reverse((nd, next)));
+            }
+        }
+    }
+    None
+}
+
+/// Metric distance between two sorted profiles, choosing a common
+/// bucket window padded by `cap` so geodesics cannot clip.
+pub fn profile_distance(a: &DiscProfile, b: &DiscProfile, cap: u64) -> Option<u64> {
+    assert_eq!(a.n(), b.n(), "profiles must have equal vertex counts");
+    let pad = i32::try_from(cap).expect("cap fits i32");
+    let lo = a.as_slice().iter().chain(b.as_slice()).copied().min().unwrap() - pad;
+    let hi = a.as_slice().iter().chain(b.as_slice()).copied().max().unwrap() + pad;
+    distance(&a.to_buckets(lo, hi), &b.to_buckets(lo, hi), cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_vectors_have_distance_zero() {
+        let x = vec![0, 1, 2, 1, 0];
+        assert_eq!(distance(&x, &x, 10), Some(0));
+    }
+
+    #[test]
+    fn g_move_neighbors_have_distance_one() {
+        // x = [1,0,1,0] (values hi..lo): one vertex at top, one at third.
+        // Merging them into the middle is a Ḡ move.
+        let x = vec![1u32, 0, 1, 0];
+        let y = vec![0u32, 2, 0, 0];
+        assert_eq!(distance(&x, &y, 10), Some(1));
+        assert_eq!(distance(&y, &x, 10), Some(1), "metric must be symmetric");
+    }
+
+    #[test]
+    fn s_k_move_has_distance_k() {
+        // x = e_0 + e_3 (two vertices separated by an empty gap of
+        // width 2), y = e_1 + e_2: an S̄_2 move, distance 2.
+        let x = vec![1u32, 0, 0, 1];
+        let y = vec![0u32, 1, 1, 0];
+        assert_eq!(distance(&x, &y, 10), Some(2));
+        assert_eq!(distance(&y, &x, 10), Some(2));
+    }
+
+    #[test]
+    fn triangle_inequality_on_samples() {
+        // Check Δ(a,c) ≤ Δ(a,b) + Δ(b,c) over the reachable set of a
+        // tiny instance.
+        let vecs = [
+            vec![0u32, 2, 0],
+            vec![1u32, 0, 1],
+        ];
+        let d01 = distance(&vecs[0], &vecs[1], 10).unwrap();
+        assert_eq!(d01, 1);
+        // With a third point: [2,0,0] is unreachable (sum of values
+        // changes), so build one via neighbors instead.
+        let n = neighbors(&vecs[0]);
+        for (mid, _) in n {
+            let a = distance(&vecs[0], &mid, 10).unwrap();
+            let b = distance(&mid, &vecs[1], 10);
+            if let Some(b) = b {
+                assert!(d01 <= a + b);
+            }
+        }
+    }
+
+    #[test]
+    fn moves_preserve_count_and_weighted_sum() {
+        let x = vec![1u32, 2, 0, 0, 3, 1];
+        let count: u32 = x.iter().sum();
+        let weighted: i64 = x.iter().enumerate().map(|(i, &c)| i as i64 * i64::from(c)).sum();
+        for (y, _) in neighbors(&x) {
+            assert_eq!(y.iter().sum::<u32>(), count);
+            let w: i64 = y.iter().enumerate().map(|(i, &c)| i as i64 * i64::from(c)).sum();
+            assert_eq!(w, weighted, "move changed the discrepancy sum: {y:?}");
+        }
+    }
+
+    #[test]
+    fn cap_is_respected() {
+        let x = vec![2u32, 0, 0, 0, 2];
+        let y = vec![0u32, 2, 2, 0, 0];
+        // Whatever the true distance, a cap of 0 must fail for x ≠ y.
+        assert_eq!(distance(&x, &y, 0), None);
+    }
+
+    #[test]
+    fn profile_distance_matches_bucket_distance() {
+        let a = DiscProfile::from_values(vec![1, 0, -1]);
+        let b = DiscProfile::zero(3);
+        // a → b is a single merge move.
+        assert_eq!(profile_distance(&a, &b, 5), Some(1));
+    }
+
+    #[test]
+    fn expand_move_condition_k2_requires_exactly_one_each() {
+        // x = [0,1,1,0] can expand to [1,0,0,1] (S̄_2 reverse).
+        let x = vec![0u32, 1, 1, 0];
+        let found = neighbors(&x)
+            .into_iter()
+            .any(|(y, w)| y == vec![1, 0, 0, 1] && w == 2);
+        assert!(found);
+        // But [0,2,1,0] cannot (interior of the result would not be empty).
+        let z = vec![0u32, 2, 1, 0];
+        let bad = neighbors(&z)
+            .into_iter()
+            .any(|(y, _)| y == vec![1, 1, 0, 1]);
+        assert!(!bad);
+    }
+}

@@ -1,0 +1,197 @@
+//! Explicit oriented multigraph — the full object the edge orientation
+//! problem builds (paper §2).
+//!
+//! The discrepancy profile is a sufficient statistic for the greedy
+//! protocol's analysis, but the protocol itself constructs a directed
+//! multigraph edge by edge. [`OrientedMultigraph`] materializes that
+//! construction: it stores every oriented edge, maintains per-vertex
+//! in/out degrees, and exposes the greedy orientation step — so the
+//! faithful object and the profile abstraction can be cross-checked
+//! (see the consistency tests at the bottom).
+
+use crate::state::DiscProfile;
+use rand::Rng;
+
+/// A directed multigraph under greedy edge orientation.
+#[derive(Clone, Debug)]
+pub struct OrientedMultigraph {
+    outdeg: Vec<u64>,
+    indeg: Vec<u64>,
+    /// Every oriented edge as `(tail, head)`, in arrival order.
+    edges: Vec<(u32, u32)>,
+}
+
+impl OrientedMultigraph {
+    /// An edge-less multigraph on `n ≥ 2` vertices.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2);
+        OrientedMultigraph { outdeg: vec![0; n], indeg: vec![0; n], edges: Vec::new() }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.outdeg.len()
+    }
+
+    /// Number of oriented edges so far.
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The oriented edges in arrival order.
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// Discrepancy `outdeg(v) − indeg(v)` of a vertex.
+    pub fn discrepancy(&self, v: usize) -> i64 {
+        self.outdeg[v] as i64 - self.indeg[v] as i64
+    }
+
+    /// The unfairness `max_v |outdeg(v) − indeg(v)|`.
+    pub fn unfairness(&self) -> i64 {
+        (0..self.n()).map(|v| self.discrepancy(v).abs()).max().unwrap_or(0)
+    }
+
+    /// Orient a specific undirected edge `{a, b}` greedily: tail = the
+    /// endpoint with the smaller discrepancy (ties broken toward `a`),
+    /// head = the other. Returns the oriented pair.
+    ///
+    /// # Panics
+    /// If `a == b` or either endpoint is out of range.
+    pub fn orient_greedy(&mut self, a: usize, b: usize) -> (u32, u32) {
+        assert!(a != b && a < self.n() && b < self.n(), "need two distinct vertices");
+        let (tail, head) =
+            if self.discrepancy(a) <= self.discrepancy(b) { (a, b) } else { (b, a) };
+        self.outdeg[tail] += 1;
+        self.indeg[head] += 1;
+        let e = (tail as u32, head as u32);
+        self.edges.push(e);
+        e
+    }
+
+    /// One protocol step: a uniform random pair arrives and is oriented
+    /// greedily. The random order of the sampled pair provides the
+    /// unbiased tie-break.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> (u32, u32) {
+        let n = self.n();
+        let a = rng.random_range(0..n);
+        let mut b = rng.random_range(0..n - 1);
+        if b >= a {
+            b += 1;
+        }
+        self.orient_greedy(a, b)
+    }
+
+    /// Snapshot of the discrepancy profile (the chain's state).
+    ///
+    /// # Panics
+    /// If any discrepancy exceeds `i32` (≈ 2·10⁹ edges on one vertex).
+    pub fn to_profile(&self) -> DiscProfile {
+        let disc: Vec<i32> = (0..self.n())
+            .map(|v| i32::try_from(self.discrepancy(v)).expect("discrepancy fits i32"))
+            .collect();
+        DiscProfile::from_values(disc)
+    }
+
+    /// Internal consistency: degrees must match the edge list exactly.
+    pub fn check_consistency(&self) -> bool {
+        let mut out = vec![0u64; self.n()];
+        let mut inn = vec![0u64; self.n()];
+        for &(t, h) in &self.edges {
+            out[t as usize] += 1;
+            inn[h as usize] += 1;
+        }
+        out == self.outdeg && inn == self.indeg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::GreedySimulation;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_graph_is_fair() {
+        let g = OrientedMultigraph::new(5);
+        assert_eq!(g.unfairness(), 0);
+        assert_eq!(g.n_edges(), 0);
+        assert!(g.check_consistency());
+    }
+
+    #[test]
+    fn greedy_orients_toward_larger_discrepancy() {
+        let mut g = OrientedMultigraph::new(3);
+        // First edge {0,1}: tie → tail = 0.
+        assert_eq!(g.orient_greedy(0, 1), (0, 1));
+        assert_eq!(g.discrepancy(0), 1);
+        assert_eq!(g.discrepancy(1), -1);
+        // Edge {0,1} again: disc(0)=1 > disc(1)=−1, so tail = 1.
+        assert_eq!(g.orient_greedy(0, 1), (1, 0));
+        assert_eq!(g.discrepancy(0), 0);
+        assert_eq!(g.discrepancy(1), 0);
+        assert!(g.check_consistency());
+    }
+
+    #[test]
+    fn degrees_match_edge_list_over_long_runs() {
+        let mut g = OrientedMultigraph::new(12);
+        let mut rng = SmallRng::seed_from_u64(263);
+        for _ in 0..20_000 {
+            g.step(&mut rng);
+        }
+        assert!(g.check_consistency());
+        assert_eq!(g.n_edges(), 20_000);
+        // Sum of discrepancies is always 0.
+        let total: i64 = (0..12).map(|v| g.discrepancy(v)).sum();
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn multigraph_and_profile_simulation_agree_distributionally() {
+        // The multigraph (full object) and GreedySimulation (profile
+        // abstraction) must induce the same unfairness distribution.
+        let n = 6;
+        let t = 50u64;
+        let trials = 60_000;
+        let mut rng = SmallRng::seed_from_u64(269);
+        let mut hist_graph = [0u64; 16];
+        for _ in 0..trials {
+            let mut g = OrientedMultigraph::new(n);
+            for _ in 0..t {
+                g.step(&mut rng);
+            }
+            hist_graph[(g.unfairness() as usize).min(15)] += 1;
+        }
+        let mut hist_profile = [0u64; 16];
+        for _ in 0..trials {
+            let mut s = GreedySimulation::new(&DiscProfile::zero(n), false);
+            s.run(t, &mut rng);
+            hist_profile[(s.unfairness() as usize).min(15)] += 1;
+        }
+        for (i, (a, b)) in hist_graph.iter().zip(&hist_profile).enumerate() {
+            let pa = *a as f64 / trials as f64;
+            let pb = *b as f64 / trials as f64;
+            assert!((pa - pb).abs() < 0.01, "unfairness {i}: graph {pa} vs profile {pb}");
+        }
+    }
+
+    #[test]
+    fn unfairness_stays_logarithmic_in_long_runs() {
+        let mut g = OrientedMultigraph::new(256);
+        let mut rng = SmallRng::seed_from_u64(271);
+        for _ in 0..200_000 {
+            g.step(&mut rng);
+        }
+        assert!(g.unfairness() <= 8, "unfairness {} blew up", g.unfairness());
+        assert!(g.check_consistency());
+    }
+
+    #[test]
+    #[should_panic(expected = "two distinct vertices")]
+    fn self_loops_rejected() {
+        OrientedMultigraph::new(3).orient_greedy(1, 1);
+    }
+}

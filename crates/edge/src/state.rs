@@ -1,0 +1,199 @@
+//! Discrepancy profiles — the state of the edge orientation problem.
+//!
+//! Vertex `v`'s *discrepancy* is `outdeg(v) − indeg(v)`. Each oriented
+//! edge adds +1 to its tail and −1 to its head, so Σ discrepancies ≡ 0.
+//! Vertices are exchangeable, so the canonical state is the sorted
+//! (non-increasing) multiset of discrepancies: [`DiscProfile`] — the
+//! analogue of `rt-core`'s normalized load vector.
+//!
+//! §6 of the paper works with the equivalent *bucket* representation
+//! `x`, where `x_l` counts the vertices at the `l`-th highest
+//! discrepancy value of a fixed window; [`DiscProfile::to_buckets`]
+//! produces it for the metric computations.
+
+/// A sorted (non-increasing) discrepancy profile with zero sum.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DiscProfile {
+    disc: Vec<i32>,
+}
+
+impl std::fmt::Debug for DiscProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DiscProfile{:?}", self.disc)
+    }
+}
+
+impl DiscProfile {
+    /// The all-zero profile (the empty multigraph).
+    pub fn zero(n: usize) -> Self {
+        assert!(n >= 2, "the edge orientation problem needs ≥ 2 vertices");
+        DiscProfile { disc: vec![0; n] }
+    }
+
+    /// Normalize an arbitrary discrepancy multiset.
+    ///
+    /// # Panics
+    /// If the values do not sum to zero (not realizable by orientations)
+    /// or fewer than two vertices are given.
+    pub fn from_values(mut disc: Vec<i32>) -> Self {
+        assert!(disc.len() >= 2);
+        assert_eq!(disc.iter().map(|&d| i64::from(d)).sum::<i64>(), 0, "discrepancies must sum to 0");
+        disc.sort_unstable_by(|a, b| b.cmp(a));
+        DiscProfile { disc }
+    }
+
+    /// The adversarial start used by the recovery experiments:
+    /// `⌊n/2⌋` vertices at `+k`, `⌊n/2⌋` at `−k` (one at 0 if `n` odd).
+    pub fn skewed(n: usize, k: i32) -> Self {
+        assert!(n >= 2 && k >= 0);
+        let half = n / 2;
+        let mut disc = Vec::with_capacity(n);
+        disc.extend(std::iter::repeat_n(k, half));
+        if n % 2 == 1 {
+            disc.push(0);
+        }
+        disc.extend(std::iter::repeat_n(-k, half));
+        DiscProfile { disc }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.disc.len()
+    }
+
+    /// The sorted values.
+    #[inline]
+    pub fn as_slice(&self) -> &[i32] {
+        &self.disc
+    }
+
+    /// Discrepancy of the vertex at sorted rank `r` (rank 0 = largest).
+    #[inline]
+    pub fn value(&self, r: usize) -> i32 {
+        self.disc[r]
+    }
+
+    /// The *unfairness*: `max_v |outdeg(v) − indeg(v)|`.
+    pub fn unfairness(&self) -> i32 {
+        self.disc[0].max(-self.disc[self.disc.len() - 1]).max(0)
+    }
+
+    /// Apply one oriented edge between the vertices at sorted ranks
+    /// `φ < ψ`: the higher-discrepancy endpoint (rank `φ`) receives the
+    /// incoming edge (−1), the lower one the outgoing edge (+1) — the
+    /// greedy move of §6 in rank form. Returns the re-sorted profile.
+    ///
+    /// # Panics
+    /// If `φ ≥ ψ` or `ψ` is out of range.
+    pub fn apply_edge(&self, phi: usize, psi: usize) -> DiscProfile {
+        assert!(phi < psi && psi < self.disc.len(), "need ranks φ < ψ < n");
+        let mut disc = self.disc.clone();
+        disc[phi] -= 1;
+        disc[psi] += 1;
+        disc.sort_unstable_by(|a, b| b.cmp(a));
+        DiscProfile { disc }
+    }
+
+    /// Bucket representation over the value window `[lo, hi]`:
+    /// `buckets[l]` counts vertices with value `hi − l` (bucket 0 = the
+    /// highest value in the window, matching §6's `x₁ = #{v_j = max}`).
+    ///
+    /// # Panics
+    /// If any value falls outside the window.
+    pub fn to_buckets(&self, lo: i32, hi: i32) -> Vec<u32> {
+        assert!(lo <= hi);
+        let len = (hi - lo) as usize + 1;
+        let mut buckets = vec![0u32; len];
+        for &d in &self.disc {
+            assert!(
+                (lo..=hi).contains(&d),
+                "value {d} outside bucket window [{lo}, {hi}]"
+            );
+            buckets[(hi - d) as usize] += 1;
+        }
+        buckets
+    }
+
+    /// Inverse of [`Self::to_buckets`].
+    pub fn from_buckets(buckets: &[u32], hi: i32) -> Self {
+        let mut disc = Vec::new();
+        for (l, &count) in buckets.iter().enumerate() {
+            let value = hi - l as i32;
+            disc.extend(std::iter::repeat_n(value, count as usize));
+        }
+        Self::from_values(disc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_profile_is_fair() {
+        let p = DiscProfile::zero(5);
+        assert_eq!(p.unfairness(), 0);
+        assert_eq!(p.n(), 5);
+    }
+
+    #[test]
+    fn from_values_sorts_and_checks_sum() {
+        let p = DiscProfile::from_values(vec![-1, 2, 0, -1]);
+        assert_eq!(p.as_slice(), &[2, 0, -1, -1]);
+        assert_eq!(p.unfairness(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 0")]
+    fn nonzero_sum_rejected() {
+        DiscProfile::from_values(vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn skewed_profiles() {
+        let p = DiscProfile::skewed(6, 3);
+        assert_eq!(p.as_slice(), &[3, 3, 3, -3, -3, -3]);
+        assert_eq!(p.unfairness(), 3);
+        let q = DiscProfile::skewed(5, 2);
+        assert_eq!(q.as_slice(), &[2, 2, 0, -2, -2]);
+    }
+
+    #[test]
+    fn apply_edge_moves_endpoints_toward_each_other() {
+        let p = DiscProfile::from_values(vec![2, 0, -2]);
+        // Ranks 0 and 2: +2 → +1, −2 → −1.
+        let q = p.apply_edge(0, 2);
+        assert_eq!(q.as_slice(), &[1, 0, -1]);
+        // Same-value ranks split apart (the unfairness can grow by 1).
+        let z = DiscProfile::zero(3);
+        let w = z.apply_edge(0, 1);
+        assert_eq!(w.as_slice(), &[1, 0, -1]);
+        assert_eq!(w.unfairness(), 1);
+    }
+
+    #[test]
+    fn apply_edge_preserves_zero_sum_and_sorting() {
+        let mut p = DiscProfile::skewed(6, 2);
+        for (phi, psi) in [(0, 5), (1, 2), (0, 1), (3, 4), (2, 5)] {
+            p = p.apply_edge(phi, psi);
+            assert_eq!(p.as_slice().iter().map(|&d| i64::from(d)).sum::<i64>(), 0);
+            assert!(p.as_slice().windows(2).all(|w| w[0] >= w[1]));
+        }
+    }
+
+    #[test]
+    fn bucket_roundtrip() {
+        let p = DiscProfile::from_values(vec![2, 1, 0, -1, -2, 0]);
+        let b = p.to_buckets(-3, 3);
+        assert_eq!(b, vec![0, 1, 1, 2, 1, 1, 0]);
+        let back = DiscProfile::from_buckets(&b, 3);
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside bucket window")]
+    fn bucket_window_enforced() {
+        DiscProfile::from_values(vec![3, -3]).to_buckets(-2, 2);
+    }
+}

@@ -1,0 +1,201 @@
+//! Property-based tests for the edge-orientation substrate: profile
+//! algebra, §6 move-graph conservation laws, metric axioms on reachable
+//! states, and chain stochasticity.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rt_edge::metric::{distance, neighbors, profile_distance};
+use rt_edge::{DiscProfile, EdgeChain, GreedySimulation};
+use rt_markov::chain::EnumerableChain;
+use rt_markov::MarkovChain;
+
+/// Strategy: a zero-sum discrepancy profile on `n` vertices, built as a
+/// random sequence of ± pairs.
+fn profile(n_max: usize) -> impl Strategy<Value = DiscProfile> {
+    (2..=n_max, any::<u64>(), 0u64..64).prop_map(|(n, seed, edges)| {
+        let chain = EdgeChain::new(n);
+        let mut s = DiscProfile::zero(n);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        chain.run(&mut s, edges, &mut rng);
+        s
+    })
+}
+
+proptest! {
+    #[test]
+    fn profiles_are_sorted_zero_sum(p in profile(10)) {
+        prop_assert!(p.as_slice().windows(2).all(|w| w[0] >= w[1]));
+        prop_assert_eq!(p.as_slice().iter().map(|&d| i64::from(d)).sum::<i64>(), 0);
+        prop_assert!(p.unfairness() >= 0);
+    }
+
+    #[test]
+    fn apply_edge_preserves_invariants(p in profile(10), a in 0usize..10, b in 0usize..10) {
+        let n = p.n();
+        let (phi, psi) = (a % n, b % n);
+        prop_assume!(phi < psi);
+        let q = p.apply_edge(phi, psi);
+        prop_assert!(q.as_slice().windows(2).all(|w| w[0] >= w[1]));
+        prop_assert_eq!(q.as_slice().iter().map(|&d| i64::from(d)).sum::<i64>(), 0);
+        // One edge changes the unfairness by at most 1.
+        prop_assert!((q.unfairness() - p.unfairness()).abs() <= 1);
+    }
+
+    #[test]
+    fn bucket_roundtrip(p in profile(10)) {
+        let lo = p.as_slice().iter().copied().min().unwrap() - 1;
+        let hi = p.as_slice().iter().copied().max().unwrap() + 1;
+        let b = p.to_buckets(lo, hi);
+        prop_assert_eq!(b.iter().sum::<u32>() as usize, p.n());
+        prop_assert_eq!(DiscProfile::from_buckets(&b, hi), p);
+    }
+
+    #[test]
+    fn moves_conserve_count_and_sum(p in profile(8)) {
+        let lo = p.as_slice().iter().copied().min().unwrap() - 3;
+        let hi = p.as_slice().iter().copied().max().unwrap() + 3;
+        let x = p.to_buckets(lo, hi);
+        let count: u32 = x.iter().sum();
+        let weighted: i64 = x.iter().enumerate().map(|(i, &c)| i as i64 * i64::from(c)).sum();
+        for (y, w) in neighbors(&x) {
+            prop_assert!(w >= 1);
+            prop_assert_eq!(y.iter().sum::<u32>(), count);
+            let yw: i64 = y.iter().enumerate().map(|(i, &c)| i as i64 * i64::from(c)).sum();
+            prop_assert_eq!(yw, weighted, "move changed the discrepancy sum");
+        }
+    }
+
+    #[test]
+    fn move_graph_is_symmetric(p in profile(6)) {
+        // Every neighbor must list the origin among its own neighbors at
+        // the same weight (the §6 move sets are symmetrized).
+        let lo = p.as_slice().iter().copied().min().unwrap() - 3;
+        let hi = p.as_slice().iter().copied().max().unwrap() + 3;
+        let x = p.to_buckets(lo, hi);
+        for (y, w) in neighbors(&x) {
+            let back = neighbors(&y);
+            prop_assert!(
+                back.iter().any(|(z, bw)| *z == x && *bw == w),
+                "asymmetric move {x:?} -> {y:?} (w={w})"
+            );
+        }
+    }
+
+    #[test]
+    fn metric_symmetry_on_chain_pairs(seed in any::<u64>(), n in 3usize..7, steps in 0u64..20) {
+        let chain = EdgeChain::new(n);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut a = DiscProfile::zero(n);
+        chain.run(&mut a, steps, &mut rng);
+        let mut b = a.clone();
+        chain.run(&mut b, 3, &mut rng);
+        let d_ab = profile_distance(&a, &b, 6);
+        let d_ba = profile_distance(&b, &a, 6);
+        prop_assert_eq!(d_ab, d_ba);
+        if a == b {
+            prop_assert_eq!(d_ab, Some(0));
+        } else if let Some(d) = d_ab {
+            prop_assert!(d >= 1);
+        }
+    }
+
+    #[test]
+    fn metric_triangle_inequality(seed in any::<u64>(), n in 3usize..6) {
+        let chain = EdgeChain::new(n);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut a = DiscProfile::zero(n);
+        chain.run(&mut a, 6, &mut rng);
+        let mut b = a.clone();
+        chain.run(&mut b, 2, &mut rng);
+        let mut c = b.clone();
+        chain.run(&mut c, 2, &mut rng);
+        if let (Some(ab), Some(bc), Some(ac)) = (
+            profile_distance(&a, &b, 8),
+            profile_distance(&b, &c, 8),
+            profile_distance(&a, &c, 8),
+        ) {
+            prop_assert!(ac <= ab + bc, "triangle violated: {ac} > {ab} + {bc}");
+        }
+    }
+
+    #[test]
+    fn distance_cap_zero_only_for_equal(p in profile(6)) {
+        let lo = p.as_slice().iter().copied().min().unwrap() - 2;
+        let hi = p.as_slice().iter().copied().max().unwrap() + 2;
+        let x = p.to_buckets(lo, hi);
+        prop_assert_eq!(distance(&x, &x, 0), Some(0));
+        for (y, _) in neighbors(&x) {
+            prop_assert_eq!(distance(&x, &y, 0), None);
+        }
+    }
+
+    #[test]
+    fn chain_rows_are_stochastic(n in 2usize..6, seed in any::<u64>(), steps in 0u64..12) {
+        let chain = EdgeChain::new(n);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut s = DiscProfile::zero(n);
+        chain.run(&mut s, steps, &mut rng);
+        let row = chain.transition_row(&s);
+        let total: f64 = row.iter().map(|(_, p)| p).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_unfairness_tracking_is_exact(seed in any::<u64>(), n in 2usize..12, steps in 0u64..200) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut sim = GreedySimulation::new(&DiscProfile::zero(n), true);
+        sim.run(steps, &mut rng);
+        let expect = sim.discrepancies().iter().map(|&d| d.abs()).max().unwrap();
+        prop_assert_eq!(sim.unfairness(), expect);
+        prop_assert_eq!(
+            sim.discrepancies().iter().map(|&d| i64::from(d)).sum::<i64>(),
+            0
+        );
+    }
+}
+
+// ---------- extension-module properties ----------
+
+proptest! {
+    #[test]
+    fn multigraph_consistency_under_random_runs(n in 2usize..12, steps in 0u64..300, seed in any::<u64>()) {
+        use rt_edge::OrientedMultigraph;
+        let mut g = OrientedMultigraph::new(n);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..steps {
+            g.step(&mut rng);
+        }
+        prop_assert!(g.check_consistency());
+        prop_assert_eq!(g.n_edges() as u64, steps);
+        let total: i64 = (0..n).map(|v| g.discrepancy(v)).sum();
+        prop_assert_eq!(total, 0);
+        prop_assert!(g.unfairness() <= steps as i64);
+    }
+
+    #[test]
+    fn weighted_arrivals_sample_valid_edges(n in 2usize..20, s in 0.0f64..2.0, seed in any::<u64>()) {
+        use rt_edge::arrival::WeightedArrivals;
+        let arr = WeightedArrivals::zipf(n, s);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let (a, b) = arr.sample_edge(&mut rng);
+            prop_assert!(a < n && b < n && a != b);
+        }
+    }
+
+    #[test]
+    fn baselines_preserve_zero_sum(n in 2usize..16, steps in 0u64..300, seed in any::<u64>()) {
+        use rt_edge::baseline::{MajorityOrientation, RandomOrientation};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut coin = RandomOrientation::new(&DiscProfile::zero(n));
+        coin.run(steps, &mut rng);
+        prop_assert_eq!(
+            coin.to_profile().as_slice().iter().map(|&d| i64::from(d)).sum::<i64>(),
+            0
+        );
+        let mut maj = MajorityOrientation::new(&DiscProfile::zero(n));
+        maj.run(steps, &mut rng);
+        prop_assert!(maj.unfairness() >= 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Core chain interfaces.
+//!
+//! A [`MarkovChain`] is anything that can advance a state in place using
+//! a source of randomness; an [`EnumerableChain`] additionally exposes
+//! its finite state space and exact transition rows, unlocking the dense
+//! analysis in [`crate::exact`].
+
+use rand::Rng;
+use std::hash::Hash;
+
+/// A discrete-time Markov chain 𝔐 on some state type (paper §3).
+///
+/// The chain object itself is immutable — it describes the transition
+/// kernel; the state lives outside and is advanced in place.
+pub trait MarkovChain {
+    /// The state space X.
+    type State: Clone;
+
+    /// Advance the state by one step of the chain.
+    fn step<R: Rng + ?Sized>(&self, state: &mut Self::State, rng: &mut R);
+
+    /// Advance the state by `t` steps.
+    fn run<R: Rng + ?Sized>(&self, state: &mut Self::State, t: u64, rng: &mut R) {
+        for _ in 0..t {
+            self.step(state, rng);
+        }
+    }
+}
+
+/// A chain with a finite, enumerable state space and exactly computable
+/// transition probabilities.
+pub trait EnumerableChain: MarkovChain
+where
+    Self::State: Eq + Hash + Ord,
+{
+    /// All states reachable by the chain (the state space used for exact
+    /// analysis). Must contain every state reachable from any element of
+    /// the returned set.
+    fn states(&self) -> Vec<Self::State>;
+
+    /// The exact transition row from `s`: pairs `(s', P(s, s'))` with
+    /// positive probability, summing to 1. Duplicate targets are
+    /// permitted (they are accumulated by the caller).
+    fn transition_row(&self, s: &Self::State) -> Vec<(Self::State, f64)>;
+}
+
+#[cfg(test)]
+pub(crate) mod test_chains {
+    use super::*;
+
+    /// A biased lazy random walk on the cycle Z_n — the workhorse test
+    /// chain for the exact/spectral machinery (ergodic, doubly
+    /// stochastic, stationary = uniform).
+    pub struct LazyCycle {
+        pub n: usize,
+        /// Probability of attempting a move at all (laziness).
+        pub move_prob: f64,
+    }
+
+    impl MarkovChain for LazyCycle {
+        type State = usize;
+        fn step<R: Rng + ?Sized>(&self, state: &mut usize, rng: &mut R) {
+            if rng.random::<f64>() < self.move_prob {
+                if rng.random::<bool>() {
+                    *state = (*state + 1) % self.n;
+                } else {
+                    *state = (*state + self.n - 1) % self.n;
+                }
+            }
+        }
+    }
+
+    impl EnumerableChain for LazyCycle {
+        fn states(&self) -> Vec<usize> {
+            (0..self.n).collect()
+        }
+        fn transition_row(&self, s: &usize) -> Vec<(usize, f64)> {
+            vec![
+                (*s, 1.0 - self.move_prob),
+                ((*s + 1) % self.n, self.move_prob / 2.0),
+                ((*s + self.n - 1) % self.n, self.move_prob / 2.0),
+            ]
+        }
+    }
+
+    #[test]
+    fn run_advances_t_steps() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let chain = LazyCycle { n: 5, move_prob: 1.0 };
+        let mut s = 0usize;
+        let mut rng = SmallRng::seed_from_u64(1);
+        chain.run(&mut s, 101, &mut rng);
+        // After an odd number of forced moves, parity on the 5-cycle is
+        // unconstrained, but the state must be in range.
+        assert!(s < 5);
+    }
+}

@@ -1,0 +1,216 @@
+//! Minimal dense matrix kernel for exact chain analysis.
+//!
+//! Only what [`crate::exact`] needs: row-major `f64` matrices,
+//! row-vector × matrix products, matrix × matrix products with a
+//! cache-friendly i-k-j loop, and repeated squaring. Written from
+//! scratch — the sanctioned dependency set has no linear algebra crate,
+//! and the state spaces involved (≤ a few thousand states) don't need
+//! one.
+
+/// A dense row-major matrix of `f64`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Zero matrix.
+    pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
+        DenseMatrix { n_rows, n_cols, data: vec![0.0; n_rows * n_cols] }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Immutable view of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+
+    /// Mutable view of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+
+    /// Entry accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n_cols + j]
+    }
+
+    /// Entry setter.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n_cols + j] = v;
+    }
+
+    /// Add `v` to entry `(i, j)`.
+    #[inline]
+    pub fn add(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n_cols + j] += v;
+    }
+
+    /// Row vector × matrix: `out = μ · self`.
+    ///
+    /// # Panics
+    /// If `μ.len() != n_rows`.
+    pub fn vec_mul(&self, mu: &[f64]) -> Vec<f64> {
+        assert_eq!(mu.len(), self.n_rows, "dimension mismatch");
+        let mut out = vec![0.0; self.n_cols];
+        for (i, &w) in mu.iter().enumerate() {
+            if w == 0.0 {
+                continue;
+            }
+            let row = self.row(i);
+            for (o, &p) in out.iter_mut().zip(row) {
+                *o += w * p;
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self · other` with the cache-friendly i-k-j loop
+    /// (each inner pass streams a row of `other`).
+    ///
+    /// # Panics
+    /// If the inner dimensions do not agree.
+    pub fn mul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.n_cols, other.n_rows, "dimension mismatch");
+        let mut out = DenseMatrix::zeros(self.n_rows, other.n_cols);
+        for i in 0..self.n_rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self^k` by repeated squaring (k ≥ 0; `self` must be square).
+    pub fn pow(&self, mut k: u64) -> DenseMatrix {
+        assert_eq!(self.n_rows, self.n_cols, "pow needs a square matrix");
+        let mut result = DenseMatrix::identity(self.n_rows);
+        let mut base = self.clone();
+        while k > 0 {
+            if k & 1 == 1 {
+                result = result.mul(&base);
+            }
+            k >>= 1;
+            if k > 0 {
+                base = base.mul(&base);
+            }
+        }
+        result
+    }
+
+    /// Maximum absolute deviation of row sums from 1 — a stochasticity
+    /// check for transition matrices.
+    pub fn row_sum_error(&self) -> f64 {
+        (0..self.n_rows)
+            .map(|i| (self.row(i).iter().sum::<f64>() - 1.0).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut m = DenseMatrix::zeros(3, 3);
+        m.set(0, 1, 0.5);
+        m.set(0, 0, 0.5);
+        m.set(1, 2, 1.0);
+        m.set(2, 0, 1.0);
+        let id = DenseMatrix::identity(3);
+        assert_eq!(m.mul(&id), m);
+        assert_eq!(id.mul(&m), m);
+        assert_eq!(m.pow(1), m);
+        assert_eq!(m.pow(0), id);
+    }
+
+    #[test]
+    fn vec_mul_matches_manual() {
+        let mut m = DenseMatrix::zeros(2, 2);
+        m.set(0, 0, 0.25);
+        m.set(0, 1, 0.75);
+        m.set(1, 0, 0.5);
+        m.set(1, 1, 0.5);
+        let mu = vec![0.4, 0.6];
+        approx(&m.vec_mul(&mu), &[0.4 * 0.25 + 0.6 * 0.5, 0.4 * 0.75 + 0.6 * 0.5], 1e-15);
+    }
+
+    #[test]
+    fn pow_matches_iterated_mul() {
+        let mut m = DenseMatrix::zeros(3, 3);
+        // A small stochastic matrix.
+        for (i, row) in [[0.1, 0.6, 0.3], [0.5, 0.25, 0.25], [0.2, 0.2, 0.6]].iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                m.set(i, j, v);
+            }
+        }
+        let mut iter = DenseMatrix::identity(3);
+        for _ in 0..7 {
+            iter = iter.mul(&m);
+        }
+        let fast = m.pow(7);
+        for i in 0..3 {
+            approx(fast.row(i), iter.row(i), 1e-12);
+        }
+        assert!(fast.row_sum_error() < 1e-12);
+    }
+
+    #[test]
+    fn stochastic_powers_converge_to_stationary() {
+        let mut m = DenseMatrix::zeros(2, 2);
+        m.set(0, 0, 0.9);
+        m.set(0, 1, 0.1);
+        m.set(1, 0, 0.2);
+        m.set(1, 1, 0.8);
+        // Stationary distribution of this 2-state chain: (2/3, 1/3).
+        let p = m.pow(1 << 12);
+        approx(p.row(0), &[2.0 / 3.0, 1.0 / 3.0], 1e-9);
+        approx(p.row(1), &[2.0 / 3.0, 1.0 / 3.0], 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_mul_panics() {
+        DenseMatrix::zeros(2, 3).mul(&DenseMatrix::zeros(2, 3));
+    }
+}

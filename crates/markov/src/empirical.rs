@@ -1,0 +1,202 @@
+//! Empirical state distributions and goodness-of-fit against exact
+//! chains.
+//!
+//! The experiment harness repeatedly needs "simulate N runs, compare
+//! the state distribution against the exact one" — this module makes
+//! that a first-class object with TV distance and a χ² statistic, so
+//! the simulation layer can be validated against the dense layer
+//! wherever they overlap.
+
+use crate::tv::tv_distance;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// An empirical distribution over states, built from observed samples.
+#[derive(Clone, Debug)]
+pub struct EmpiricalDist<S> {
+    counts: HashMap<S, u64>,
+    total: u64,
+}
+
+impl<S: Clone + Eq + Hash> Default for EmpiricalDist<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: Clone + Eq + Hash> EmpiricalDist<S> {
+    /// New, empty distribution.
+    pub fn new() -> Self {
+        EmpiricalDist { counts: HashMap::new(), total: 0 }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, s: S) {
+        *self.counts.entry(s).or_default() += 1;
+        self.total += 1;
+    }
+
+    /// Merge another empirical distribution.
+    pub fn merge(&mut self, other: &EmpiricalDist<S>) {
+        for (s, &c) in &other.counts {
+            *self.counts.entry(s.clone()).or_default() += c;
+        }
+        self.total += other.total;
+    }
+
+    /// Number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct states observed.
+    pub fn support_size(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Empirical probability of a state.
+    pub fn prob(&self, s: &S) -> f64 {
+        assert!(self.total > 0, "no observations");
+        self.counts.get(s).copied().unwrap_or(0) as f64 / self.total as f64
+    }
+
+    /// Densify over an explicit state indexing (unseen states get 0).
+    pub fn to_dense(&self, states: &[S]) -> Vec<f64> {
+        assert!(self.total > 0, "no observations");
+        states.iter().map(|s| self.prob(s)).collect()
+    }
+
+    /// TV distance to an exact distribution given over `states`.
+    ///
+    /// # Panics
+    /// If an observed state is missing from `states` (the simulation
+    /// left the enumerated space — a bug worth failing loudly on).
+    pub fn tv_to(&self, states: &[S], exact: &[f64]) -> f64 {
+        assert_eq!(states.len(), exact.len());
+        let observed: u64 = states.iter().filter_map(|s| self.counts.get(s)).sum();
+        assert_eq!(
+            observed, self.total,
+            "observations outside the enumerated state space"
+        );
+        tv_distance(&self.to_dense(states), exact)
+    }
+
+    /// Pearson χ² statistic against an exact distribution (cells with
+    /// expected count < 1 are pooled into their neighbor to keep the
+    /// statistic stable). Returns `(χ², degrees of freedom)`.
+    pub fn chi_square(&self, states: &[S], exact: &[f64]) -> (f64, usize) {
+        assert_eq!(states.len(), exact.len());
+        assert!(self.total > 0);
+        let n = self.total as f64;
+        let mut chi = 0.0;
+        let mut dof = 0usize;
+        let mut pooled_obs = 0.0;
+        let mut pooled_exp = 0.0;
+        for (s, &p) in states.iter().zip(exact) {
+            let expected = p * n;
+            let observed = self.counts.get(s).copied().unwrap_or(0) as f64;
+            if expected < 1.0 {
+                pooled_obs += observed;
+                pooled_exp += expected;
+                continue;
+            }
+            chi += (observed - expected).powi(2) / expected;
+            dof += 1;
+        }
+        if pooled_exp > 0.0 {
+            chi += (pooled_obs - pooled_exp).powi(2) / pooled_exp.max(1e-12);
+            dof += 1;
+        }
+        (chi, dof.saturating_sub(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_normalizes() {
+        let mut e = EmpiricalDist::new();
+        for _ in 0..3 {
+            e.record("a");
+        }
+        e.record("b");
+        assert_eq!(e.total(), 4);
+        assert_eq!(e.support_size(), 2);
+        assert!((e.prob(&"a") - 0.75).abs() < 1e-12);
+        assert_eq!(e.prob(&"c"), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = EmpiricalDist::new();
+        a.record(1u32);
+        let mut b = EmpiricalDist::new();
+        b.record(1u32);
+        b.record(2u32);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert!((a.prob(&1) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tv_to_exact_matches_hand_computation() {
+        let mut e = EmpiricalDist::new();
+        for _ in 0..6 {
+            e.record(0u8);
+        }
+        for _ in 0..4 {
+            e.record(1u8);
+        }
+        let states = [0u8, 1];
+        let exact = [0.5, 0.5];
+        // ½(|0.6−0.5| + |0.4−0.5|) = 0.1.
+        assert!((e.tv_to(&states, &exact) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the enumerated state space")]
+    fn tv_rejects_unlisted_states() {
+        let mut e = EmpiricalDist::new();
+        e.record(9u8);
+        e.tv_to(&[0u8, 1], &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn chi_square_small_for_matching_data() {
+        // Exact 1:1 split observed exactly.
+        let mut e = EmpiricalDist::new();
+        for _ in 0..500 {
+            e.record(0u8);
+            e.record(1u8);
+        }
+        let (chi, dof) = e.chi_square(&[0u8, 1], &[0.5, 0.5]);
+        assert!(chi < 1e-12);
+        assert_eq!(dof, 1);
+    }
+
+    #[test]
+    fn chi_square_large_for_mismatched_data() {
+        let mut e = EmpiricalDist::new();
+        for _ in 0..900 {
+            e.record(0u8);
+        }
+        for _ in 0..100 {
+            e.record(1u8);
+        }
+        let (chi, _) = e.chi_square(&[0u8, 1], &[0.5, 0.5]);
+        assert!(chi > 100.0, "χ² = {chi} should flag the mismatch");
+    }
+
+    #[test]
+    fn chi_square_pools_tiny_cells() {
+        let mut e = EmpiricalDist::new();
+        for _ in 0..10 {
+            e.record(0u8);
+        }
+        // Second cell expected count 0.1 < 1 → pooled, not divided by ~0.
+        let (chi, _) = e.chi_square(&[0u8, 1], &[0.99, 0.01]);
+        assert!(chi.is_finite());
+    }
+}

@@ -1,0 +1,380 @@
+//! Exact analysis of an enumerable chain: stationary distribution and
+//! the exact mixing time
+//! `τ(ε) = min{T : ∀t ≥ T, max_x ‖P^t(x,·) − π‖_TV ≤ ε}` (paper §3).
+//!
+//! For the small instances where the state space fits in memory (the
+//! experiment `exp_exact_small` uses partitions of m ≤ ~20), this gives
+//! ground truth against which the coupling-based estimates and the
+//! paper's bounds are validated.
+//!
+//! The worst-start TV distance `d(t)` is non-increasing in `t`, so the
+//! mixing time is found by repeated squaring of `P` (geometric probes)
+//! followed by a binary search, composing `P^t` from the cached
+//! power-of-two matrices. Total cost: O(log² τ) matrix products.
+
+use crate::chain::EnumerableChain;
+use crate::dense::DenseMatrix;
+use crate::tv::tv_distance;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A fully materialized finite chain: indexed state list plus dense
+/// transition matrix, with a cache of repeated squarings.
+///
+/// ```
+/// use rt_markov::chain::{EnumerableChain, MarkovChain};
+/// use rt_markov::ExactChain;
+/// // A two-state flip chain.
+/// struct Flip;
+/// impl MarkovChain for Flip {
+///     type State = bool;
+///     fn step<R: rand::Rng + ?Sized>(&self, s: &mut bool, rng: &mut R) {
+///         if rng.random::<f64>() < 0.5 { *s = !*s; }
+///     }
+/// }
+/// impl EnumerableChain for Flip {
+///     fn states(&self) -> Vec<bool> { vec![false, true] }
+///     fn transition_row(&self, s: &bool) -> Vec<(bool, f64)> {
+///         vec![(*s, 0.5), (!*s, 0.5)]
+///     }
+/// }
+/// let mut exact = ExactChain::build(&Flip);
+/// let pi = exact.stationary(1e-12, 10_000);
+/// assert!((pi[0] - 0.5).abs() < 1e-9);
+/// assert_eq!(exact.mixing_time(0.25, 1 << 20), Some(1));
+/// ```
+pub struct ExactChain<S> {
+    states: Vec<S>,
+    index: HashMap<S, usize>,
+    p: DenseMatrix,
+    /// `powers[k] = P^(2^k)`; grown on demand.
+    powers: Vec<DenseMatrix>,
+}
+
+impl<S: Clone + Eq + Hash + Ord> ExactChain<S> {
+    /// Materialize the transition matrix of `chain`.
+    ///
+    /// # Panics
+    /// If a transition row leads outside `chain.states()`, or rows do
+    /// not sum to 1 within 1e-9.
+    pub fn build<C>(chain: &C) -> Self
+    where
+        C: EnumerableChain<State = S>,
+    {
+        let states = chain.states();
+        assert!(!states.is_empty(), "empty state space");
+        let index: HashMap<S, usize> =
+            states.iter().cloned().enumerate().map(|(i, s)| (s, i)).collect();
+        assert_eq!(index.len(), states.len(), "duplicate states in enumeration");
+        let n = states.len();
+        let mut p = DenseMatrix::zeros(n, n);
+        for (i, s) in states.iter().enumerate() {
+            for (target, prob) in chain.transition_row(s) {
+                let j = *index
+                    .get(&target)
+                    .unwrap_or_else(|| panic!("transition leaves enumerated state space"));
+                p.add(i, j, prob);
+            }
+        }
+        assert!(
+            p.row_sum_error() < 1e-9,
+            "transition rows must be stochastic (error {})",
+            p.row_sum_error()
+        );
+        ExactChain { states, index, p, powers: Vec::new() }
+    }
+
+    /// Number of states `|Ω|`.
+    pub fn n_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The enumerated states, in index order.
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+
+    /// Index of a state, if enumerated.
+    pub fn state_index(&self, s: &S) -> Option<usize> {
+        self.index.get(s).copied()
+    }
+
+    /// The one-step transition matrix.
+    pub fn matrix(&self) -> &DenseMatrix {
+        &self.p
+    }
+
+    /// Stationary distribution by power iteration of `μ ← μP` from the
+    /// uniform start, to `tol` in L1.
+    ///
+    /// # Panics
+    /// If the iteration has not converged after `max_iters` steps (the
+    /// chain is then likely periodic or disconnected).
+    pub fn stationary(&self, tol: f64, max_iters: u64) -> Vec<f64> {
+        let n = self.n_states();
+        let mut mu = vec![1.0 / n as f64; n];
+        for _ in 0..max_iters {
+            let next = self.p.vec_mul(&mu);
+            let diff: f64 = next.iter().zip(&mu).map(|(a, b)| (a - b).abs()).sum();
+            mu = next;
+            if diff < tol {
+                return mu;
+            }
+        }
+        panic!("stationary distribution did not converge in {max_iters} iterations");
+    }
+
+    /// `P^(2^k)`, cached.
+    fn power_of_two(&mut self, k: usize) -> &DenseMatrix {
+        while self.powers.len() <= k {
+            let next = match self.powers.last() {
+                None => self.p.clone(),
+                Some(prev) => prev.mul(prev),
+            };
+            self.powers.push(next);
+        }
+        &self.powers[k]
+    }
+
+    /// `P^t` composed from cached squarings (t ≥ 1).
+    fn power(&mut self, t: u64) -> DenseMatrix {
+        assert!(t >= 1);
+        let mut result: Option<DenseMatrix> = None;
+        for k in 0..64 {
+            if t & (1 << k) != 0 {
+                let pk = self.power_of_two(k).clone();
+                result = Some(match result {
+                    None => pk,
+                    Some(r) => r.mul(&pk),
+                });
+            }
+        }
+        result.expect("t ≥ 1")
+    }
+
+    /// The distribution after `t` steps from the point mass at `s0`.
+    pub fn distribution_at(&mut self, s0: &S, t: u64) -> Vec<f64> {
+        let i = self.state_index(s0).expect("unknown start state");
+        let n = self.n_states();
+        let mut mu = vec![0.0; n];
+        mu[i] = 1.0;
+        if t == 0 {
+            return mu;
+        }
+        for k in 0..64 {
+            if t & (1u64 << k) != 0 {
+                let pk = self.power_of_two(k);
+                mu = pk.vec_mul(&mu);
+            }
+        }
+        mu
+    }
+
+    /// Worst-start TV distance `d(t) = max_x ‖P^t(x,·) − π‖_TV`.
+    pub fn worst_tv(&mut self, t: u64, pi: &[f64]) -> f64 {
+        if t == 0 {
+            // Point masses: TV(δ_x, π) = 1 − π(x).
+            return pi.iter().fold(0.0f64, |acc, &p| acc.max(1.0 - p));
+        }
+        let pt = self.power(t);
+        (0..self.n_states()).map(|i| tv_distance(pt.row(i), pi)).fold(0.0, f64::max)
+    }
+
+    /// TV distance from the single start `s0`: `‖P^t(s0,·) − π‖_TV`.
+    pub fn tv_from(&mut self, s0: &S, t: u64, pi: &[f64]) -> f64 {
+        let mu = self.distribution_at(s0, t);
+        tv_distance(&mu, pi)
+    }
+
+    /// Exact mixing time `τ(ε)` over the worst start, or `None` if it
+    /// exceeds `t_max`.
+    pub fn mixing_time(&mut self, eps: f64, t_max: u64) -> Option<u64> {
+        let pi = self.stationary(1e-13, 1_000_000);
+        self.search_mixing(eps, t_max, |me, t| me.worst_tv(t, &pi))
+    }
+
+    /// Exact mixing time from the single start `s0` (the "recovery time
+    /// from this crash state"), or `None` if it exceeds `t_max`.
+    pub fn mixing_time_from(&mut self, s0: &S, eps: f64, t_max: u64) -> Option<u64> {
+        let pi = self.stationary(1e-13, 1_000_000);
+        let s0 = s0.clone();
+        self.search_mixing(eps, t_max, |me, t| me.tv_from(&s0, t, &pi))
+    }
+
+    /// Expectation of an observable under a distribution aligned with
+    /// [`Self::states`] (typically the stationary π): `Σ μ(x)·f(x)`.
+    ///
+    /// # Panics
+    /// If `mu.len() != n_states()`.
+    pub fn expectation<F: Fn(&S) -> f64>(&self, mu: &[f64], f: F) -> f64 {
+        assert_eq!(mu.len(), self.n_states(), "distribution/state mismatch");
+        self.states.iter().zip(mu).map(|(s, &p)| f(s) * p).sum()
+    }
+
+    /// The exact TV-decay curve `t ↦ ‖P^t(s0,·) − π‖_TV` on the given
+    /// grid of times (π is computed internally).
+    pub fn tv_curve(&mut self, s0: &S, grid: &[u64]) -> Vec<f64> {
+        let pi = self.stationary(1e-13, 1_000_000);
+        grid.iter().map(|&t| self.tv_from(s0, t, &pi)).collect()
+    }
+
+    /// Geometric probe + binary search over the non-increasing `d(t)`.
+    fn search_mixing<F>(&mut self, eps: f64, t_max: u64, mut d: F) -> Option<u64>
+    where
+        F: FnMut(&mut Self, u64) -> f64,
+    {
+        if d(self, 0) <= eps {
+            return Some(0);
+        }
+        // Find the first power of two with d ≤ ε.
+        let mut hi = 1u64;
+        loop {
+            if hi > t_max {
+                return None;
+            }
+            if d(self, hi) <= eps {
+                break;
+            }
+            hi = hi.checked_mul(2).expect("t overflow");
+        }
+        let mut lo = hi / 2; // d(lo) > ε (or lo == 0, handled above)
+        // Invariant: d(lo) > ε, d(hi) ≤ ε.
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if d(self, mid) <= eps {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Some(hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::test_chains::LazyCycle;
+    use crate::chain::MarkovChain;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stationary_of_lazy_cycle_is_uniform() {
+        let chain = LazyCycle { n: 9, move_prob: 0.5 };
+        let exact = ExactChain::build(&chain);
+        let pi = {
+            let e = exact;
+            e.stationary(1e-13, 100_000)
+        };
+        for &p in &pi {
+            assert!((p - 1.0 / 9.0).abs() < 1e-9, "{pi:?}");
+        }
+    }
+
+    #[test]
+    fn mixing_time_scales_quadratically_on_cycle() {
+        // τ for the lazy walk on Z_n grows ~ n²; check the ratio between
+        // n = 8 and n = 16 is near 4.
+        let t8 = {
+            let mut e = ExactChain::build(&LazyCycle { n: 8, move_prob: 0.5 });
+            e.mixing_time(0.25, 1 << 20).unwrap()
+        };
+        let t16 = {
+            let mut e = ExactChain::build(&LazyCycle { n: 16, move_prob: 0.5 });
+            e.mixing_time(0.25, 1 << 20).unwrap()
+        };
+        let r = t16 as f64 / t8 as f64;
+        assert!(r > 3.0 && r < 5.5, "quadratic scaling expected, ratio {r}");
+    }
+
+    #[test]
+    fn mixing_time_definition_is_threshold() {
+        let mut e = ExactChain::build(&LazyCycle { n: 8, move_prob: 0.5 });
+        let pi = e.stationary(1e-13, 100_000);
+        let tau = e.mixing_time(0.25, 1 << 20).unwrap();
+        assert!(e.worst_tv(tau, &pi) <= 0.25);
+        assert!(e.worst_tv(tau - 1, &pi) > 0.25);
+    }
+
+    #[test]
+    fn from_start_mixing_is_at_most_worst_case() {
+        let mut e = ExactChain::build(&LazyCycle { n: 12, move_prob: 0.5 });
+        let worst = e.mixing_time(0.25, 1 << 20).unwrap();
+        let from0 = e.mixing_time_from(&0usize, 0.25, 1 << 20).unwrap();
+        assert!(from0 <= worst);
+    }
+
+    #[test]
+    fn distribution_at_matches_simulation() {
+        let chain = LazyCycle { n: 6, move_prob: 0.5 };
+        let mut e = ExactChain::build(&chain);
+        let t = 10u64;
+        let mu = e.distribution_at(&0usize, t);
+        let mut counts = [0u64; 6];
+        let mut rng = SmallRng::seed_from_u64(77);
+        let trials = 200_000;
+        for _ in 0..trials {
+            let mut s = 0usize;
+            chain.run(&mut s, t, &mut rng);
+            counts[s] += 1;
+        }
+        for (c, p) in counts.iter().zip(&mu) {
+            let emp = *c as f64 / trials as f64;
+            assert!((emp - p).abs() < 0.006, "empirical {emp} vs exact {p}");
+        }
+    }
+
+    #[test]
+    fn mixing_time_zero_for_instant_chain() {
+        // A chain that jumps to uniform in one step has τ(0.25) ≤ 1.
+        struct Instant {
+            n: usize,
+        }
+        impl MarkovChain for Instant {
+            type State = usize;
+            fn step<R: rand::Rng + ?Sized>(&self, s: &mut usize, rng: &mut R) {
+                *s = rng.random_range(0..self.n);
+            }
+        }
+        impl EnumerableChain for Instant {
+            fn states(&self) -> Vec<usize> {
+                (0..self.n).collect()
+            }
+            fn transition_row(&self, _: &usize) -> Vec<(usize, f64)> {
+                (0..self.n).map(|j| (j, 1.0 / self.n as f64)).collect()
+            }
+        }
+        let mut e = ExactChain::build(&Instant { n: 10 });
+        assert_eq!(e.mixing_time(0.25, 100), Some(1));
+    }
+
+    #[test]
+    fn expectation_matches_manual_sum() {
+        let e = ExactChain::build(&LazyCycle { n: 5, move_prob: 0.5 });
+        let pi = e.stationary(1e-13, 100_000);
+        // E_π[state] over the uniform stationary distribution on 0..5.
+        let mean = e.expectation(&pi, |&s| s as f64);
+        assert!((mean - 2.0).abs() < 1e-9);
+        // Constant observables have their constant as expectation.
+        assert!((e.expectation(&pi, |_| 7.5) - 7.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tv_curve_is_nonincreasing_and_hits_zero() {
+        let mut e = ExactChain::build(&LazyCycle { n: 6, move_prob: 0.5 });
+        let grid = [0u64, 1, 2, 4, 8, 16, 64, 4096];
+        let curve = e.tv_curve(&0usize, &grid);
+        for w in curve.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "TV curve increased: {curve:?}");
+        }
+        assert!(curve[0] > 0.5, "point mass far from uniform");
+        assert!(curve.last().unwrap() < &1e-6);
+    }
+
+    #[test]
+    fn t_max_exceeded_returns_none() {
+        let mut e = ExactChain::build(&LazyCycle { n: 32, move_prob: 0.5 });
+        assert_eq!(e.mixing_time(0.01, 4), None);
+    }
+}

@@ -1,0 +1,170 @@
+//! Generic chain lazification (paper §6, Remark 1).
+//!
+//! Mixing a chain with the identity — "with probability `1 − p` do
+//! nothing" — is the standard device for killing periodicity: the §6
+//! edge chain bakes its bit `b` in by hand, and Remark 1 notes the
+//! slowdown is just the factor `1/p`. [`Lazy`] provides the same
+//! construction for *any* chain, with exact transition rows, so
+//! periodic designs can be analyzed through the same dense pipeline.
+
+use crate::chain::{EnumerableChain, MarkovChain};
+use rand::Rng;
+use std::hash::Hash;
+
+/// `Lazy(chain, p)`: move with probability `p`, hold otherwise.
+#[derive(Clone, Copy, Debug)]
+pub struct Lazy<C> {
+    inner: C,
+    p_move: f64,
+}
+
+impl<C> Lazy<C> {
+    /// Wrap a chain with move probability `p_move ∈ (0, 1]`.
+    ///
+    /// # Panics
+    /// If `p_move` is not in `(0, 1]`.
+    pub fn new(inner: C, p_move: f64) -> Self {
+        assert!(p_move > 0.0 && p_move <= 1.0, "need p_move ∈ (0, 1]");
+        Lazy { inner, p_move }
+    }
+
+    /// The wrapped chain.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// The move probability.
+    pub fn p_move(&self) -> f64 {
+        self.p_move
+    }
+}
+
+impl<C: MarkovChain> MarkovChain for Lazy<C> {
+    type State = C::State;
+
+    fn step<R: Rng + ?Sized>(&self, state: &mut Self::State, rng: &mut R) {
+        if rng.random::<f64>() < self.p_move {
+            self.inner.step(state, rng);
+        }
+    }
+}
+
+impl<C: EnumerableChain> EnumerableChain for Lazy<C>
+where
+    C::State: Eq + Hash + Ord,
+{
+    fn states(&self) -> Vec<Self::State> {
+        self.inner.states()
+    }
+
+    fn transition_row(&self, s: &Self::State) -> Vec<(Self::State, f64)> {
+        let mut row = vec![(s.clone(), 1.0 - self.p_move)];
+        for (next, p) in self.inner.transition_row(s) {
+            row.push((next, p * self.p_move));
+        }
+        row
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExactChain;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// A deterministic 3-cycle: periodic, so power iteration on the
+    /// plain chain cannot converge from a point mass — but the lazy
+    /// version is ergodic with uniform stationary distribution.
+    #[derive(Clone, Copy)]
+    struct Cycle3;
+
+    impl MarkovChain for Cycle3 {
+        type State = u8;
+        fn step<R: Rng + ?Sized>(&self, s: &mut u8, _: &mut R) {
+            *s = (*s + 1) % 3;
+        }
+    }
+
+    impl EnumerableChain for Cycle3 {
+        fn states(&self) -> Vec<u8> {
+            vec![0, 1, 2]
+        }
+        fn transition_row(&self, s: &u8) -> Vec<(u8, f64)> {
+            vec![((*s + 1) % 3, 1.0)]
+        }
+    }
+
+    #[test]
+    fn lazification_makes_periodic_chains_ergodic() {
+        let lazy = Lazy::new(Cycle3, 0.5);
+        let mut exact = ExactChain::build(&lazy);
+        let pi = exact.stationary(1e-12, 1_000_000);
+        for &p in &pi {
+            assert!((p - 1.0 / 3.0).abs() < 1e-9);
+        }
+        assert!(exact.mixing_time(0.25, 1 << 20).is_some());
+    }
+
+    #[test]
+    fn rows_mix_identity_correctly() {
+        let lazy = Lazy::new(Cycle3, 0.25);
+        let row = lazy.transition_row(&1u8);
+        let mut mass_self = 0.0;
+        let mut mass_next = 0.0;
+        for (s, p) in row {
+            if s == 1 {
+                mass_self += p;
+            } else if s == 2 {
+                mass_next += p;
+            } else {
+                panic!("unexpected target {s}");
+            }
+        }
+        assert!((mass_self - 0.75).abs() < 1e-12);
+        assert!((mass_next - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slowdown_factor_matches_remark_1() {
+        // Mixing time of the lazy chain scales ~1/p: compare p = 0.5
+        // against p = 0.125 on the same base (a noisy cycle so the base
+        // itself mixes).
+        use crate::chain::test_chains::LazyCycle;
+        let tau_half = {
+            let mut e =
+                ExactChain::build(&Lazy::new(LazyCycle { n: 8, move_prob: 1.0 }, 0.5));
+            e.mixing_time(0.25, 1 << 22).unwrap()
+        };
+        let tau_eighth = {
+            let mut e =
+                ExactChain::build(&Lazy::new(LazyCycle { n: 8, move_prob: 1.0 }, 0.125));
+            e.mixing_time(0.25, 1 << 22).unwrap()
+        };
+        let ratio = tau_eighth as f64 / tau_half as f64;
+        assert!((ratio - 4.0).abs() < 1.0, "1/p slowdown expected, ratio {ratio}");
+    }
+
+    #[test]
+    fn sampling_matches_rows() {
+        let lazy = Lazy::new(Cycle3, 0.3);
+        let mut rng = SmallRng::seed_from_u64(457);
+        let mut moved = 0u32;
+        let trials = 100_000;
+        for _ in 0..trials {
+            let mut s = 0u8;
+            lazy.step(&mut s, &mut rng);
+            if s != 0 {
+                moved += 1;
+            }
+        }
+        let rate = f64::from(moved) / f64::from(trials);
+        assert!((rate - 0.3).abs() < 0.01, "move rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "p_move")]
+    fn zero_move_probability_rejected() {
+        Lazy::new(Cycle3, 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # rt-markov — Markov-chain substrate
+//!
+//! The machinery the paper's framework (§3) rests on, implemented from
+//! scratch:
+//!
+//! * [`chain`] — the [`chain::MarkovChain`] sampling interface and the
+//!   [`chain::EnumerableChain`] interface for chains whose finite state
+//!   space can be enumerated and whose transition rows are computable
+//!   exactly.
+//! * [`coupling`] — couplings of two copies of a chain and coalescence
+//!   time measurement (the empirical witness of a coupling bound).
+//! * [`path_coupling`] — the Path Coupling Lemma of Bubley and Dyer
+//!   (Lemma 3.1): mixing-time bounds from a one-step contraction on
+//!   adjacent pairs, plus an estimator for measuring contraction factors
+//!   empirically.
+//! * [`dense`] — a minimal dense row-stochastic matrix kernel (mat-vec,
+//!   mat-mat, repeated squaring); no external linear algebra.
+//! * [`exact`] — full transition-matrix analysis of an enumerable chain:
+//!   stationary distribution and the exact mixing time
+//!   `τ(ε) = min{t : max_x ‖P^t(x,·) − π‖_TV ≤ ε}`.
+//! * [`tv`] — total-variation distance.
+//! * [`spectral`] — a decay-rate (second eigenvalue modulus) estimate as
+//!   a cross-check on mixing times.
+
+pub mod chain;
+pub mod coupling;
+pub mod dense;
+pub mod empirical;
+pub mod exact;
+pub mod lazy;
+pub mod path_coupling;
+pub mod spectral;
+pub mod tv;
+
+pub use chain::{EnumerableChain, MarkovChain};
+pub use coupling::{coalescence_time, PairCoupling};
+pub use dense::DenseMatrix;
+pub use exact::ExactChain;

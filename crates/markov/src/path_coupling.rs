@@ -1,0 +1,215 @@
+//! The Path Coupling Lemma (Bubley–Dyer; paper Lemma 3.1) and an
+//! empirical contraction estimator.
+//!
+//! Let Δ be an integer-valued metric on X × X with values in {0,…,D},
+//! and Γ ⊆ X × X a set of pairs such that every pair is connected by a
+//! Γ-path along which Δ is additive. If a coupling defined *only on Γ*
+//! satisfies `E[Δ(X', Y')] ≤ β·Δ(X, Y)`:
+//!
+//! 1. if `β < 1` then `τ(ε) ≤ ln(D ε⁻¹) / (1 − β)`;
+//! 2. if `β ≤ 1` and `Pr[Δ(X', Y') ≠ Δ(X, Y)] ≥ α` on Γ, then
+//!    `τ(ε) ≤ ⌈e·D²/α⌉·⌈ln ε⁻¹⌉`.
+//!
+//! (Case 2 is the standard Dyer–Greenhill form of the variance/laziness
+//! bound; the paper's statement is typographically mangled in the
+//! scanned source, so we use the canonical formulation.)
+//!
+//! The paper's headline numbers come from case 1: Theorem 1 plugs in
+//! `β = 1 − 1/m`, `D = m − ⌈m/n⌉ ≤ m` to get `τ(ε) = ⌈m·ln(m ε⁻¹)⌉`.
+
+/// Mixing-time bound for a strictly contracting path coupling
+/// (Lemma 3.1 case 1): `⌈ln(D/ε) / (1 − β)⌉`.
+///
+/// # Panics
+/// If `β ≥ 1`, `ε ≤ 0`, or `D < 1`.
+pub fn bound_contracting(beta: f64, diameter: f64, eps: f64) -> u64 {
+    assert!((0.0..1.0).contains(&beta), "case 1 needs β ∈ [0, 1), got {beta}");
+    assert!(eps > 0.0 && diameter >= 1.0);
+    ((diameter / eps).ln() / (1.0 - beta)).ceil().max(0.0) as u64
+}
+
+/// Mixing-time bound for a non-strict contraction with a variance floor
+/// (Lemma 3.1 case 2, Dyer–Greenhill form): `⌈e·D²/α⌉ · ⌈ln ε⁻¹⌉`.
+///
+/// # Panics
+/// If `α ∉ (0, 1]`, `ε ≤ 0`, or `D < 1`.
+pub fn bound_lazy(alpha: f64, diameter: f64, eps: f64) -> u64 {
+    assert!(alpha > 0.0 && alpha <= 1.0, "need α ∈ (0,1], got {alpha}");
+    assert!(eps > 0.0 && diameter >= 1.0);
+    let per_epoch = (std::f64::consts::E * diameter * diameter / alpha).ceil();
+    let epochs = (1.0 / eps).ln().ceil().max(1.0);
+    (per_epoch * epochs) as u64
+}
+
+/// Theorem 1's explicit bound for scenario A: `τ(ε) = ⌈m·ln(m ε⁻¹)⌉`.
+///
+/// ```
+/// use rt_markov::path_coupling::theorem1_bound;
+/// assert_eq!(theorem1_bound(100, 0.25), 600); // ⌈100·ln 400⌉
+/// ```
+pub fn theorem1_bound(m: u64, eps: f64) -> u64 {
+    assert!(m >= 1 && eps > 0.0);
+    let m_f = m as f64;
+    (m_f * (m_f / eps).ln()).ceil() as u64
+}
+
+/// Claim 5.3's bound for scenario B: `τ(ε) = O(n·m²·ln ε⁻¹)`; this
+/// returns the bound with the constant taken as 1 (the shape, which is
+/// what the experiments check): `⌈n·m²·ln ε⁻¹⌉`.
+pub fn claim53_bound(n: u64, m: u64, eps: f64) -> u64 {
+    assert!(n >= 1 && m >= 1 && eps > 0.0);
+    ((n as f64) * (m as f64) * (m as f64) * (1.0 / eps).ln().max(1.0)).ceil() as u64
+}
+
+/// Corollary 6.4's bound for the edge-orientation chain:
+/// `τ(ε) = O(n³(ln n + ln ε⁻¹))`, constant taken as 1.
+pub fn corollary64_bound(n: u64, eps: f64) -> u64 {
+    assert!(n >= 2 && eps > 0.0);
+    let n_f = n as f64;
+    (n_f.powi(3) * (n_f.ln() + (1.0 / eps).ln())).ceil() as u64
+}
+
+/// Theorem 2's improved bound for the edge-orientation chain:
+/// `τ(1/4) = O(n² ln² n)`, constant taken as 1.
+pub fn theorem2_bound(n: u64) -> u64 {
+    assert!(n >= 2);
+    let n_f = n as f64;
+    (n_f * n_f * n_f.ln() * n_f.ln()).ceil() as u64
+}
+
+/// Accumulates one-step observations `(Δ_before, Δ_after)` of a coupling
+/// on Γ and estimates the contraction factor β and the change
+/// probability α used by the Path Coupling Lemma.
+#[derive(Clone, Debug, Default)]
+pub struct ContractionStats {
+    sum_before: f64,
+    sum_after: f64,
+    changed: u64,
+    count: u64,
+    max_after: u64,
+}
+
+impl ContractionStats {
+    /// New, empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one coupled step that moved a pair at distance `before` to
+    /// distance `after`.
+    pub fn record(&mut self, before: u64, after: u64) {
+        self.sum_before += before as f64;
+        self.sum_after += after as f64;
+        if before != after {
+            self.changed += 1;
+        }
+        self.max_after = self.max_after.max(after);
+        self.count += 1;
+    }
+
+    /// Merge another accumulator (for parallel collection).
+    pub fn merge(&mut self, other: &ContractionStats) {
+        self.sum_before += other.sum_before;
+        self.sum_after += other.sum_after;
+        self.changed += other.changed;
+        self.count += other.count;
+        self.max_after = self.max_after.max(other.max_after);
+    }
+
+    /// Estimated contraction factor `β̂ = Σ Δ_after / Σ Δ_before`.
+    pub fn beta_hat(&self) -> f64 {
+        assert!(self.count > 0, "no observations");
+        self.sum_after / self.sum_before
+    }
+
+    /// Estimated change probability `α̂ = Pr[Δ_after ≠ Δ_before]`.
+    pub fn alpha_hat(&self) -> f64 {
+        assert!(self.count > 0, "no observations");
+        self.changed as f64 / self.count as f64
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest post-step distance seen (sanity check: a path coupling on
+    /// unit pairs should rarely exceed small constants).
+    pub fn max_after(&self) -> u64 {
+        self.max_after
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem1_matches_formula() {
+        // m = 100, ε = 1/4: ⌈100·ln(400)⌉ = ⌈599.14⌉ = 600.
+        assert_eq!(theorem1_bound(100, 0.25), 600);
+        // Monotone in m and in 1/ε.
+        assert!(theorem1_bound(200, 0.25) > theorem1_bound(100, 0.25));
+        assert!(theorem1_bound(100, 0.01) > theorem1_bound(100, 0.25));
+    }
+
+    #[test]
+    fn contracting_bound_matches_theorem1_shape() {
+        // With β = 1 − 1/m and D = m, case 1 gives m·ln(m/ε) up to
+        // rounding — the derivation of Theorem 1.
+        let m = 500u64;
+        let eps = 0.25;
+        let b = bound_contracting(1.0 - 1.0 / m as f64, m as f64, eps);
+        let t1 = theorem1_bound(m, eps);
+        let ratio = b as f64 / t1 as f64;
+        assert!((ratio - 1.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn lazy_bound_scales_with_d_squared_over_alpha() {
+        let b1 = bound_lazy(0.25, 10.0, 0.25);
+        let b2 = bound_lazy(0.25, 20.0, 0.25);
+        let r = b2 as f64 / b1 as f64;
+        assert!((r - 4.0).abs() < 0.05, "D² scaling, got {r}");
+        let b3 = bound_lazy(0.125, 10.0, 0.25);
+        assert!((b3 as f64 / b1 as f64 - 2.0).abs() < 0.05, "1/α scaling");
+    }
+
+    #[test]
+    fn edge_bounds_ordering() {
+        // Theorem 2 must genuinely beat Corollary 6.4 and the prior
+        // O(n⁵) bound for large n.
+        for n in [64u64, 256, 1024] {
+            assert!(theorem2_bound(n) < corollary64_bound(n, 0.25));
+            assert!((theorem2_bound(n) as f64) < (n as f64).powi(5));
+        }
+    }
+
+    #[test]
+    fn contraction_stats_estimates() {
+        let mut s = ContractionStats::new();
+        // Distance 1 pairs: half stay at 1, quarter go to 0, quarter to 2
+        // → E[after] = 1, α = 1/2.
+        for _ in 0..100 {
+            s.record(1, 1);
+            s.record(1, 1);
+            s.record(1, 0);
+            s.record(1, 2);
+        }
+        assert!((s.beta_hat() - 1.0).abs() < 1e-12);
+        assert!((s.alpha_hat() - 0.5).abs() < 1e-12);
+        assert_eq!(s.count(), 400);
+        assert_eq!(s.max_after(), 2);
+
+        let mut t = ContractionStats::new();
+        t.record(1, 0);
+        t.merge(&s);
+        assert_eq!(t.count(), 401);
+    }
+
+    #[test]
+    #[should_panic(expected = "case 1 needs")]
+    fn contracting_bound_rejects_beta_one() {
+        bound_contracting(1.0, 10.0, 0.25);
+    }
+}

@@ -1,0 +1,54 @@
+//! Total-variation distance (paper §3).
+//!
+//! `‖L(X) − L(Y)‖ = sup_A |Pr[X ∈ A] − Pr[Y ∈ A]| = ½ Σ |p_i − q_i|`
+//! for distributions on a common finite index set.
+
+/// Total-variation distance `½ Σ |p_i − q_i|` between two distributions
+/// given as dense vectors over the same state indexing.
+///
+/// # Panics
+/// If the lengths differ.
+pub fn tv_distance(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions over different spaces");
+    0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>()
+}
+
+/// Empirical distribution from sample counts.
+pub fn empirical(counts: &[u64]) -> Vec<f64> {
+    let total: u64 = counts.iter().sum();
+    assert!(total > 0, "no samples");
+    counts.iter().map(|&c| c as f64 / total as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tv_of_identical_is_zero() {
+        let p = vec![0.25, 0.5, 0.25];
+        assert_eq!(tv_distance(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn tv_of_disjoint_is_one() {
+        assert!((tv_distance(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn tv_is_symmetric_and_bounded() {
+        let p = vec![0.7, 0.2, 0.1];
+        let q = vec![0.1, 0.1, 0.8];
+        let d = tv_distance(&p, &q);
+        assert_eq!(d, tv_distance(&q, &p));
+        assert!(d > 0.0 && d <= 1.0);
+        // ½(|0.6| + |0.1| + |0.7|) = 0.7
+        assert!((d - 0.7).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empirical_normalizes() {
+        let e = empirical(&[1, 3, 0]);
+        assert_eq!(e, vec![0.25, 0.75, 0.0]);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the Markov-chain substrate: matrix algebra,
+//! TV-distance axioms, and Path Coupling Lemma monotonicity.
+
+use proptest::prelude::*;
+use rt_markov::path_coupling::{bound_contracting, bound_lazy, theorem1_bound};
+use rt_markov::tv::{empirical, tv_distance};
+use rt_markov::DenseMatrix;
+
+/// Strategy: a random row-stochastic matrix of size `s`.
+fn stochastic(s: usize) -> impl Strategy<Value = DenseMatrix> {
+    proptest::collection::vec(proptest::collection::vec(0.01f64..1.0, s), s).prop_map(
+        move |rows| {
+            let mut m = DenseMatrix::zeros(s, s);
+            for (i, row) in rows.iter().enumerate() {
+                let total: f64 = row.iter().sum();
+                for (j, &v) in row.iter().enumerate() {
+                    m.set(i, j, v / total);
+                }
+            }
+            m
+        },
+    )
+}
+
+/// Strategy: a random probability vector of size `s`.
+fn distribution(s: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..1.0, s).prop_map(|mut v| {
+        let total: f64 = v.iter().sum();
+        if total == 0.0 {
+            v[0] = 1.0;
+        } else {
+            for x in &mut v {
+                *x /= total;
+            }
+        }
+        v
+    })
+}
+
+fn rows_close(a: &DenseMatrix, b: &DenseMatrix, tol: f64) -> bool {
+    (0..a.n_rows()).all(|i| {
+        a.row(i)
+            .iter()
+            .zip(b.row(i))
+            .all(|(x, y)| (x - y).abs() < tol)
+    })
+}
+
+proptest! {
+    #[test]
+    fn matrix_multiplication_is_associative(a in stochastic(5), b in stochastic(5), c in stochastic(5)) {
+        let left = a.mul(&b).mul(&c);
+        let right = a.mul(&b.mul(&c));
+        prop_assert!(rows_close(&left, &right, 1e-12));
+    }
+
+    #[test]
+    fn stochastic_product_is_stochastic(a in stochastic(6), b in stochastic(6)) {
+        prop_assert!(a.mul(&b).row_sum_error() < 1e-12);
+    }
+
+    #[test]
+    fn pow_is_additive(m in stochastic(4), i in 0u64..6, j in 0u64..6) {
+        let split = m.pow(i).mul(&m.pow(j));
+        let joint = m.pow(i + j);
+        prop_assert!(rows_close(&split, &joint, 1e-10));
+    }
+
+    #[test]
+    fn vec_mul_matches_matrix_row_action(m in stochastic(5), mu in distribution(5)) {
+        // μP computed directly vs. via embedding μ as a matrix row.
+        let direct = m.vec_mul(&mu);
+        let mut embed = DenseMatrix::zeros(1, 5);
+        for (j, &v) in mu.iter().enumerate() {
+            embed.set(0, j, v);
+        }
+        let via = embed.mul(&m);
+        for (a, b) in direct.iter().zip(via.row(0)) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+        // A distribution stays a distribution.
+        prop_assert!((direct.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tv_distance_is_a_metric(p in distribution(6), q in distribution(6), r in distribution(6)) {
+        prop_assert!(tv_distance(&p, &p) < 1e-15);
+        prop_assert!((tv_distance(&p, &q) - tv_distance(&q, &p)).abs() < 1e-15);
+        prop_assert!(tv_distance(&p, &q) <= tv_distance(&p, &r) + tv_distance(&r, &q) + 1e-12);
+        prop_assert!(tv_distance(&p, &q) <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn tv_contracts_under_stochastic_maps(m in stochastic(5), p in distribution(5), q in distribution(5)) {
+        // Data-processing inequality: TV(pP, qP) ≤ TV(p, q).
+        let before = tv_distance(&p, &q);
+        let after = tv_distance(&m.vec_mul(&p), &m.vec_mul(&q));
+        prop_assert!(after <= before + 1e-12, "TV grew: {before} -> {after}");
+    }
+
+    #[test]
+    fn empirical_is_a_distribution(counts in proptest::collection::vec(0u64..1000, 1..10)) {
+        prop_assume!(counts.iter().sum::<u64>() > 0);
+        let e = empirical(&counts);
+        prop_assert!((e.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contracting_bound_is_monotone(
+        beta in 0.0f64..0.99,
+        d in 1.0f64..1e6,
+        eps in 1e-6f64..0.5,
+    ) {
+        let base = bound_contracting(beta, d, eps);
+        // Tighter ε and larger β/D can only increase the bound.
+        prop_assert!(bound_contracting(beta, d, eps / 2.0) >= base);
+        prop_assert!(bound_contracting(beta, d * 2.0, eps) >= base);
+        if beta + 0.005 < 1.0 {
+            prop_assert!(bound_contracting(beta + 0.005, d, eps) >= base);
+        }
+    }
+
+    #[test]
+    fn lazy_bound_is_monotone(
+        alpha in 0.01f64..1.0,
+        d in 1.0f64..1e4,
+        eps in 1e-6f64..0.5,
+    ) {
+        let base = bound_lazy(alpha, d, eps);
+        prop_assert!(bound_lazy(alpha / 2.0, d, eps) >= base);
+        prop_assert!(bound_lazy(alpha, d * 2.0, eps) >= base);
+        prop_assert!(bound_lazy(alpha, d, eps / 10.0) >= base);
+    }
+
+    #[test]
+    fn theorem1_bound_sane(m in 1u64..1_000_000) {
+        let b = theorem1_bound(m, 0.25);
+        // m·ln(4m) ≥ m·ln 4 > m for all m ≥ 1.
+        prop_assert!(b >= m);
+        prop_assert!(b <= m * 64, "bound unexpectedly large: {b}");
+    }
+}

@@ -1,0 +1,168 @@
+//! Parallel coalescence-time measurement for couplings.
+//!
+//! The coupling inequality makes coalescence times an empirical witness
+//! for mixing-time bounds: if the coupling meets by time `t` with
+//! probability ≥ 1 − ε from the worst start pair, then `τ(ε) ≤ t`.
+//! [`measure`] fans independent trials across threads and reports the
+//! sample of meeting times.
+
+use crate::parallel::par_trials;
+use crate::stats::Summary;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rt_markov::coupling::{coalescence_time, PairCoupling};
+
+/// Result of a batch of coalescence trials.
+#[derive(Clone, Debug)]
+pub struct CoalescenceReport {
+    /// Meeting times of the successful trials.
+    pub times: Vec<u64>,
+    /// Trials that had not met by `t_max`.
+    pub failures: usize,
+}
+
+impl CoalescenceReport {
+    /// Summary statistics of the successful meeting times.
+    ///
+    /// # Panics
+    /// If every trial failed.
+    pub fn summary(&self) -> Summary {
+        assert!(!self.times.is_empty(), "no successful coalescence trials");
+        let as_f: Vec<f64> = self.times.iter().map(|&t| t as f64).collect();
+        Summary::of(&as_f)
+    }
+
+    /// Empirical `q`-quantile of the meeting time, counting failures as
+    /// `+∞` (returns `None` if the quantile falls among failures).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.times.len() + self.failures;
+        assert!(total > 0);
+        let rank = ((q * total as f64).ceil() as usize).clamp(1, total);
+        let mut sorted = self.times.clone();
+        sorted.sort_unstable();
+        sorted.get(rank - 1).copied()
+    }
+}
+
+impl CoalescenceReport {
+    /// The empirical survival curve `t ↦ Pr[not coalesced by t]` on the
+    /// given time grid. By the coupling inequality each value is an
+    /// upper bound on `‖L(X_t) − L(Y_t)‖_TV` for the measured start
+    /// pair — the curve the TV-decay experiment compares against the
+    /// exact `d(t)`.
+    pub fn survival_curve(&self, grid: &[u64]) -> Vec<f64> {
+        let total = (self.times.len() + self.failures) as f64;
+        assert!(total > 0.0);
+        let mut sorted = self.times.clone();
+        sorted.sort_unstable();
+        grid.iter()
+            .map(|&t| {
+                let met = sorted.partition_point(|&x| x <= t);
+                1.0 - met as f64 / total
+            })
+            .collect()
+    }
+}
+
+/// Run `trials` independent coalescence measurements of `coupling` from
+/// the start pair `(x0, y0)`, each capped at `t_max` steps.
+pub fn measure<C>(
+    coupling: &C,
+    x0: &C::State,
+    y0: &C::State,
+    trials: usize,
+    t_max: u64,
+    master_seed: u64,
+) -> CoalescenceReport
+where
+    C: PairCoupling + Sync,
+    C::State: Clone + Send + Sync,
+{
+    let outcomes = par_trials(trials, master_seed, |_, seed| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        coalescence_time(coupling, x0.clone(), y0.clone(), t_max, &mut rng)
+    });
+    let mut times = Vec::with_capacity(trials);
+    let mut failures = 0;
+    for o in outcomes {
+        match o {
+            Some(t) => times.push(t),
+            None => failures += 1,
+        }
+    }
+    CoalescenceReport { times, failures }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// Toy coupling: two counters; each step the pair moves together
+    /// with probability ½, otherwise the larger one decrements. Meets
+    /// when equal — geometric-ish meeting time.
+    struct ShrinkGap;
+
+    impl PairCoupling for ShrinkGap {
+        type State = u32;
+        fn step_pair<R: Rng + ?Sized>(&self, x: &mut u32, y: &mut u32, rng: &mut R) {
+            if x == y {
+                return;
+            }
+            if rng.random::<bool>() {
+                if x > y {
+                    *x -= 1;
+                } else {
+                    *y -= 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn measure_collects_all_trials() {
+        let report = measure(&ShrinkGap, &10u32, &0u32, 200, 10_000, 5);
+        assert_eq!(report.times.len() + report.failures, 200);
+        assert_eq!(report.failures, 0);
+        let s = report.summary();
+        // Gap 10 closing at rate ½: mean meeting time ≈ 20.
+        assert!(s.mean > 12.0 && s.mean < 30.0, "mean {}", s.mean);
+    }
+
+    #[test]
+    fn failures_counted_when_cap_too_small() {
+        let report = measure(&ShrinkGap, &1000u32, &0u32, 50, 10, 5);
+        assert_eq!(report.failures, 50);
+        assert!(report.times.is_empty());
+        assert_eq!(report.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantiles_account_for_failures() {
+        let report = CoalescenceReport { times: vec![1, 2, 3, 4, 5], failures: 5 };
+        // Median over 10 outcomes (5 finite + 5 infinite) = 5th value.
+        assert_eq!(report.quantile(0.5), Some(5));
+        assert_eq!(report.quantile(0.9), None);
+        assert_eq!(report.quantile(0.1), Some(1));
+    }
+
+    #[test]
+    fn survival_curve_is_monotone_and_counts_failures() {
+        let report = CoalescenceReport { times: vec![2, 5, 5, 9], failures: 1 };
+        let curve = report.survival_curve(&[0, 2, 5, 9, 100]);
+        let expect = [1.0, 0.8, 0.4, 0.2, 0.2];
+        for (c, e) in curve.iter().zip(expect) {
+            assert!((c - e).abs() < 1e-12, "{curve:?}");
+        }
+        for w in curve.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_master_seed() {
+        let a = measure(&ShrinkGap, &20u32, &0u32, 64, 10_000, 99);
+        let b = measure(&ShrinkGap, &20u32, &0u32, 64, 10_000, 99);
+        assert_eq!(a.times, b.times);
+    }
+}

@@ -1,0 +1,138 @@
+//! Least-squares fits for checking scaling laws.
+//!
+//! The experiments don't chase absolute constants — they check *shapes*:
+//! does scenario A's recovery grow like `m ln m` (Theorem 1)? Is the
+//! log–log slope of scenario B's coalescence ≈ 2 in `m` (Claim 5.3's
+//! `m²` regime)? Does the edge chain track `n² ln² n` and sit far below
+//! the prior `n⁵` (Theorem 2)? These helpers provide the straight-line,
+//! power-law, and fixed-model fits those checks need.
+
+/// Ordinary least squares `y ≈ intercept + slope·x`.
+///
+/// Returns `(intercept, slope, r²)`.
+///
+/// # Panics
+/// If fewer than two points or all `x` equal.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 2, "need at least two points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    assert!(sxx > 0.0, "degenerate x values");
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| {
+            let e = y - (intercept + slope * x);
+            e * e
+        })
+        .sum();
+    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    (intercept, slope, r2)
+}
+
+/// Power-law fit `y ≈ c·x^b` via log–log linear regression.
+///
+/// Returns `(c, b, r²_loglog)`.
+///
+/// ```
+/// use rt_sim::fit::power_law_fit;
+/// let xs = [8.0, 16.0, 32.0, 64.0];
+/// let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x * x).collect();
+/// let (c, b, r2) = power_law_fit(&xs, &ys);
+/// assert!((c - 3.0).abs() < 1e-9 && (b - 2.0).abs() < 1e-9 && r2 > 0.999);
+/// ```
+///
+/// # Panics
+/// If any value is non-positive.
+pub fn power_law_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    assert!(xs.iter().chain(ys).all(|&v| v > 0.0), "power law needs positive data");
+    let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+    let (a, b, r2) = linear_fit(&lx, &ly);
+    (a.exp(), b, r2)
+}
+
+/// Single-coefficient model fit `y ≈ c·g(x)` (least squares through the
+/// origin in model space).
+///
+/// Returns `(c, r²)` where r² compares residuals against total variance
+/// around the mean.
+pub fn model_fit<G: Fn(f64) -> f64>(xs: &[f64], ys: &[f64], g: G) -> (f64, f64) {
+    assert_eq!(xs.len(), ys.len());
+    assert!(!xs.is_empty());
+    let gs: Vec<f64> = xs.iter().map(|&x| g(x)).collect();
+    let num: f64 = gs.iter().zip(ys).map(|(g, y)| g * y).sum();
+    let den: f64 = gs.iter().map(|g| g * g).sum();
+    assert!(den > 0.0, "model vanishes on all inputs");
+    let c = num / den;
+    let my = ys.iter().sum::<f64>() / ys.len() as f64;
+    let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let ss_res: f64 = gs.iter().zip(ys).map(|(g, y)| (y - c * g) * (y - c * g)).sum();
+    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    (c, r2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let xs: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x).collect();
+        let (a, b, r2) = linear_fit(&xs, &ys);
+        assert!((a - 3.0).abs() < 1e-12);
+        assert!((b - 2.0).abs() < 1e-12);
+        assert!((r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_law_fit_recovers_exponent() {
+        let xs: Vec<f64> = [16.0, 32.0, 64.0, 128.0, 256.0].to_vec();
+        let ys: Vec<f64> = xs.iter().map(|x| 0.5 * x.powf(1.7)).collect();
+        let (c, b, r2) = power_law_fit(&xs, &ys);
+        assert!((b - 1.7).abs() < 1e-10);
+        assert!((c - 0.5).abs() < 1e-10);
+        assert!(r2 > 0.999999);
+    }
+
+    #[test]
+    fn model_fit_recovers_m_ln_m_coefficient() {
+        let ms: Vec<f64> = [64.0, 128.0, 256.0, 512.0].to_vec();
+        let ys: Vec<f64> = ms.iter().map(|m| 1.8 * m * m.ln()).collect();
+        let (c, r2) = model_fit(&ms, &ys, |m| m * m.ln());
+        assert!((c - 1.8).abs() < 1e-10);
+        assert!(r2 > 0.999999);
+    }
+
+    #[test]
+    fn model_fit_distinguishes_wrong_model() {
+        // Quadratic data fit with a linear model: r² of the model fit
+        // must be clearly worse than the correct model's.
+        let xs: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x * x).collect();
+        let (_, r2_right) = model_fit(&xs, &ys, |x| x * x);
+        let (_, r2_wrong) = model_fit(&xs, &ys, |x| x);
+        assert!(r2_right > 0.999999);
+        assert!(r2_wrong < r2_right - 0.05, "wrong model not penalized: {r2_wrong}");
+    }
+
+    #[test]
+    fn noisy_power_law_still_close() {
+        let xs: Vec<f64> = (4..=10).map(|i| (1u64 << i) as f64).collect();
+        // Deterministic "noise" multipliers around a slope-2 law.
+        let noise = [1.05, 0.97, 1.02, 0.95, 1.04, 0.99, 1.01];
+        let ys: Vec<f64> =
+            xs.iter().zip(noise).map(|(x, k)| 2.0 * x * x * k).collect();
+        let (_, b, r2) = power_law_fit(&xs, &ys);
+        assert!((b - 2.0).abs() < 0.05, "slope {b}");
+        assert!(r2 > 0.99);
+    }
+}

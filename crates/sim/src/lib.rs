@@ -1,0 +1,36 @@
+//! # rt-sim — simulation substrate
+//!
+//! Everything the experiment harness needs that is not specific to one
+//! process:
+//!
+//! * [`parallel`] — a scoped-thread Monte Carlo fan-out built on
+//!   `crossbeam` (the sanctioned set has no rayon), with deterministic
+//!   per-trial seeding via a SplitMix64 stream.
+//! * [`stats`] — Welford online moments, quantiles, bootstrap CIs.
+//! * [`fit`] — least-squares fits used to check the paper's scaling
+//!   laws: straight lines, log–log power laws, and single-coefficient
+//!   model fits `y ≈ c·g(x)`.
+//! * [`table`] — the aligned ASCII table renderer every experiment
+//!   binary prints through.
+//! * [`recovery`] — observable-based recovery-time measurement: run
+//!   from an adversarial start until the observable re-enters the
+//!   stationary band.
+//! * [`coalescence`] — parallel coalescence-time measurement for any
+//!   [`rt_markov::PairCoupling`], with survival curves.
+//! * [`trajectory`] — geometric time grids and trajectory recording.
+//! * [`sweep`] — declarative size sweeps with model comparison.
+//! * [`plot`] — ASCII line plots for trajectory/TV-decay figures.
+
+pub mod coalescence;
+pub mod fit;
+pub mod parallel;
+pub mod plot;
+pub mod recovery;
+pub mod stats;
+pub mod sweep;
+pub mod table;
+pub mod trajectory;
+
+pub use parallel::{par_map, par_trials, Seeder};
+pub use stats::Summary;
+pub use table::Table;

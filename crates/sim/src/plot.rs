@@ -1,0 +1,120 @@
+//! Minimal ASCII line plots for trajectory "figures".
+//!
+//! Terminal-friendly rendering of one or more series over a shared
+//! x-grid — enough to eyeball a recovery curve or a TV-decay plot
+//! without leaving the experiment binary. Log-scaling on either axis
+//! is the caller's job (pass transformed values).
+
+/// Render `series` (label, y-values) over a shared `xs` grid as an
+/// ASCII plot of the given character size. Values are linearly mapped;
+/// each series is drawn with its own marker, later series overdrawing
+/// earlier ones on collisions.
+///
+/// # Panics
+/// If grids are empty/mismatched or the plot area is degenerate.
+pub fn ascii_plot(xs: &[f64], series: &[(&str, Vec<f64>)], width: usize, height: usize) -> String {
+    assert!(!xs.is_empty() && !series.is_empty());
+    assert!(width >= 16 && height >= 4, "plot area too small");
+    for (_, ys) in series {
+        assert_eq!(ys.len(), xs.len(), "series/grid length mismatch");
+    }
+    const MARKERS: &[char] = &['*', 'o', '+', 'x', '#', '@'];
+
+    let x_min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let x_max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut y_min = f64::INFINITY;
+    let mut y_max = f64::NEG_INFINITY;
+    for (_, ys) in series {
+        for &y in ys {
+            y_min = y_min.min(y);
+            y_max = y_max.max(y);
+        }
+    }
+    let x_span = (x_max - x_min).max(1e-300);
+    let y_span = (y_max - y_min).max(1e-300);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, ys)) in series.iter().enumerate() {
+        let marker = MARKERS[si % MARKERS.len()];
+        for (&x, &y) in xs.iter().zip(ys) {
+            let col = (((x - x_min) / x_span) * (width - 1) as f64).round() as usize;
+            let row = (((y - y_min) / y_span) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - row][col] = marker;
+        }
+    }
+
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{y_max:>10.3} ")
+        } else if r == height - 1 {
+            format!("{y_min:>10.3} ")
+        } else {
+            " ".repeat(11)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(11));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "{:>12}{:>w$.3}\n",
+        format!("{x_min:.3}"),
+        x_max,
+        w = width
+    ));
+    for (si, (label, _)) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {label}\n", MARKERS[si % MARKERS.len()]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plot_contains_markers_and_legend() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let up: Vec<f64> = xs.iter().map(|x| x * 2.0).collect();
+        let down: Vec<f64> = xs.iter().map(|x| 40.0 - x * 2.0).collect();
+        let plot = ascii_plot(&xs, &[("rising", up), ("falling", down)], 40, 10);
+        assert!(plot.contains('*'));
+        assert!(plot.contains('o'));
+        assert!(plot.contains("rising"));
+        assert!(plot.contains("falling"));
+        // 10 plot rows + axis + x labels + 2 legend lines.
+        assert_eq!(plot.lines().count(), 14);
+    }
+
+    #[test]
+    fn extremes_land_on_plot_corners() {
+        let xs = vec![0.0, 10.0];
+        let ys = vec![0.0, 1.0];
+        let plot = ascii_plot(&xs, &[("line", ys)], 20, 5);
+        let rows: Vec<&str> = plot.lines().collect();
+        // Max value row (first) has the marker at the right edge…
+        assert!(rows[0].trim_end().ends_with('*'));
+        // …min value row (last plot row) at the left edge of the area.
+        let area_start = rows[4].find('|').unwrap() + 1;
+        assert_eq!(rows[4].as_bytes()[area_start], b'*');
+    }
+
+    #[test]
+    fn constant_series_does_not_panic() {
+        let xs = vec![1.0, 2.0, 3.0];
+        let ys = vec![5.0, 5.0, 5.0];
+        let plot = ascii_plot(&xs, &[("flat", ys)], 20, 4);
+        assert!(plot.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_series_rejected() {
+        ascii_plot(&[1.0, 2.0], &[("bad", vec![1.0])], 20, 4);
+    }
+}

@@ -1,0 +1,161 @@
+//! Observable-based recovery-time measurement.
+//!
+//! The paper's recovery time is a mixing time — a statement about
+//! distributions. The observable counterpart measured here: start the
+//! process in an adversarial state, run it, and record when the chosen
+//! observable (maximum load, unfairness) first reaches the typical
+//! band — optionally requiring it to *stay* there, which filters out
+//! lucky transient dips.
+//!
+//! Everything is generic over a state type and two closures (`step`,
+//! `observe`), so the same protocol drives `rt-core`'s fast processes
+//! and `rt-edge`'s greedy simulation.
+
+/// Steps until `observe(state) ≤ target`, or `None` after `t_max`.
+pub fn time_to_threshold<S>(
+    state: &mut S,
+    mut step: impl FnMut(&mut S),
+    observe: impl Fn(&S) -> f64,
+    target: f64,
+    t_max: u64,
+) -> Option<u64> {
+    if observe(state) <= target {
+        return Some(0);
+    }
+    for t in 1..=t_max {
+        step(state);
+        if observe(state) <= target {
+            return Some(t);
+        }
+    }
+    None
+}
+
+/// Steps until `observe(state) ≤ target` *and it remains ≤ target* for
+/// the next `hold` steps. Returns the entry time (not the end of the
+/// hold window), or `None` if no sustained entry occurs by `t_max`.
+pub fn sustained_time_to_threshold<S>(
+    state: &mut S,
+    mut step: impl FnMut(&mut S),
+    observe: impl Fn(&S) -> f64,
+    target: f64,
+    hold: u64,
+    t_max: u64,
+) -> Option<u64> {
+    let mut entered_at: Option<u64> = None;
+    let mut held = 0u64;
+    if observe(state) <= target {
+        entered_at = Some(0);
+    }
+    for t in 1..=t_max {
+        step(state);
+        if observe(state) <= target {
+            match entered_at {
+                None => {
+                    entered_at = Some(t);
+                    held = 0;
+                }
+                Some(e) => {
+                    held += 1;
+                    if held >= hold {
+                        return Some(e);
+                    }
+                }
+            }
+        } else {
+            entered_at = None;
+            held = 0;
+        }
+    }
+    // A final entry that was still holding when the budget ran out
+    // counts only if the full window fit.
+    entered_at.filter(|_| held >= hold)
+}
+
+/// Estimate the stationary band of an observable: run `warmup` steps,
+/// then take `samples` observations spaced `thin` steps apart and
+/// return the `(q, 1 − q)` quantile band.
+pub fn stationary_band<S>(
+    state: &mut S,
+    mut step: impl FnMut(&mut S),
+    observe: impl Fn(&S) -> f64,
+    warmup: u64,
+    samples: usize,
+    thin: u64,
+    q: f64,
+) -> (f64, f64) {
+    assert!(samples > 0 && (0.0..0.5).contains(&q));
+    for _ in 0..warmup {
+        step(state);
+    }
+    let mut obs = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        for _ in 0..thin {
+            step(state);
+        }
+        obs.push(observe(state));
+    }
+    (crate::stats::quantile(&obs, q), crate::stats::quantile(&obs, 1.0 - q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_hit_deterministically() {
+        let mut x = 10.0f64;
+        let t = time_to_threshold(&mut x, |x| *x -= 1.0, |x| *x, 3.0, 100);
+        assert_eq!(t, Some(7));
+    }
+
+    #[test]
+    fn threshold_already_met_is_zero() {
+        let mut x = 1.0f64;
+        assert_eq!(time_to_threshold(&mut x, |_| {}, |x| *x, 3.0, 10), Some(0));
+    }
+
+    #[test]
+    fn threshold_timeout_is_none() {
+        let mut x = 10.0f64;
+        assert_eq!(time_to_threshold(&mut x, |_| {}, |x| *x, 3.0, 10), None);
+    }
+
+    #[test]
+    fn sustained_filters_transient_dips() {
+        // Observable dips to 0 at t = 3 for one step, then stays low
+        // from t = 8 onward.
+        let mut t_state = 0u64;
+        let obs = |t: &u64| match *t {
+            3 => 0.0,
+            x if x >= 8 => 0.0,
+            _ => 10.0,
+        };
+        let hit = sustained_time_to_threshold(&mut t_state, |t| *t += 1, obs, 0.5, 3, 100);
+        assert_eq!(hit, Some(8), "the transient dip at t=3 must not count");
+    }
+
+    #[test]
+    fn sustained_entry_at_zero() {
+        let mut x = 0.0f64;
+        let t = sustained_time_to_threshold(&mut x, |_| {}, |x| *x, 1.0, 5, 100);
+        assert_eq!(t, Some(0));
+    }
+
+    #[test]
+    fn band_of_a_cycling_observable() {
+        // Deterministic cycle 0,1,…,9: the 10%/90% band must be ≈ (1, 8)
+        // with linear-interp quantiles over a long sample.
+        let mut t_state = 0u64;
+        let (lo, hi) = stationary_band(
+            &mut t_state,
+            |t| *t += 1,
+            |t| (*t % 10) as f64,
+            100,
+            1000,
+            1,
+            0.1,
+        );
+        assert!(lo <= 1.0 && hi >= 8.0, "band ({lo}, {hi})");
+    }
+}

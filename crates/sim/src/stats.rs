@@ -1,0 +1,339 @@
+//! Statistics utilities: online moments, quantiles, bootstrap CIs.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Welford online mean/variance accumulator.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl OnlineStats {
+    /// New, empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn sem(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Merge another accumulator (Chan's parallel update).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+    }
+}
+
+/// Quantile of a slice by linear interpolation (sorts a copy).
+///
+/// # Panics
+/// If the slice is empty or `q ∉ [0, 1]`.
+pub fn quantile(samples: &[f64], q: f64) -> f64 {
+    assert!(!samples.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&q));
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = pos - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Five-number summary plus moments for a sample.
+#[derive(Clone, Copy, Debug)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q25: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q75: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a sample.
+    ///
+    /// # Panics
+    /// If the sample is empty.
+    pub fn of(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty());
+        let mut acc = OnlineStats::new();
+        for &x in samples {
+            acc.push(x);
+        }
+        Summary {
+            count: samples.len(),
+            mean: acc.mean(),
+            std_dev: acc.std_dev(),
+            min: quantile(samples, 0.0),
+            q25: quantile(samples, 0.25),
+            median: quantile(samples, 0.5),
+            q75: quantile(samples, 0.75),
+            max: quantile(samples, 1.0),
+        }
+    }
+}
+
+/// Percentile-bootstrap confidence interval for the mean.
+///
+/// Returns `(lo, hi)` at the given confidence `level` (e.g. 0.95) using
+/// `iters` resamples, seeded deterministically.
+pub fn bootstrap_mean_ci(samples: &[f64], level: f64, iters: usize, seed: u64) -> (f64, f64) {
+    assert!(!samples.is_empty());
+    assert!((0.0..1.0).contains(&level) && level > 0.0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut means = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let mut acc = 0.0;
+        for _ in 0..samples.len() {
+            acc += samples[rng.random_range(0..samples.len())];
+        }
+        means.push(acc / samples.len() as f64);
+    }
+    let alpha = (1.0 - level) / 2.0;
+    (quantile(&means, alpha), quantile(&means, 1.0 - alpha))
+}
+
+/// A fixed-width histogram over `[lo, hi)` with overflow/underflow
+/// buckets, for printing distributions of measured times.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    width: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Create a histogram of `bins` equal-width buckets over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// If `bins == 0` or `hi ≤ lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0 && hi > lo);
+        Histogram {
+            lo,
+            width: (hi - lo) / bins as f64,
+            buckets: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Record a value.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((x - self.lo) / self.width) as usize;
+        if idx >= self.buckets.len() {
+            self.overflow += 1;
+        } else {
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Total observations (including out-of-range).
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// `(underflow, overflow)` counts.
+    pub fn out_of_range(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+
+    /// The half-open range `[lo, hi)` of bucket `i`.
+    pub fn bucket_range(&self, i: usize) -> (f64, f64) {
+        let lo = self.lo + i as f64 * self.width;
+        (lo, lo + self.width)
+    }
+
+    /// Render as an ASCII bar chart (one line per bucket), bars scaled
+    /// to `max_width` characters.
+    pub fn render(&self, max_width: usize) -> String {
+        let peak = self.buckets.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.buckets.iter().enumerate() {
+            let (lo, hi) = self.bucket_range(i);
+            let bar = "#".repeat((c as usize * max_width).div_ceil(peak as usize).min(max_width));
+            out.push_str(&format!("[{lo:>10.1}, {hi:>10.1})  {c:>8}  {bar}\n"));
+        }
+        if self.underflow + self.overflow > 0 {
+            out.push_str(&format!(
+                "(out of range: {} below, {} above)\n",
+                self.underflow, self.overflow
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut acc = OnlineStats::new();
+        for &x in &data {
+            acc.push(x);
+        }
+        assert!((acc.mean() - 5.0).abs() < 1e-12);
+        // Naive unbiased variance = 32/7.
+        assert!((acc.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(acc.count(), 8);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &data[..37] {
+            a.push(x);
+        }
+        for &x in &data[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert!((a.mean() - whole.mean()).abs() < 1e-10);
+        assert!((a.variance() - whole.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&data, 0.0), 1.0);
+        assert_eq!(quantile(&data, 1.0), 4.0);
+        assert!((quantile(&data, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_is_consistent() {
+        let data: Vec<f64> = (1..=101).map(|i| i as f64).collect();
+        let s = Summary::of(&data);
+        assert_eq!(s.count, 101);
+        assert!((s.mean - 51.0).abs() < 1e-12);
+        assert_eq!(s.median, 51.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 101.0);
+        assert_eq!(s.q25, 26.0);
+        assert_eq!(s.q75, 76.0);
+    }
+
+    #[test]
+    fn histogram_counts_and_ranges() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.5, 1.5, 2.5, 2.9, 9.9, -1.0, 10.0, 25.0] {
+            h.record(x);
+        }
+        assert_eq!(h.total(), 8);
+        // Width-2 buckets: 0.5 and 1.5 → bucket 0; 2.5 and 2.9 → bucket 1.
+        assert_eq!(h.buckets(), &[2, 2, 0, 0, 1]);
+        assert_eq!(h.out_of_range(), (1, 2));
+        assert_eq!(h.bucket_range(0), (0.0, 2.0));
+        let text = h.render(20);
+        assert!(text.lines().count() >= 5);
+        assert!(text.contains("out of range"));
+    }
+
+    #[test]
+    fn histogram_peak_bar_is_full_width() {
+        let mut h = Histogram::new(0.0, 4.0, 2);
+        for _ in 0..10 {
+            h.record(0.5);
+        }
+        h.record(3.0);
+        let text = h.render(10);
+        assert!(text.lines().next().unwrap().ends_with(&"#".repeat(10)));
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_true_mean() {
+        let data: Vec<f64> = (0..200).map(|i| (i % 10) as f64).collect();
+        let (lo, hi) = bootstrap_mean_ci(&data, 0.95, 500, 11);
+        assert!(lo < 4.5 && 4.5 < hi, "CI ({lo}, {hi}) misses the true mean 4.5");
+        assert!(hi - lo < 1.5, "CI suspiciously wide");
+    }
+}

@@ -1,0 +1,156 @@
+//! Declarative size sweeps — the common skeleton of every scaling
+//! experiment.
+//!
+//! An experiment is "for each size, run T seeded trials of a
+//! measurement, then fit the means against candidate models". [`Sweep`]
+//! packages that skeleton: deterministic seeding per (size, trial),
+//! parallel fan-out, summaries per size, and model comparison — so
+//! experiment binaries shrink to the measurement closure plus
+//! presentation.
+
+use crate::fit;
+use crate::parallel::par_trials;
+use crate::stats::Summary;
+
+/// A size sweep: sizes, trials per size, master seed.
+#[derive(Clone, Debug)]
+pub struct Sweep {
+    sizes: Vec<usize>,
+    trials: usize,
+    seed: u64,
+}
+
+/// Per-size result of a sweep.
+#[derive(Clone, Debug)]
+pub struct SweepRow {
+    /// The size parameter (n, or m).
+    pub size: usize,
+    /// Summary of the per-trial measurements.
+    pub summary: Summary,
+}
+
+/// A named candidate model `(label, g)` for [`Sweep::compare_models`].
+pub type Model = (&'static str, fn(f64) -> f64);
+
+/// Fit of a candidate model `y ≈ c·g(size)` over the sweep means.
+#[derive(Clone, Debug)]
+pub struct ModelFit {
+    /// Model label.
+    pub name: &'static str,
+    /// Fitted coefficient `c`.
+    pub coefficient: f64,
+    /// Coefficient of determination.
+    pub r2: f64,
+}
+
+impl Sweep {
+    /// Create a sweep.
+    ///
+    /// # Panics
+    /// If `sizes` is empty or `trials == 0`.
+    pub fn new(sizes: &[usize], trials: usize, seed: u64) -> Self {
+        assert!(!sizes.is_empty() && trials > 0);
+        Sweep { sizes: sizes.to_vec(), trials, seed }
+    }
+
+    /// The sweep sizes.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Run the measurement `f(size, seed) -> f64` for every (size,
+    /// trial) pair, trials in parallel, deterministically seeded.
+    pub fn run<F>(&self, f: F) -> Vec<SweepRow>
+    where
+        F: Fn(usize, u64) -> f64 + Sync,
+    {
+        self.sizes
+            .iter()
+            .map(|&size| {
+                let obs = par_trials(
+                    self.trials,
+                    self.seed ^ (size as u64).wrapping_mul(0x9E37_79B9),
+                    |_, seed| f(size, seed),
+                );
+                SweepRow { size, summary: Summary::of(&obs) }
+            })
+            .collect()
+    }
+
+    /// Fit the sweep means against a set of candidate models and return
+    /// the fits sorted best-first by r².
+    pub fn compare_models(rows: &[SweepRow], models: &[Model]) -> Vec<ModelFit> {
+        assert!(rows.len() >= 2, "need at least two sizes to fit");
+        let xs: Vec<f64> = rows.iter().map(|r| r.size as f64).collect();
+        let ys: Vec<f64> = rows.iter().map(|r| r.summary.mean).collect();
+        let mut fits: Vec<ModelFit> = models
+            .iter()
+            .map(|&(name, g)| {
+                let (c, r2) = fit::model_fit(&xs, &ys, g);
+                ModelFit { name, coefficient: c, r2 }
+            })
+            .collect();
+        fits.sort_by(|a, b| b.r2.partial_cmp(&a.r2).expect("finite r²"));
+        fits
+    }
+
+    /// Log–log slope of the sweep means (quick growth-rate readout).
+    pub fn loglog_slope(rows: &[SweepRow]) -> f64 {
+        let xs: Vec<f64> = rows.iter().map(|r| r.size as f64).collect();
+        let ys: Vec<f64> = rows.iter().map(|r| r.summary.mean).collect();
+        fit::power_law_fit(&xs, &ys).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_runs_every_size_deterministically() {
+        let sweep = Sweep::new(&[8, 16, 32], 4, 77);
+        let f = |size: usize, seed: u64| (size as f64) + (seed % 3) as f64;
+        let a = sweep.run(f);
+        let b = sweep.run(f);
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.size, y.size);
+            assert_eq!(x.summary.mean, y.summary.mean);
+        }
+    }
+
+    #[test]
+    fn model_comparison_ranks_the_true_model_first() {
+        let sweep = Sweep::new(&[16, 32, 64, 128, 256], 2, 1);
+        // Noiseless n² data.
+        let rows = sweep.run(|size, _| (size * size) as f64);
+        let fits = Sweep::compare_models(
+            &rows,
+            &[
+                ("n", |x| x),
+                ("n^2", |x| x * x),
+                ("n^3", |x| x * x * x),
+                ("n ln n", |x| x * x.ln()),
+            ],
+        );
+        assert_eq!(fits[0].name, "n^2");
+        assert!((fits[0].coefficient - 1.0).abs() < 1e-9);
+        assert!(fits[0].r2 > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn loglog_slope_recovers_exponent() {
+        let sweep = Sweep::new(&[16, 32, 64, 128], 2, 1);
+        let rows = sweep.run(|size, _| (size as f64).powf(1.5) * 4.0);
+        let slope = Sweep::loglog_slope(&rows);
+        assert!((slope - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two sizes")]
+    fn compare_models_needs_two_points() {
+        let sweep = Sweep::new(&[8], 2, 1);
+        let rows = sweep.run(|_, _| 1.0);
+        Sweep::compare_models(&rows, &[("n", |x| x)]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Aligned ASCII tables — the output format of every experiment binary.
+
+/// A simple right-aligned table with a header row.
+///
+/// ```
+/// use rt_sim::Table;
+/// let mut t = Table::new(["n", "τ"]);
+/// t.push_row(["64", "228"]);
+/// t.push_row(["1024", "6789"]);
+/// let out = t.render();
+/// assert_eq!(out.lines().count(), 4); // header + rule + 2 rows
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        Table { headers, rows: Vec::new() }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// If the cell count does not match the header count.
+    pub fn push_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render with padded columns and a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                for _ in 0..w.saturating_sub(cell.chars().count()) {
+                    line.push(' ');
+                }
+                line.push_str(cell);
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with `prec` significant digits after the point.
+pub fn f(x: f64, prec: usize) -> String {
+    format!("{x:.prec$}")
+}
+
+/// Format a float in compact scientific-ish form (3 significant digits,
+/// switching to exponent notation for very large/small magnitudes).
+pub fn g(x: f64) -> String {
+    let a = x.abs();
+    if x == 0.0 {
+        "0".into()
+    } else if !(0.001..1e7).contains(&a) {
+        format!("{x:.2e}")
+    } else if a >= 100.0 {
+        format!("{x:.0}")
+    } else if a >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(["n", "measured", "bound"]);
+        t.push_row(["64", "123", "456"]);
+        t.push_row(["1024", "98765", "1"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows have equal width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert!(lines[0].contains('n'));
+        assert!(lines[3].contains("98765"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["only one"]);
+    }
+
+    #[test]
+    fn float_formatters() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(g(0.0), "0");
+        assert_eq!(g(12345.6), "12346");
+        assert_eq!(g(std::f64::consts::PI), "3.14");
+        assert_eq!(g(0.01234), "0.0123");
+        assert!(g(1e12).contains('e'));
+    }
+}

@@ -1,0 +1,114 @@
+//! Time-series recording on geometric grids.
+//!
+//! Recovery trajectories span several decades of time, so the natural
+//! sampling grid is geometric. These helpers build such grids and
+//! record/average an observable along them — the machinery behind the
+//! trajectory "figures" of the experiment harness.
+
+/// A geometric time grid from 0 to (at least) `t_max`: `0, t0, t0·f,
+/// t0·f², …`, deduplicated and capped by `t_max` as the final point.
+///
+/// # Panics
+/// If `factor ≤ 1`, `t0 == 0`, or `t_max == 0`.
+pub fn geometric_grid(t0: u64, t_max: u64, factor: f64) -> Vec<u64> {
+    assert!(factor > 1.0, "grid factor must exceed 1");
+    assert!(t0 > 0 && t_max > 0);
+    let mut grid = vec![0u64];
+    let mut g = t0;
+    while g < t_max {
+        grid.push(g);
+        let next = (g as f64 * factor) as u64;
+        g = next.max(g + 1);
+    }
+    grid.push(t_max);
+    grid.dedup();
+    grid
+}
+
+/// Record `observe(state)` at each grid point, advancing with `step`
+/// between points. The grid must be non-decreasing and start at the
+/// current time 0.
+pub fn record<S>(
+    state: &mut S,
+    mut step: impl FnMut(&mut S),
+    observe: impl Fn(&S) -> f64,
+    grid: &[u64],
+) -> Vec<f64> {
+    let mut out = Vec::with_capacity(grid.len());
+    let mut t = 0u64;
+    for &g in grid {
+        assert!(g >= t, "grid must be non-decreasing");
+        for _ in t..g {
+            step(state);
+        }
+        t = g;
+        out.push(observe(state));
+    }
+    out
+}
+
+/// Average several trajectories pointwise.
+///
+/// # Panics
+/// If the set is empty or lengths differ.
+pub fn average(trajectories: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!trajectories.is_empty());
+    let len = trajectories[0].len();
+    let mut mean = vec![0.0; len];
+    for t in trajectories {
+        assert_eq!(t.len(), len, "trajectory length mismatch");
+        for (m, v) in mean.iter_mut().zip(t) {
+            *m += v;
+        }
+    }
+    for m in &mut mean {
+        *m /= trajectories.len() as f64;
+    }
+    mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_starts_at_zero_ends_at_t_max() {
+        let g = geometric_grid(4, 1000, 2.0);
+        assert_eq!(g[0], 0);
+        assert_eq!(*g.last().unwrap(), 1000);
+        for w in g.windows(2) {
+            assert!(w[0] < w[1], "grid must strictly increase: {g:?}");
+        }
+    }
+
+    #[test]
+    fn grid_handles_slow_growth() {
+        // factor close to 1 must still make progress via the +1 guard.
+        let g = geometric_grid(1, 50, 1.01);
+        assert_eq!(*g.last().unwrap(), 50);
+        assert!(g.len() <= 52);
+    }
+
+    #[test]
+    fn record_advances_exactly_to_grid_points() {
+        let mut clock = 0u64;
+        let grid = geometric_grid(2, 64, 2.0);
+        let obs = record(&mut clock, |c| *c += 1, |c| *c as f64, &grid);
+        // The observable *is* the time, so it must equal the grid.
+        let expect: Vec<f64> = grid.iter().map(|&g| g as f64).collect();
+        assert_eq!(obs, expect);
+    }
+
+    #[test]
+    fn average_is_pointwise() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![3.0, 2.0, 1.0];
+        assert_eq!(average(&[a, b]), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn average_checks_lengths() {
+        average(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

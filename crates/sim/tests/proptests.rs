@@ -1,0 +1,157 @@
+//! Property-based tests for the simulation substrate: statistics,
+//! fitting, parallel determinism, and table rendering.
+
+use proptest::prelude::*;
+use rt_sim::fit::{linear_fit, model_fit, power_law_fit};
+use rt_sim::parallel::{par_map, par_trials, Seeder};
+use rt_sim::stats::{bootstrap_mean_ci, quantile, OnlineStats, Summary};
+use rt_sim::Table;
+
+proptest! {
+    #[test]
+    fn welford_matches_naive(data in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
+        let mut acc = OnlineStats::new();
+        for &x in &data {
+            acc.push(x);
+        }
+        let n = data.len() as f64;
+        let mean = data.iter().sum::<f64>() / n;
+        let var = data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+        prop_assert!((acc.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((acc.variance() - var).abs() < 1e-5 * (1.0 + var.abs()));
+    }
+
+    #[test]
+    fn merge_any_split_matches_whole(
+        data in proptest::collection::vec(-1e3f64..1e3, 2..100),
+        split in 0usize..100,
+    ) {
+        let k = split % data.len();
+        let mut whole = OnlineStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &data[..k] {
+            a.push(x);
+        }
+        for &x in &data[k..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-8);
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        data in proptest::collection::vec(-1e3f64..1e3, 1..100),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&data, lo);
+        let b = quantile(&data, hi);
+        prop_assert!(a <= b + 1e-12);
+        let min = data.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(a >= min - 1e-12 && b <= max + 1e-12);
+    }
+
+    #[test]
+    fn summary_orders_its_fields(data in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+        let s = Summary::of(&data);
+        prop_assert!(s.min <= s.q25 && s.q25 <= s.median);
+        prop_assert!(s.median <= s.q75 && s.q75 <= s.max);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.std_dev >= 0.0);
+        prop_assert_eq!(s.count, data.len());
+    }
+
+    #[test]
+    fn bootstrap_ci_is_ordered_and_in_range(
+        data in proptest::collection::vec(-100f64..100.0, 5..60),
+        seed in any::<u64>(),
+    ) {
+        let (lo, hi) = bootstrap_mean_ci(&data, 0.9, 200, seed);
+        prop_assert!(lo <= hi);
+        let min = data.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(lo >= min - 1e-9 && hi <= max + 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_recovers_noiseless_lines(
+        a in -100f64..100.0,
+        b in -100f64..100.0,
+        n in 3usize..40,
+    ) {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| a + b * x).collect();
+        let (ia, ib, r2) = linear_fit(&xs, &ys);
+        prop_assert!((ia - a).abs() < 1e-6 * (1.0 + a.abs()));
+        prop_assert!((ib - b).abs() < 1e-6 * (1.0 + b.abs()));
+        prop_assert!(r2 > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn power_law_fit_recovers_noiseless(c in 0.1f64..10.0, b in 0.2f64..3.0) {
+        let xs: Vec<f64> = (3..10).map(|i| (1u64 << i) as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| c * x.powf(b)).collect();
+        let (fc, fb, r2) = power_law_fit(&xs, &ys);
+        prop_assert!((fb - b).abs() < 1e-8);
+        prop_assert!((fc - c).abs() < 1e-6 * c);
+        prop_assert!(r2 > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn model_fit_residual_zero_on_exact_data(c in -10f64..10.0) {
+        prop_assume!(c.abs() > 1e-3);
+        let xs: Vec<f64> = (1..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| c * x * x.ln().max(0.1)).collect();
+        let (fc, r2) = model_fit(&xs, &ys, |x| x * x.ln().max(0.1));
+        prop_assert!((fc - c).abs() < 1e-8 * (1.0 + c.abs()));
+        prop_assert!(r2 > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn par_map_equals_serial(n in 0usize..500) {
+        let par = par_map(n, |i| i.wrapping_mul(2654435761));
+        let ser: Vec<usize> = (0..n).map(|i| i.wrapping_mul(2654435761)).collect();
+        prop_assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn par_trials_deterministic(seed in any::<u64>(), n in 1usize..128) {
+        let a = par_trials(n, seed, |i, s| (i, s));
+        let b = par_trials(n, seed, |i, s| (i, s));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seeder_depends_on_both_inputs(master in any::<u64>(), i in 0u64..10_000) {
+        let s = Seeder::new(master);
+        prop_assert_eq!(s.seed_for(i), s.seed_for(i));
+        // Neighboring trials get different seeds.
+        prop_assert_ne!(s.seed_for(i), s.seed_for(i + 1));
+    }
+
+    #[test]
+    fn table_renders_all_rows(
+        rows in proptest::collection::vec(proptest::collection::vec("[a-z0-9]{0,8}", 3), 0..20),
+    ) {
+        let mut t = Table::new(["one", "two", "three"]);
+        for r in &rows {
+            t.push_row(r.clone());
+        }
+        let rendered = t.render();
+        // Header + separator + one line per row.
+        prop_assert_eq!(rendered.lines().count(), 2 + rows.len());
+        prop_assert_eq!(t.n_rows(), rows.len());
+        // Every line has equal display width.
+        let widths: Vec<usize> = rendered.lines().map(|l| l.chars().count()).collect();
+        prop_assert!(widths.windows(2).all(|w| w[0] == w[1]));
+    }
+}

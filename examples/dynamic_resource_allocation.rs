@@ -1,0 +1,75 @@
+//! Dynamic resource allocation (paper §1.1, first application).
+//!
+//! A decentralized parallel system runs `n` jobs on `n` identical
+//! servers. Each step one job finishes and a new one arrives; the
+//! dispatcher samples `d = 2` servers and submits to the less loaded.
+//! Two completion models:
+//!
+//! * **job-driven** (a random *job* terminates) — scenario A; the paper
+//!   proves recovery from any assignment in `Θ(n ln n)` steps (tight);
+//! * **server-driven** (a random busy *server* finishes one job) —
+//!   scenario B; the paper proves `O(n² ln n)` (optimal up to a log).
+//!
+//! This example crashes the system (all jobs piled on one server) and
+//! measures both models' time to return to the typical max load, then
+//! compares against the predicted n ln n vs. n² separation.
+//!
+//! Run with: `cargo run --release --example dynamic_resource_allocation`
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use recovery_time::core::process::FastProcess;
+use recovery_time::core::rules::Abku;
+use recovery_time::core::Removal;
+use recovery_time::sim::recovery::time_to_threshold;
+use recovery_time::sim::stats::Summary;
+
+fn recovery_times(removal: Removal, n: usize, trials: usize, seed: u64) -> Summary {
+    let m = n as u32;
+    let times: Vec<f64> = (0..trials)
+        .map(|i| {
+            let mut rng = SmallRng::seed_from_u64(seed + i as u64);
+            let mut loads = vec![0u32; n];
+            loads[0] = m;
+            let mut sys = FastProcess::new(removal, Abku::new(2), loads);
+            time_to_threshold(
+                &mut sys,
+                |s| s.step(&mut rng),
+                |s| f64::from(s.max_load()),
+                4.0, // the typical ln ln n / ln 2 + O(1) level for these n
+                (n as u64).pow(3),
+            )
+            .expect("the system always recovers") as f64
+        })
+        .collect();
+    Summary::of(&times)
+}
+
+fn main() {
+    println!("Dynamic resource allocation: n jobs on n servers, two-choice dispatch.");
+    println!("Crash = all jobs on one server. Recovery = max load back to ≤ 4.\n");
+    println!(
+        "{:>6}  {:>14}  {:>14}  {:>8}  {:>10}  {:>10}",
+        "n", "job-driven", "server-driven", "B/A", "n ln n", "n²"
+    );
+    for n in [250usize, 500, 1000, 2000] {
+        let a = recovery_times(Removal::RandomBall, n, 10, 1);
+        let b = recovery_times(Removal::RandomNonEmptyBin, n, 10, 2);
+        let nf = n as f64;
+        println!(
+            "{:>6}  {:>14.0}  {:>14.0}  {:>8.1}  {:>10.0}  {:>10.0}",
+            n,
+            a.mean,
+            b.mean,
+            b.mean / a.mean,
+            nf * nf.ln(),
+            nf * nf
+        );
+    }
+    println!(
+        "\nJob-driven completion recovers in Θ(n ln n) — a few multiples of n ln n —\n\
+         while server-driven completion needs Θ(n²)-scale time and the gap widens\n\
+         with n, exactly the paper's scenario A vs. B separation. If your workload\n\
+         lets you choose the completion model, job-driven recovers much faster."
+    );
+}

@@ -1,0 +1,64 @@
+//! Open systems: an elastic worker pool (paper §7).
+//!
+//! A job queue where arrivals and completions interleave and the total
+//! backlog varies — the paper's "open system" extension. Each tick,
+//! with probability p a job arrives and is dispatched to the less
+//! loaded of two sampled workers; otherwise one running job (chosen
+//! i.u.r.) finishes. With p < ½ the backlog is stable.
+//!
+//! We start two copies — one empty, one buried under a backlog of 4n
+//! jobs piled on a single worker — and drive them with *shared*
+//! randomness (the §7 coupling). Once they meet, their futures are
+//! identical: operationally, the system has fully forgotten the
+//! outage.
+//!
+//! Run with: `cargo run --release --example elastic_worker_pool`
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use recovery_time::core::open::{OpenChain, OpenCoupling};
+use recovery_time::core::rules::Abku;
+use recovery_time::core::LoadVector;
+use recovery_time::markov::coupling::PairCoupling;
+
+fn main() {
+    let n = 256usize;
+    let backlog = 4 * n as u32;
+    let chain = OpenChain::new(n, 0.45, Abku::new(2));
+    let coupling = OpenCoupling(chain);
+    let mut rng = SmallRng::seed_from_u64(11);
+
+    let mut fresh = LoadVector::empty(n);
+    let mut crashed = LoadVector::all_in_one(n, backlog);
+
+    println!("Elastic worker pool: {n} workers, arrival rate 0.45/tick.");
+    println!("Copy A starts empty; copy B starts with {backlog} jobs on one worker.\n");
+    println!("{:>10}  {:>9}  {:>9}  {:>9}  {:>9}", "tick", "A jobs", "B jobs", "B max", "‖A−B‖₁");
+
+    let mut t = 0u64;
+    let mut next_print = 1u64;
+    let met_at = loop {
+        if fresh == crashed {
+            break t;
+        }
+        if t >= next_print {
+            println!(
+                "{:>10}  {:>9}  {:>9}  {:>9}  {:>9}",
+                t,
+                fresh.total(),
+                crashed.total(),
+                crashed.max_load(),
+                fresh.l1(&crashed)
+            );
+            next_print = (next_print as f64 * 2.2) as u64 + 1;
+        }
+        coupling.step_pair(&mut fresh, &mut crashed, &mut rng);
+        t += 1;
+        assert!(t < 100_000_000, "coupling should meet long before this");
+    };
+    println!(
+        "\nThe copies coalesced at tick {met_at}: from that point the recovered\n\
+         pool is *indistinguishable* from one that never saw the outage — the\n\
+         §7 open-system recovery guarantee, in the strongest (pathwise) form."
+    );
+}

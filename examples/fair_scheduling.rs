@@ -1,0 +1,62 @@
+//! Fair allocations / the carpool problem (paper §1.1, second
+//! application).
+//!
+//! A distributed network assigns each arriving job to one of the
+//! available servers; fairness means no server drifts far from its fair
+//! share. Ajtai et al. reduce this (for uniformly distributed
+//! availability, at the price of doubling the expected unfairness) to
+//! the *edge orientation problem*: each arrival is an undirected edge
+//! between two random servers, oriented greedily toward the currently
+//! overworked one… keeping every server's surplus |outdeg − indeg|
+//! at Θ(log log n).
+//!
+//! The paper's Theorem 2: even from a grossly unfair configuration the
+//! greedy protocol returns to a typical state within O(n² ln² n)
+//! arrivals. This example crashes fairness deliberately and watches the
+//! recovery.
+//!
+//! Run with: `cargo run --release --example fair_scheduling`
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use recovery_time::edge::{DiscProfile, GreedySimulation};
+use recovery_time::markov::path_coupling::theorem2_bound;
+
+fn main() {
+    let n = 512usize;
+    let skew = (n / 8) as i32;
+    let mut rng = SmallRng::seed_from_u64(7);
+
+    // A grossly unfair history: half the servers over-assigned by
+    // `skew`, half under-assigned.
+    let start = DiscProfile::skewed(n, skew);
+    let mut sched = GreedySimulation::new(&start, false);
+    let bound = theorem2_bound(n as u64);
+
+    println!("Fair scheduling via greedy edge orientation, n = {n} servers.");
+    println!("Crash: half the servers over-assigned by {skew}, unfairness = {}.", sched.unfairness());
+    println!("Theorem 2 horizon: O(n² ln² n) = {bound} arrivals (constant 1).\n");
+    println!("{:>12}  {:>12}  {:>10}", "arrivals", "t/(n² ln² n)", "unfairness");
+
+    let mut t = 0u64;
+    let mut next_print = 1u64;
+    while t <= bound / 4 {
+        if t >= next_print || t == 0 {
+            println!(
+                "{:>12}  {:>12.4}  {:>10}",
+                t,
+                t as f64 / bound as f64,
+                sched.unfairness()
+            );
+            next_print = (next_print as f64 * 2.1) as u64 + 1;
+        }
+        sched.step(&mut rng);
+        t += 1;
+    }
+    println!(
+        "\nUnfairness collapses from {skew} to the Θ(log log n) steady level well\n\
+         inside the Theorem-2 horizon — every server's workload surplus is again\n\
+         a small constant, regardless of the bad history."
+    );
+    assert!(sched.unfairness() <= 5, "fairness should have recovered");
+}

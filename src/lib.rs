@@ -1,0 +1,57 @@
+//! # recovery-time
+//!
+//! A from-scratch Rust reproduction of **Artur Czumaj, “Recovery Time of
+//! Dynamic Allocation Processes”, SPAA 1998**: a path-coupling framework
+//! for bounding how fast dynamic balls-into-bins processes and the edge
+//! orientation problem recover from arbitrarily bad states.
+//!
+//! This umbrella crate re-exports the four workspace crates:
+//!
+//! * [`core`] (`rt-core`) — load vectors, right-oriented rules
+//!   (ABKU\[d\], ADAP(x)), scenario A/B chains, the §4/§5 couplings,
+//!   open systems, relocation and generalized-removal extensions (§7),
+//!   batched/parallel dispatch, weighted jobs, a static baseline, and a
+//!   fast unsorted simulator.
+//! * [`markov`] (`rt-markov`) — chain/coupling traits, the Path
+//!   Coupling Lemma, dense exact analysis (stationary distributions,
+//!   exact mixing times), TV distance, spectral estimates.
+//! * [`edge`] (`rt-edge`) — the edge orientation problem: greedy
+//!   protocol, lazified chain, the §6 metric and coupling, explicit
+//!   multigraphs, orientation baselines, and non-uniform arrivals.
+//! * [`sim`] (`rt-sim`) — parallel Monte Carlo engine, statistics,
+//!   scaling-law fits, tables, recovery/coalescence protocols.
+//!
+//! ## Quick example
+//!
+//! Measure how `Id-ABKU[2]` recovers from the worst state (all balls in
+//! one bin) and compare with Theorem 1's `⌈m ln(m ε⁻¹)⌉` bound:
+//!
+//! ```
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//! use recovery_time::core::{AllocationChain, LoadVector, Removal};
+//! use recovery_time::core::coupling_a::CouplingA;
+//! use recovery_time::core::rules::Abku;
+//! use recovery_time::markov::coupling::coalescence_time;
+//! use recovery_time::markov::path_coupling::theorem1_bound;
+//!
+//! let (n, m) = (64usize, 64u32);
+//! let chain = AllocationChain::new(n, m, Removal::RandomBall, Abku::new(2));
+//! let coupling = CouplingA::new(chain);
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! let t = coalescence_time(
+//!     &coupling,
+//!     LoadVector::all_in_one(n, m),   // the crash state
+//!     LoadVector::balanced(n, m),     // a typical state
+//!     1_000_000,
+//!     &mut rng,
+//! )
+//! .expect("coalesces well within the bound's scale");
+//! let bound = theorem1_bound(m as u64, 0.25);
+//! assert!(t < 100 * bound);
+//! ```
+
+pub use rt_core as core;
+pub use rt_edge as edge;
+pub use rt_markov as markov;
+pub use rt_sim as sim;

@@ -1,0 +1,142 @@
+//! Cross-crate integration for the edge orientation problem: greedy
+//! simulation × lazified chain × metric × coupling × exact analysis.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use recovery_time::edge::coupling::EdgeCoupling;
+use recovery_time::edge::metric::profile_distance;
+use recovery_time::edge::{DiscProfile, EdgeChain, GreedySimulation};
+use recovery_time::markov::chain::EnumerableChain;
+use recovery_time::markov::coupling::coalescence_time;
+use recovery_time::markov::path_coupling::theorem2_bound;
+use recovery_time::markov::{ExactChain, MarkovChain};
+use std::collections::HashMap;
+
+/// The lazy greedy simulation and the normalized chain induce the same
+/// distribution over sorted profiles.
+#[test]
+fn greedy_simulation_matches_chain_distribution() {
+    let n = 4usize;
+    let t = 10u64;
+    let trials = 120_000;
+    let mut rng = SmallRng::seed_from_u64(31);
+
+    let chain = EdgeChain::new(n);
+    let mut chain_counts: HashMap<DiscProfile, u64> = HashMap::new();
+    for _ in 0..trials {
+        let mut s = DiscProfile::zero(n);
+        chain.run(&mut s, t, &mut rng);
+        *chain_counts.entry(s).or_default() += 1;
+    }
+
+    let mut sim_counts: HashMap<DiscProfile, u64> = HashMap::new();
+    for _ in 0..trials {
+        let mut sim = GreedySimulation::new(&DiscProfile::zero(n), true);
+        sim.run(t, &mut rng);
+        *sim_counts.entry(sim.to_profile()).or_default() += 1;
+    }
+
+    for (state, &c) in &chain_counts {
+        let p_chain = c as f64 / trials as f64;
+        let p_sim = sim_counts.get(state).copied().unwrap_or(0) as f64 / trials as f64;
+        assert!(
+            (p_chain - p_sim).abs() < 0.01,
+            "{state:?}: chain {p_chain} vs simulation {p_sim}"
+        );
+    }
+}
+
+/// Exact mixing time of the edge chain respects Theorem 2's bound on
+/// enumerable sizes.
+#[test]
+fn exact_edge_mixing_respects_theorem_2() {
+    for n in [3usize, 4, 5] {
+        let chain = EdgeChain::new(n);
+        let mut exact = ExactChain::build(&chain);
+        let tau = exact.mixing_time(0.25, 1 << 24).expect("mixes");
+        let bound = theorem2_bound(n as u64);
+        assert!(tau <= bound, "n={n}: exact τ = {tau} > Theorem-2 bound {bound}");
+    }
+}
+
+/// The §6 metric at unit pairs agrees with the Γ construction, and the
+/// coupling's one-step image never leaves the Lemma-6.2 radius.
+#[test]
+fn metric_and_coupling_respect_lemma_radii() {
+    use recovery_time::markov::coupling::PairCoupling;
+    let n = 6usize;
+    let y = DiscProfile::from_values(vec![1, 0, 0, 0, 0, -1]);
+    let x = DiscProfile::from_values(vec![1, 1, 0, 0, -1, -1]);
+    assert_eq!(profile_distance(&x, &y, 4), Some(1));
+    let coupling = EdgeCoupling::new(EdgeChain::new(n));
+    let mut rng = SmallRng::seed_from_u64(37);
+    for _ in 0..3_000 {
+        let mut xx = x.clone();
+        let mut yy = y.clone();
+        coupling.step_pair(&mut xx, &mut yy, &mut rng);
+        let d = profile_distance(&xx, &yy, 4).expect("bounded by Lemma 6.2");
+        assert!(d <= 2);
+    }
+}
+
+/// Coupling coalescence stays within a constant multiple of the exact
+/// mixing time on an enumerable instance.
+#[test]
+fn edge_coupling_tracks_exact_mixing() {
+    let n = 5usize;
+    let chain = EdgeChain::new(n);
+    let mut exact = ExactChain::build(&chain);
+    let tau = exact.mixing_time(0.25, 1 << 24).unwrap();
+    let coupling = EdgeCoupling::new(chain);
+    let mut rng = SmallRng::seed_from_u64(41);
+    let mut total = 0u64;
+    let trials = 200;
+    for _ in 0..trials {
+        total += coalescence_time(
+            &coupling,
+            DiscProfile::skewed(n, 1),
+            DiscProfile::zero(n),
+            1 << 22,
+            &mut rng,
+        )
+        .expect("coalesces");
+    }
+    let mean = total as f64 / trials as f64;
+    assert!(
+        mean < 50.0 * tau as f64,
+        "coupling mean {mean} far above exact τ = {tau}"
+    );
+}
+
+/// The chain's enumerated state space matches what long greedy
+/// simulations actually visit.
+#[test]
+fn simulation_stays_inside_enumerated_state_space() {
+    let n = 4usize;
+    let chain = EdgeChain::new(n);
+    let states: std::collections::HashSet<_> = chain.states().into_iter().collect();
+    let mut rng = SmallRng::seed_from_u64(43);
+    let mut sim = GreedySimulation::new(&DiscProfile::zero(n), true);
+    for _ in 0..50_000 {
+        sim.step(&mut rng);
+        assert!(
+            states.contains(&sim.to_profile()),
+            "simulation left Ψ: {:?}",
+            sim.to_profile()
+        );
+    }
+}
+
+/// Unfairness recovery end-to-end: a skewed start recovers to the
+/// stationary band within (a small multiple of) the Theorem-2 horizon.
+#[test]
+fn unfairness_recovers_within_theorem_2_horizon() {
+    let n = 64usize;
+    let mut rng = SmallRng::seed_from_u64(47);
+    let mut sim = GreedySimulation::new(&DiscProfile::skewed(n, 16), true);
+    let bound = theorem2_bound(n as u64);
+    let t = sim
+        .run_until_unfairness(3, 10 * bound, &mut rng)
+        .expect("recovers within 10× the Theorem-2 horizon");
+    assert!(t <= 10 * bound);
+}

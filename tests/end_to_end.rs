@@ -1,0 +1,168 @@
+//! End-to-end "mini experiment" tests: each headline claim of the paper
+//! is re-checked here at integration-test scale, so `cargo test`
+//! certifies the same shapes EXPERIMENTS.md reports at full scale.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use recovery_time::core::coupling_a::CouplingA;
+use recovery_time::core::coupling_b::CouplingB;
+use recovery_time::core::process::FastProcess;
+use recovery_time::core::rules::Abku;
+use recovery_time::core::{AllocationChain, LoadVector, Removal};
+use recovery_time::edge::{DiscProfile, GreedySimulation};
+use recovery_time::markov::path_coupling::theorem1_bound;
+use recovery_time::sim::recovery::time_to_threshold;
+use recovery_time::sim::{coalescence, fit};
+
+/// Mini-T1: scenario-A coalescence within the Theorem-1 scale and
+/// fitting the m ln m model with high r².
+#[test]
+fn mini_t1_scenario_a_rate() {
+    let sizes = [32usize, 64, 128, 256];
+    let mut ms = Vec::new();
+    let mut means = Vec::new();
+    for (i, &n) in sizes.iter().enumerate() {
+        let m = n as u32;
+        let coupling =
+            CouplingA::new(AllocationChain::new(n, m, Removal::RandomBall, Abku::new(2)));
+        let rep = coalescence::measure(
+            &coupling,
+            &LoadVector::all_in_one(n, m),
+            &LoadVector::balanced(n, m),
+            16,
+            1 << 24,
+            1000 + i as u64,
+        );
+        assert_eq!(rep.failures, 0);
+        let s = rep.summary();
+        let bound = theorem1_bound(u64::from(m), 0.25) as f64;
+        assert!(s.mean < 3.0 * bound, "n={n}: mean {} vs bound {bound}", s.mean);
+        ms.push(m as f64);
+        means.push(s.mean);
+    }
+    let (_, r2) = fit::model_fit(&ms, &means, |m| m * m.ln());
+    assert!(r2 > 0.98, "m ln m model fit r² = {r2}");
+}
+
+/// Mini-C53: scenario B is superlinearly slower; exponent ≈ 2.
+#[test]
+fn mini_c53_scenario_b_rate() {
+    let sizes = [8usize, 16, 32];
+    let mut ms = Vec::new();
+    let mut means = Vec::new();
+    for (i, &n) in sizes.iter().enumerate() {
+        let m = n as u32;
+        let coupling = CouplingB::new(AllocationChain::new(
+            n,
+            m,
+            Removal::RandomNonEmptyBin,
+            Abku::new(2),
+        ));
+        let rep = coalescence::measure(
+            &coupling,
+            &LoadVector::all_in_one(n, m),
+            &LoadVector::balanced(n, m),
+            24,
+            1 << 26,
+            2000 + i as u64,
+        );
+        assert_eq!(rep.failures, 0);
+        ms.push(m as f64);
+        means.push(rep.summary().mean);
+    }
+    let (_, slope, _) = fit::power_law_fit(&ms, &means);
+    assert!(
+        slope > 1.5 && slope < 3.0,
+        "scenario-B exponent {slope} outside the (m², n·m²) band"
+    );
+}
+
+/// Mini-T2: edge-orientation recovery exponent sits in the (n², n³)
+/// band, consistent with Θ(n²)–O(n² ln² n).
+#[test]
+fn mini_t2_edge_rate() {
+    let sizes = [24usize, 48, 96];
+    let mut ns = Vec::new();
+    let mut means = Vec::new();
+    for (i, &n) in sizes.iter().enumerate() {
+        let mut total = 0u64;
+        let trials = 8;
+        for t in 0..trials {
+            let mut rng = SmallRng::seed_from_u64(3000 + i as u64 * 100 + t);
+            let mut sim = GreedySimulation::new(&DiscProfile::skewed(n, n as i32 / 4), true);
+            total += sim
+                .run_until_unfairness(3, (n as u64).pow(3) * 100, &mut rng)
+                .expect("recovers");
+        }
+        ns.push(n as f64);
+        means.push(total as f64 / trials as f64);
+    }
+    let (_, slope, _) = fit::power_law_fit(&ns, &means);
+    assert!(
+        slope > 1.4 && slope < 3.0,
+        "edge recovery exponent {slope} outside the (n², n³) band: {means:?}"
+    );
+}
+
+/// Mini-ML: the power of two choices — d = 2 stationary max load is far
+/// below d = 1 and essentially flat in n.
+#[test]
+fn mini_ml_power_of_two_choices() {
+    let mut max_d2 = Vec::new();
+    let mut max_d1 = Vec::new();
+    for (i, &n) in [1024usize, 4096].iter().enumerate() {
+        for (d, out) in [(1u32, &mut max_d1), (2, &mut max_d2)] {
+            let mut rng = SmallRng::seed_from_u64(4000 + i as u64 + u64::from(d));
+            let mut p = FastProcess::new(Removal::RandomBall, Abku::new(d), vec![1u32; n]);
+            p.run(40 * n as u64, &mut rng);
+            let mut acc = 0u32;
+            for _ in 0..8 {
+                p.run(n as u64 / 2, &mut rng);
+                acc = acc.max(p.max_load());
+            }
+            out.push(acc);
+        }
+    }
+    for (d1, d2) in max_d1.iter().zip(&max_d2) {
+        assert!(d2 < d1, "two choices must beat one: d1={d1} d2={d2}");
+        assert!(*d2 <= 5, "d=2 max load should be a small constant, got {d2}");
+    }
+}
+
+/// Mini-RT: the recovery trajectory from a crash is monotone-ish and
+/// complete by a few multiples of m ln m (scenario A).
+#[test]
+fn mini_rt_trajectory_completes() {
+    let n = 512usize;
+    let m = n as u32;
+    let mut rng = SmallRng::seed_from_u64(5000);
+    let mut loads = vec![0u32; n];
+    loads[0] = m;
+    let mut proc = FastProcess::new(Removal::RandomBall, Abku::new(2), loads);
+    let horizon = (4.0 * f64::from(m) * f64::from(m).ln()) as u64;
+    let t = time_to_threshold(
+        &mut proc,
+        |p| p.step(&mut rng),
+        |p| f64::from(p.max_load()),
+        4.0,
+        horizon,
+    );
+    assert!(t.is_some(), "crash must drain within 4·m ln m");
+}
+
+/// Mini-UF: greedy unfairness stays in single digits across a 256×
+/// range of n (the Θ(log log n) plateau).
+#[test]
+fn mini_uf_unfairness_plateau() {
+    for (i, &n) in [64usize, 1024, 16384].iter().enumerate() {
+        let mut rng = SmallRng::seed_from_u64(6000 + i as u64);
+        let mut sim = GreedySimulation::new(&DiscProfile::zero(n), false);
+        sim.run(30 * (n as u64), &mut rng);
+        let mut worst = 0;
+        for _ in 0..20 {
+            sim.run(n as u64, &mut rng);
+            worst = worst.max(sim.unfairness());
+        }
+        assert!(worst <= 8, "n={n}: unfairness {worst} above the log log n plateau");
+    }
+}

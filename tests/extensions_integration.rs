@@ -1,0 +1,151 @@
+//! Integration tests for the §7/extension modules: batched dispatch,
+//! weighted jobs, generalized removal, relocation, and the empirical
+//! goodness-of-fit machinery — each cross-checked against the core
+//! model rather than tested in isolation.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use recovery_time::core::batch::BatchedProcess;
+use recovery_time::core::removal::{GeneralChain, PowerWeighted};
+use recovery_time::core::rules::Abku;
+use recovery_time::core::weighted::WeightedProcess;
+use recovery_time::core::{AllocationChain, LoadVector, Removal};
+use recovery_time::markov::empirical::EmpiricalDist;
+use recovery_time::markov::{ExactChain, MarkovChain};
+use recovery_time::sim::sweep::Sweep;
+
+/// Long-run stationary samples of the simulated chain match the exact
+/// stationary distribution in TV — through the EmpiricalDist machinery.
+#[test]
+fn empirical_stationary_matches_exact_pi() {
+    let chain = AllocationChain::new(4, 5, Removal::RandomBall, Abku::new(2));
+    let exact = ExactChain::build(&chain);
+    let pi = exact.stationary(1e-13, 1_000_000);
+    let mut emp = EmpiricalDist::new();
+    let mut rng = SmallRng::seed_from_u64(433);
+    let mut v = LoadVector::balanced(4, 5);
+    chain.run(&mut v, 5_000, &mut rng);
+    for _ in 0..200_000 {
+        chain.step(&mut v, &mut rng);
+        emp.record(v.clone());
+    }
+    let tv = emp.tv_to(exact.states(), &pi);
+    // Autocorrelated samples, but 200k steps of a fast-mixing chain:
+    // the empirical distribution should be within a small TV ball.
+    assert!(tv < 0.02, "TV between simulation and exact π = {tv}");
+    let (chi, dof) = emp.chi_square(exact.states(), &pi);
+    assert!(dof >= 1);
+    assert!(chi.is_finite());
+}
+
+/// The power-weighted removal continuum: exact mixing is monotone over
+/// the paper's B→A range (α: 0 → 1) and never worse than scenario B at
+/// any α. (Strict monotonicity can fail at extreme α, where the
+/// near-deterministic removal adds a whiff of periodicity — τ(4) can
+/// exceed τ(2) by a step — so the test pins the defensible claim.)
+#[test]
+fn general_removal_mixing_improves_toward_scenario_a() {
+    let (n, m) = (4usize, 5u32);
+    let tau = |alpha: f64| {
+        let chain = GeneralChain::new(n, m, PowerWeighted::new(alpha), Abku::new(2));
+        ExactChain::build(&chain).mixing_time(0.25, 1 << 24).unwrap()
+    };
+    let t0 = tau(0.0);
+    let t_half = tau(0.5);
+    let t1 = tau(1.0);
+    assert!(t1 <= t_half && t_half <= t0, "B→A range must be monotone: {t0} {t_half} {t1}");
+    for alpha in [2.0, 4.0] {
+        assert!(tau(alpha) <= t0, "α = {alpha} slower than scenario B");
+    }
+}
+
+/// Batched dispatch with k = 1 reproduces the sequential chain's
+/// distribution over normalized states after a fixed horizon.
+#[test]
+fn batch_one_equals_sequential_distribution() {
+    let n = 3usize;
+    let m = 4u32;
+    let t = 8u64;
+    let trials = 120_000;
+    let mut rng = SmallRng::seed_from_u64(439);
+
+    let mut emp_batch = EmpiricalDist::new();
+    for _ in 0..trials {
+        let mut loads = vec![0u32; n];
+        loads[0] = m;
+        let mut p = BatchedProcess::new(Removal::RandomBall, Abku::new(2), loads, 1);
+        p.run(t, &mut rng);
+        emp_batch.record(LoadVector::from_loads(p.inner().loads().to_vec()));
+    }
+    let chain = AllocationChain::new(n, m, Removal::RandomBall, Abku::new(2));
+    let mut exact = ExactChain::build(&chain);
+    let mu = exact.distribution_at(&LoadVector::all_in_one(n, m), t);
+    let tv = emp_batch.tv_to(exact.states(), &mu);
+    assert!(tv < 0.01, "batched k=1 deviates from the exact chain: TV = {tv}");
+}
+
+/// The weighted process with unit weights recovers on the same clock as
+/// the unweighted theory predicts — measured through the Sweep driver.
+#[test]
+fn weighted_unit_recovery_scales_like_m_ln_m() {
+    let sweep = Sweep::new(&[64, 128, 256], 8, 443);
+    let rows = sweep.run(|n, seed| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut p = WeightedProcess::crashed(n, 2, &vec![1u32; n]);
+        let mut t = 0u64;
+        let cap = (n as u64) * (n as u64) * 10;
+        while p.max_load() > 4 {
+            p.step(&mut rng);
+            t += 1;
+            assert!(t < cap, "failed to recover");
+        }
+        t as f64
+    });
+    let fits = Sweep::compare_models(
+        &rows,
+        &[("m", |x| x), ("m ln m", |x| x * x.ln()), ("m^2", |x| x * x)],
+    );
+    assert_eq!(fits[0].name, "m ln m", "best model: {fits:?}");
+}
+
+/// Relocation composes with scenario B without breaking stochasticity,
+/// and its exact chain interpolates between the pure chains.
+#[test]
+fn relocation_interpolates_between_chains() {
+    use recovery_time::core::relocation::RelocatingChain;
+    let (n, m) = (4usize, 5u32);
+    let base = AllocationChain::new(n, m, Removal::RandomNonEmptyBin, Abku::new(2));
+    let tau_b = ExactChain::build(&base).mixing_time(0.25, 1 << 24).unwrap();
+    let tau_half = {
+        let chain = RelocatingChain::new(base.clone(), 0.5);
+        ExactChain::build(&chain).mixing_time(0.25, 1 << 24).unwrap()
+    };
+    let tau_full = {
+        let chain = RelocatingChain::new(base, 1.0);
+        ExactChain::build(&chain).mixing_time(0.25, 1 << 24).unwrap()
+    };
+    assert!(tau_full <= tau_half && tau_half <= tau_b, "{tau_full} ≤ {tau_half} ≤ {tau_b}");
+}
+
+/// Observables agree between the exact stationary expectation and a
+/// long simulation — tying rt-core's observables to rt-markov's
+/// expectation machinery.
+#[test]
+fn observable_expectations_match_simulation() {
+    use recovery_time::core::observables;
+    let chain = AllocationChain::new(4, 6, Removal::RandomBall, Abku::new(2));
+    let exact = ExactChain::build(&chain);
+    let pi = exact.stationary(1e-13, 1_000_000);
+    let exact_gap = exact.expectation(&pi, observables::gap);
+    let mut rng = SmallRng::seed_from_u64(449);
+    let mut v = LoadVector::balanced(4, 6);
+    chain.run(&mut v, 10_000, &mut rng);
+    let mut acc = 0.0;
+    let steps = 300_000;
+    for _ in 0..steps {
+        chain.step(&mut v, &mut rng);
+        acc += observables::gap(&v);
+    }
+    let sim_gap = acc / steps as f64;
+    assert!((sim_gap - exact_gap).abs() < 0.02, "sim {sim_gap} vs exact {exact_gap}");
+}

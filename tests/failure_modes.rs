@@ -1,0 +1,205 @@
+//! Failure-mode and boundary tests across the workspace: the library
+//! must fail loudly and predictably on misuse, and degenerate-but-legal
+//! inputs must work.
+
+use recovery_time::core::rules::{Abku, Adap};
+use recovery_time::core::{AllocationChain, LoadVector, Removal};
+use recovery_time::edge::{DiscProfile, EdgeChain};
+use recovery_time::markov::{DenseMatrix, ExactChain, MarkovChain};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+// ---------- degenerate-but-legal inputs ----------
+
+#[test]
+fn single_bin_system_works() {
+    // n = 1: every phase removes and re-adds the only possibility.
+    let chain = AllocationChain::new(1, 3, Removal::RandomBall, Abku::new(2));
+    let mut v = LoadVector::all_in_one(1, 3);
+    let mut rng = SmallRng::seed_from_u64(401);
+    chain.run(&mut v, 100, &mut rng);
+    assert_eq!(v.as_slice(), &[3]);
+    // The chain is trivially mixed at t = 0.
+    let mut exact = ExactChain::build(&chain);
+    assert_eq!(exact.mixing_time(0.25, 100), Some(0));
+}
+
+#[test]
+fn single_ball_system_works() {
+    let chain = AllocationChain::new(4, 1, Removal::RandomNonEmptyBin, Abku::new(2));
+    let mut v = LoadVector::all_in_one(4, 1);
+    let mut rng = SmallRng::seed_from_u64(409);
+    for _ in 0..200 {
+        chain.step(&mut v, &mut rng);
+        assert_eq!(v.total(), 1);
+        assert_eq!(v.max_load(), 1);
+    }
+    // Normalized: the single ball is always at index 0, so the chain
+    // has exactly one state.
+    let mut exact = ExactChain::build(&chain);
+    assert_eq!(exact.n_states(), 1);
+    assert_eq!(exact.mixing_time(0.25, 10), Some(0));
+}
+
+#[test]
+fn two_vertex_edge_problem_works() {
+    let chain = EdgeChain::new(2);
+    let mut s = DiscProfile::zero(2);
+    let mut rng = SmallRng::seed_from_u64(419);
+    for _ in 0..200 {
+        chain.step(&mut s, &mut rng);
+        assert!(s.unfairness() <= 1, "two vertices oscillate within ±1");
+    }
+    let mut exact = ExactChain::build(&chain);
+    assert!(exact.mixing_time(0.25, 1000).is_some());
+}
+
+#[test]
+fn m_larger_than_n_and_vice_versa() {
+    for (n, m) in [(2usize, 9u32), (9, 2)] {
+        let chain = AllocationChain::new(n, m, Removal::RandomBall, Abku::new(3));
+        let mut v = LoadVector::all_in_one(n, m);
+        let mut rng = SmallRng::seed_from_u64(421);
+        chain.run(&mut v, 2_000, &mut rng);
+        assert_eq!(v.total(), u64::from(m));
+    }
+}
+
+#[test]
+fn adap_with_huge_thresholds_still_terminates() {
+    // x_ℓ huge for ℓ ≥ 1: the rule scans until it finds an empty bin or
+    // exhausts the monotonicity cap. Sampling must terminate.
+    let rule = Adap::new(|l: u32| if l == 0 { 1 } else { 1 << 20 });
+    let chain = AllocationChain::new(4, 3, Removal::RandomBall, rule);
+    let mut v = LoadVector::from_loads(vec![1, 1, 1, 0]);
+    let mut rng = SmallRng::seed_from_u64(431);
+    for _ in 0..100 {
+        chain.step(&mut v, &mut rng);
+    }
+    assert_eq!(v.total(), 3);
+}
+
+// ---------- loud failures on misuse ----------
+
+#[test]
+#[should_panic(expected = "at least one ball")]
+fn zero_ball_chain_rejected() {
+    AllocationChain::new(3, 0, Removal::RandomBall, Abku::new(2));
+}
+
+#[test]
+#[should_panic(expected = "equal ball counts")]
+fn delta_rejects_mismatched_totals() {
+    let a = LoadVector::from_loads(vec![2, 1]);
+    let b = LoadVector::from_loads(vec![1, 1]);
+    a.delta(&b);
+}
+
+#[test]
+#[should_panic(expected = "stochastic")]
+fn exact_chain_rejects_nonstochastic_rows() {
+    use recovery_time::markov::chain::EnumerableChain;
+    struct Broken;
+    impl MarkovChain for Broken {
+        type State = u8;
+        fn step<R: rand::Rng + ?Sized>(&self, _: &mut u8, _: &mut R) {}
+    }
+    impl EnumerableChain for Broken {
+        fn states(&self) -> Vec<u8> {
+            vec![0, 1]
+        }
+        fn transition_row(&self, s: &u8) -> Vec<(u8, f64)> {
+            vec![(*s, 0.7)] // sums to 0.7, not 1
+        }
+    }
+    ExactChain::build(&Broken);
+}
+
+#[test]
+#[should_panic(expected = "state space")]
+fn exact_chain_rejects_escaping_transitions() {
+    use recovery_time::markov::chain::EnumerableChain;
+    struct Escapes;
+    impl MarkovChain for Escapes {
+        type State = u8;
+        fn step<R: rand::Rng + ?Sized>(&self, _: &mut u8, _: &mut R) {}
+    }
+    impl EnumerableChain for Escapes {
+        fn states(&self) -> Vec<u8> {
+            vec![0]
+        }
+        fn transition_row(&self, _: &u8) -> Vec<(u8, f64)> {
+            vec![(7, 1.0)] // 7 is not enumerated
+        }
+    }
+    ExactChain::build(&Escapes);
+}
+
+#[test]
+#[should_panic(expected = "did not converge")]
+fn stationary_flags_periodic_chains() {
+    use recovery_time::markov::chain::EnumerableChain;
+    // A deterministic 2-cycle has no limit distribution from a point
+    // mass; power iteration from uniform converges immediately, so use
+    // an asymmetric start via a 3-cycle… actually the uniform start *is*
+    // stationary for any doubly-stochastic chain. Force a failure with
+    // a max_iters of 0 instead: the guard must fire rather than return
+    // garbage.
+    struct Cycle;
+    impl MarkovChain for Cycle {
+        type State = u8;
+        fn step<R: rand::Rng + ?Sized>(&self, s: &mut u8, _: &mut R) {
+            *s = (*s + 1) % 3;
+        }
+    }
+    impl EnumerableChain for Cycle {
+        fn states(&self) -> Vec<u8> {
+            vec![0, 1, 2]
+        }
+        fn transition_row(&self, s: &u8) -> Vec<(u8, f64)> {
+            vec![((*s + 1) % 3, 1.0)]
+        }
+    }
+    let exact = ExactChain::build(&Cycle);
+    exact.stationary(0.0, 0); // impossible tolerance, zero budget
+}
+
+#[test]
+#[should_panic(expected = "square")]
+fn matrix_pow_rejects_rectangles() {
+    DenseMatrix::zeros(2, 3).pow(2);
+}
+
+// ---------- numerical edges ----------
+
+#[test]
+fn worst_tv_at_time_zero_is_near_one_for_big_spaces() {
+    let chain = AllocationChain::new(5, 6, Removal::RandomBall, Abku::new(2));
+    let mut exact = ExactChain::build(&chain);
+    let pi = exact.stationary(1e-13, 1_000_000);
+    let d0 = exact.worst_tv(0, &pi);
+    // 1 − max π(x), which is close to 1 for a spread-out π.
+    assert!(d0 > 0.5 && d0 <= 1.0);
+}
+
+#[test]
+fn load_vector_handles_u32_scale_loads() {
+    let big = 1_000_000u32;
+    let mut v = LoadVector::all_in_one(3, big);
+    assert_eq!(v.total(), u64::from(big));
+    v.sub_at(0);
+    v.add_at(2);
+    assert_eq!(v.total(), u64::from(big));
+    assert_eq!(v.as_slice(), &[big - 1, 1, 0]);
+}
+
+#[test]
+fn edge_profile_extreme_skew_is_handled() {
+    let n = 10usize;
+    let k = 1_000_000;
+    let p = DiscProfile::skewed(n, k);
+    assert_eq!(p.unfairness(), k);
+    let q = p.apply_edge(0, n - 1);
+    assert_eq!(q.unfairness(), k); // other vertices still at ±k
+    assert_eq!(q.as_slice().iter().map(|&d| i64::from(d)).sum::<i64>(), 0);
+}

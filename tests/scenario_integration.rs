@@ -1,0 +1,199 @@
+//! Cross-crate integration: allocation chains × exact analysis ×
+//! couplings × bounds (scenarios A and B).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use recovery_time::core::coupling_a::CouplingA;
+use recovery_time::core::coupling_b::CouplingB;
+use recovery_time::core::process::FastProcess;
+use recovery_time::core::rules::{Abku, Adap};
+use recovery_time::core::{AllocationChain, LoadVector, Removal};
+use recovery_time::markov::coupling::coalescence_time;
+use recovery_time::markov::path_coupling::{claim53_bound, theorem1_bound};
+use recovery_time::markov::ExactChain;
+use recovery_time::sim::coalescence;
+
+/// Exact mixing time respects Theorem 1 on every small instance we can
+/// enumerate, for both ABKU and ADAP rules.
+#[test]
+fn exact_mixing_respects_theorem_1() {
+    for (n, m) in [(3usize, 3u32), (4, 4), (4, 6), (5, 5), (5, 7)] {
+        let bound = theorem1_bound(u64::from(m), 0.25);
+        let chain = AllocationChain::new(n, m, Removal::RandomBall, Abku::new(2));
+        let mut exact = ExactChain::build(&chain);
+        let tau = exact.mixing_time(0.25, 1 << 24).expect("mixes");
+        assert!(tau <= bound, "n={n} m={m}: exact τ = {tau} > Theorem-1 bound {bound}");
+
+        let adap = AllocationChain::new(n, m, Removal::RandomBall, Adap::new(|l: u32| l + 1));
+        let mut exact_adap = ExactChain::build(&adap);
+        let tau_adap = exact_adap.mixing_time(0.25, 1 << 24).expect("mixes");
+        assert!(tau_adap <= bound, "ADAP n={n} m={m}: {tau_adap} > {bound}");
+    }
+}
+
+/// Exact mixing time respects Claim 5.3 in scenario B.
+#[test]
+fn exact_mixing_respects_claim_5_3() {
+    for (n, m) in [(3usize, 3u32), (4, 4), (4, 6), (5, 5)] {
+        let chain = AllocationChain::new(n, m, Removal::RandomNonEmptyBin, Abku::new(2));
+        let mut exact = ExactChain::build(&chain);
+        let tau = exact.mixing_time(0.25, 1 << 24).expect("mixes");
+        let bound = claim53_bound(n as u64, u64::from(m), 0.25);
+        assert!(tau <= bound, "n={n} m={m}: exact τ = {tau} > Claim-5.3 bound {bound}");
+    }
+}
+
+/// The coupling inequality: at the coupling's q-quantile time, the
+/// exact worst-start TV distance is ≤ 1 − q + noise. (Coalescence
+/// witnesses mixing.)
+#[test]
+fn coupling_quantile_witnesses_exact_tv() {
+    let (n, m) = (5usize, 5u32);
+    let chain = AllocationChain::new(n, m, Removal::RandomBall, Abku::new(2));
+    let mut exact = ExactChain::build(&chain);
+    let pi = exact.stationary(1e-13, 1_000_000);
+    let coupling = CouplingA::new(chain);
+    let report = coalescence::measure(
+        &coupling,
+        &LoadVector::all_in_one(n, m),
+        &LoadVector::balanced(n, m),
+        2_000,
+        1 << 20,
+        42,
+    );
+    let t75 = report.quantile(0.75).expect("most trials coalesce");
+    let d = exact.worst_tv(t75, &pi);
+    // Pr[not met by t75] ≤ 0.25 ⇒ TV ≤ 0.25 (+ Monte Carlo slack). The
+    // witness is for the *measured pair*; worst-start TV can only be
+    // larger by the diameter argument, so allow generous slack and
+    // check the magnitude, not exact dominance.
+    assert!(d <= 0.40, "TV at coupling q75 = {d}, expected ≈ ≤ 0.25");
+}
+
+/// Scenario B mixes strictly slower than scenario A on the same
+/// instance, at every small size (the paper's headline separation).
+#[test]
+fn scenario_b_slower_than_a_exactly() {
+    for (n, m) in [(4usize, 4u32), (5, 5), (6, 6)] {
+        let a = AllocationChain::new(n, m, Removal::RandomBall, Abku::new(2));
+        let b = AllocationChain::new(n, m, Removal::RandomNonEmptyBin, Abku::new(2));
+        let tau_a = ExactChain::build(&a).mixing_time(0.25, 1 << 24).unwrap();
+        let tau_b = ExactChain::build(&b).mixing_time(0.25, 1 << 24).unwrap();
+        assert!(
+            tau_b >= tau_a,
+            "n={n} m={m}: scenario B (τ={tau_b}) not slower than A (τ={tau_a})"
+        );
+    }
+}
+
+/// Fast simulator and normalized chain agree on the stationary max-load
+/// distribution (the fast path is a faithful implementation).
+#[test]
+fn fast_process_matches_exact_stationary() {
+    let (n, m) = (4usize, 6u32);
+    let chain = AllocationChain::new(n, m, Removal::RandomBall, Abku::new(2));
+    let exact = ExactChain::build(&chain);
+    let pi = exact.stationary(1e-13, 1_000_000);
+    // Exact stationary mean max load.
+    let exact_mean: f64 = exact
+        .states()
+        .iter()
+        .zip(&pi)
+        .map(|(s, &p)| f64::from(s.max_load()) * p)
+        .sum();
+    // Simulated stationary mean max load.
+    let mut rng = SmallRng::seed_from_u64(11);
+    let mut proc = FastProcess::new(Removal::RandomBall, Abku::new(2), vec![2, 2, 1, 1]);
+    proc.run(50_000, &mut rng);
+    let mut acc = 0.0;
+    let samples = 200_000u64;
+    for _ in 0..samples {
+        proc.step(&mut rng);
+        acc += f64::from(proc.max_load());
+    }
+    let sim_mean = acc / samples as f64;
+    assert!(
+        (sim_mean - exact_mean).abs() < 0.02,
+        "simulated {sim_mean} vs exact {exact_mean}"
+    );
+}
+
+/// Coalescence times scale like m ln m in scenario A — the Theorem-1
+/// shape — even in this quick integration-sized sweep.
+#[test]
+fn scenario_a_coalescence_scales_like_m_ln_m() {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let mut means = Vec::new();
+    let sizes = [32usize, 64, 128];
+    for &n in &sizes {
+        let m = n as u32;
+        let coupling =
+            CouplingA::new(AllocationChain::new(n, m, Removal::RandomBall, Abku::new(2)));
+        let mut total = 0u64;
+        let trials = 12;
+        for _ in 0..trials {
+            total += coalescence_time(
+                &coupling,
+                LoadVector::all_in_one(n, m),
+                LoadVector::balanced(n, m),
+                1 << 22,
+                &mut rng,
+            )
+            .expect("coalesces");
+        }
+        means.push(total as f64 / trials as f64);
+    }
+    // Ratio between successive sizes ≈ 2·ln(2m)/ln(m) ∈ (2, 2.6).
+    for w in means.windows(2) {
+        let r = w[1] / w[0];
+        assert!(r > 1.6 && r < 3.5, "scaling ratio {r} out of the m ln m band: {means:?}");
+    }
+}
+
+/// The adjacent §4 coupling keeps adjacent pairs adjacent-or-met
+/// forever (Lemma 4.1 iterated over a long horizon).
+#[test]
+fn coupling_a_invariant_under_iteration() {
+    use recovery_time::markov::coupling::PairCoupling;
+    let (n, m) = (6usize, 9u32);
+    let coupling =
+        CouplingA::new(AllocationChain::new(n, m, Removal::RandomBall, Abku::new(2)));
+    let mut rng = SmallRng::seed_from_u64(17);
+    let u = LoadVector::from_loads(vec![3, 2, 2, 1, 1, 0]);
+    let mut x = u.try_shift(0, 4).unwrap(); // [4,2,2,1,0,0]
+    let mut y = u;
+    for t in 0..5_000 {
+        coupling.step_pair(&mut x, &mut y, &mut rng);
+        assert!(x.delta(&y) <= 1, "distance exceeded 1 at step {t}");
+    }
+}
+
+/// Scenario-B couplings coalesce and stay coalesced; distances along
+/// the way stay small (bounded excursions of the composite coupling).
+#[test]
+fn coupling_b_coalesces_and_sticks() {
+    use recovery_time::markov::coupling::PairCoupling;
+    let (n, m) = (6usize, 6u32);
+    let coupling = CouplingB::new(AllocationChain::new(
+        n,
+        m,
+        Removal::RandomNonEmptyBin,
+        Abku::new(2),
+    ));
+    let mut rng = SmallRng::seed_from_u64(23);
+    let mut x = LoadVector::all_in_one(n, m);
+    let mut y = LoadVector::balanced(n, m);
+    let mut met_at = None;
+    for t in 0..200_000u64 {
+        coupling.step_pair(&mut x, &mut y, &mut rng);
+        if x == y {
+            met_at = Some(t);
+            break;
+        }
+    }
+    let met = met_at.expect("must coalesce");
+    for _ in 0..1_000 {
+        coupling.step_pair(&mut x, &mut y, &mut rng);
+        assert_eq!(x, y, "coupling must be sticky after meeting at {met}");
+    }
+}
