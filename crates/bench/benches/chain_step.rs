@@ -14,9 +14,10 @@ use rt_markov::MarkovChain;
 fn bench_normalized_chain(c: &mut Criterion) {
     let mut group = c.benchmark_group("normalized_chain_step");
     for &n in &[256usize, 4096] {
-        for (label, removal) in
-            [("A", Removal::RandomBall), ("B", Removal::RandomNonEmptyBin)]
-        {
+        for (label, removal) in [
+            ("A", Removal::RandomBall),
+            ("B", Removal::RandomNonEmptyBin),
+        ] {
             let chain = AllocationChain::new(n, n as u32, removal, Abku::new(2));
             group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
                 let mut rng = SmallRng::seed_from_u64(3);
@@ -34,9 +35,10 @@ fn bench_normalized_chain(c: &mut Criterion) {
 fn bench_fast_process(c: &mut Criterion) {
     let mut group = c.benchmark_group("fast_process_step");
     for &n in &[256usize, 4096, 65536] {
-        for (label, removal) in
-            [("A_abku2", Removal::RandomBall), ("B_abku2", Removal::RandomNonEmptyBin)]
-        {
+        for (label, removal) in [
+            ("A_abku2", Removal::RandomBall),
+            ("B_abku2", Removal::RandomNonEmptyBin),
+        ] {
             group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
                 let mut rng = SmallRng::seed_from_u64(4);
                 let mut p = FastProcess::new(removal, Abku::new(2), vec![1u32; n]);
@@ -48,8 +50,11 @@ fn bench_fast_process(c: &mut Criterion) {
         }
         group.bench_with_input(BenchmarkId::new("A_adap", n), &n, |b, _| {
             let mut rng = SmallRng::seed_from_u64(5);
-            let mut p =
-                FastProcess::new(Removal::RandomBall, Adap::new(|l: u32| l + 1), vec![1u32; n]);
+            let mut p = FastProcess::new(
+                Removal::RandomBall,
+                Adap::new(|l: u32| l + 1),
+                vec![1u32; n],
+            );
             b.iter(|| {
                 p.step(&mut rng);
                 black_box(p.max_load());

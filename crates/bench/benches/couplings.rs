@@ -29,8 +29,12 @@ fn bench_coupling_a(c: &mut Criterion) {
     let mut group = c.benchmark_group("coupling_a_step");
     for &n in &[256usize, 4096] {
         let m = n as u32;
-        let coupling =
-            CouplingA::new(AllocationChain::new(n, m, Removal::RandomBall, Abku::new(2)));
+        let coupling = CouplingA::new(AllocationChain::new(
+            n,
+            m,
+            Removal::RandomBall,
+            Abku::new(2),
+        ));
         let (v0, u0) = adjacent_pair(n, m);
         group.bench_with_input(BenchmarkId::new("adjacent", n), &n, |b, _| {
             let mut rng = SmallRng::seed_from_u64(7);
@@ -99,5 +103,10 @@ fn bench_edge_coupling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_coupling_a, bench_coupling_b, bench_edge_coupling);
+criterion_group!(
+    benches,
+    bench_coupling_a,
+    bench_coupling_b,
+    bench_edge_coupling
+);
 criterion_main!(benches);

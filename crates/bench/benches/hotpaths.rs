@@ -1,0 +1,140 @@
+//! Benchmarks for the three optimized hot paths (DESIGN.md §"Sampler
+//! and parallel-engine determinism"): Fenwick-tree 𝒜(v) sampling vs.
+//! the linear CDF scan, the lock-free chunked `par_map` engine vs. the
+//! mutex-guarded reference, and the blocked/panel-parallel dense
+//! product vs. the naive i-k-j loop.
+//!
+//! The `bench_report` binary measures the same pairs and emits
+//! `BENCH_hotpaths.json`; this bench is the interactive view.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rt_core::dist;
+use rt_core::fenwick::FenwickSampler;
+use rt_core::rules::Abku;
+use rt_core::{AllocationChain, LoadVector, Removal, SampledLoadVector};
+use rt_markov::DenseMatrix;
+
+/// Balanced (all-equal) loads make the linear scan traverse n/2 bins
+/// on average — the representative cost for a near-stationary state.
+/// (An all-in-one vector would return at index 0 and hide the scan.)
+fn balanced_vector(n: usize) -> LoadVector {
+    LoadVector::balanced(n, 4 * n as u32)
+}
+
+fn bench_quantile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantile_a");
+    for &n in &[256usize, 4096, 65536] {
+        let v = balanced_vector(n);
+        let s = FenwickSampler::from_load_vector(&v);
+        let m = v.total();
+        // Deterministic spread of quantile arguments (LCG), shared by
+        // both contenders.
+        group.bench_with_input(BenchmarkId::new("linear_scan", n), &n, |b, _| {
+            let mut r = 0u64;
+            b.iter(|| {
+                r = r
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                black_box(dist::quantile_ball_weighted(&v, r % m))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("fenwick", n), &n, |b, _| {
+            let mut r = 0u64;
+            b.iter(|| {
+                r = r
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                black_box(s.quantile(r % m))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampled_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_a_step");
+    for &n in &[256usize, 4096] {
+        let chain = AllocationChain::new(n, 4 * n as u32, Removal::RandomBall, Abku::new(2));
+        group.bench_with_input(BenchmarkId::new("linear", n), &n, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(11);
+            let mut v = balanced_vector(n);
+            b.iter(|| {
+                chain.step_with_seed(&mut v, &mut rng);
+                black_box(v.max_load())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("fenwick", n), &n, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(11);
+            let mut v = SampledLoadVector::new(balanced_vector(n));
+            b.iter(|| {
+                chain.step_sampled_with_seed(&mut v, &mut rng);
+                black_box(v.max_load())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_par_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("par_map_engine");
+    let n = 100_000usize;
+    let work = |i: usize| i.wrapping_mul(0x9E37_79B9).rotate_left(7);
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("locked", workers), &workers, |b, &w| {
+            b.iter(|| black_box(rt_par::par_map_locked_with_threads(w, n, work)));
+        });
+        group.bench_with_input(BenchmarkId::new("chunked", workers), &workers, |b, &w| {
+            b.iter(|| black_box(rt_par::par_map_with_threads(w, n, work)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_mul");
+    for &n in &[64usize, 256] {
+        let a = stochastic(n, 1);
+        let b_m = stochastic(n, 2);
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| black_box(a.mul_naive(&b_m)));
+        });
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |b, _| {
+            b.iter(|| black_box(a.mul(&b_m)));
+        });
+    }
+    let a = stochastic(128, 3);
+    group.bench_function("pow_1024", |b| b.iter(|| black_box(a.pow(1024))));
+    group.finish();
+}
+
+/// Dense row-stochastic matrix from a cheap LCG.
+fn stochastic(n: usize, seed: u64) -> DenseMatrix {
+    let mut m = DenseMatrix::zeros(n, n);
+    let mut z = seed;
+    for i in 0..n {
+        let mut sum = 0.0;
+        for j in 0..n {
+            z = z
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let x = ((z >> 11) as f64 / (1u64 << 53) as f64) + 1e-3;
+            m.set(i, j, x);
+            sum += x;
+        }
+        for j in 0..n {
+            m.set(i, j, m.get(i, j) / sum);
+        }
+    }
+    m
+}
+
+criterion_group!(
+    benches,
+    bench_quantile,
+    bench_sampled_chain,
+    bench_par_engine,
+    bench_dense
+);
+criterion_main!(benches);

@@ -1,0 +1,184 @@
+//! Machine-readable hot-path benchmark report.
+//!
+//! Measures the optimized kernels against their reference
+//! implementations — Fenwick 𝒜(v) quantile vs. linear CDF scan,
+//! chunked lock-free `par_map` vs. the mutex-guarded engine, blocked
+//! dense product vs. the naive loop — and writes `BENCH_hotpaths.json`
+//! (or the path given as the first argument). Run in release mode:
+//!
+//! ```text
+//! cargo run --release --bin bench_report
+//! ```
+//!
+//! The JSON is a flat list of `{name, ns_per_iter}` samples plus
+//! derived speedup ratios, so CI or the README can quote the numbers
+//! without parsing bench output.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rt_core::dist;
+use rt_core::fenwick::FenwickSampler;
+use rt_core::rules::Abku;
+use rt_core::{AllocationChain, LoadVector, Removal, SampledLoadVector};
+use rt_markov::DenseMatrix;
+use std::time::Instant;
+
+/// Minimum per-iteration time over `samples` batches, each batch sized
+/// to run ≥ ~5 ms (min is the noise-robust statistic on a busy box).
+fn measure<O>(mut f: impl FnMut() -> O) -> f64 {
+    let cal = Instant::now();
+    let mut iters = 0u64;
+    while cal.elapsed().as_millis() < 50 {
+        std::hint::black_box(f());
+        iters += 1;
+    }
+    let batch = (iters / 10).max(1);
+    let mut best = f64::INFINITY;
+    for _ in 0..7 {
+        let t = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(f());
+        }
+        best = best.min(t.elapsed().as_secs_f64() * 1e9 / batch as f64);
+    }
+    best
+}
+
+struct Report {
+    rows: Vec<(String, f64)>,
+    speedups: Vec<(String, f64)>,
+}
+
+impl Report {
+    fn record(&mut self, name: &str, ns: f64) {
+        println!("{name:<44} {ns:>12.1} ns/iter");
+        self.rows.push((name.to_string(), ns));
+    }
+
+    fn speedup(&mut self, label: &str, reference_ns: f64, optimized_ns: f64) {
+        let s = reference_ns / optimized_ns;
+        println!("{label:<44} {s:>11.1}x");
+        self.speedups.push((label.to_string(), s));
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"threads_available\": {},\n  \"benches\": [\n",
+            rt_par::num_threads()
+        ));
+        for (i, (name, ns)) in self.rows.iter().enumerate() {
+            let comma = if i + 1 < self.rows.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"name\": \"{name}\", \"ns_per_iter\": {ns:.1}}}{comma}\n"
+            ));
+        }
+        out.push_str("  ],\n  \"speedups\": [\n");
+        for (i, (label, s)) in self.speedups.iter().enumerate() {
+            let comma = if i + 1 < self.speedups.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"name\": \"{label}\", \"speedup\": {s:.2}}}{comma}\n"
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn stochastic(n: usize, seed: u64) -> DenseMatrix {
+    let mut m = DenseMatrix::zeros(n, n);
+    let mut z = seed;
+    for i in 0..n {
+        let mut sum = 0.0;
+        for j in 0..n {
+            z = z
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let x = ((z >> 11) as f64 / (1u64 << 53) as f64) + 1e-3;
+            m.set(i, j, x);
+            sum += x;
+        }
+        for j in 0..n {
+            m.set(i, j, m.get(i, j) / sum);
+        }
+    }
+    m
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_hotpaths.json".to_string());
+    let mut report = Report {
+        rows: Vec::new(),
+        speedups: Vec::new(),
+    };
+
+    // --- 𝒜(v) quantile: linear scan vs Fenwick ---------------------
+    for n in [256usize, 4096] {
+        // Balanced loads: the scan walks n/2 bins on average, the
+        // representative near-stationary cost.
+        let v = LoadVector::balanced(n, 4 * n as u32);
+        let s = FenwickSampler::from_load_vector(&v);
+        let m = v.total();
+        let mut r = 0u64;
+        let scan = measure(|| {
+            r = r
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            dist::quantile_ball_weighted(&v, r % m)
+        });
+        let mut r = 0u64;
+        let fenwick = measure(|| {
+            r = r
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            s.quantile(r % m)
+        });
+        report.record(&format!("quantile_a/linear_scan/{n}"), scan);
+        report.record(&format!("quantile_a/fenwick/{n}"), fenwick);
+        report.speedup(&format!("quantile_a/{n}"), scan, fenwick);
+    }
+
+    // --- full scenario-A chain step ---------------------------------
+    for n in [256usize, 4096] {
+        let chain = AllocationChain::new(n, 4 * n as u32, Removal::RandomBall, Abku::new(2));
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut v = LoadVector::balanced(n, 4 * n as u32);
+        let linear = measure(|| chain.step_with_seed(&mut v, &mut rng));
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut sv = SampledLoadVector::new(LoadVector::balanced(n, 4 * n as u32));
+        let fenwick = measure(|| chain.step_sampled_with_seed(&mut sv, &mut rng));
+        report.record(&format!("scenario_a_step/linear/{n}"), linear);
+        report.record(&format!("scenario_a_step/fenwick/{n}"), fenwick);
+        report.speedup(&format!("scenario_a_step/{n}"), linear, fenwick);
+    }
+
+    // --- parallel map engine ----------------------------------------
+    let n_items = 100_000usize;
+    let work = |i: usize| i.wrapping_mul(0x9E37_79B9).rotate_left(7);
+    for workers in [1usize, 2, 4] {
+        let locked = measure(|| rt_par::par_map_locked_with_threads(workers, n_items, work));
+        let chunked = measure(|| rt_par::par_map_with_threads(workers, n_items, work));
+        report.record(&format!("par_map_100k/locked/{workers}"), locked);
+        report.record(&format!("par_map_100k/chunked/{workers}"), chunked);
+        report.speedup(&format!("par_map_100k/workers={workers}"), locked, chunked);
+    }
+
+    // --- dense product and powers -----------------------------------
+    for n in [64usize, 256] {
+        let a = stochastic(n, 1);
+        let b = stochastic(n, 2);
+        let naive = measure(|| a.mul_naive(&b));
+        let blocked = measure(|| a.mul(&b));
+        report.record(&format!("dense_mul/naive/{n}"), naive);
+        report.record(&format!("dense_mul/blocked/{n}"), blocked);
+        report.speedup(&format!("dense_mul/{n}"), naive, blocked);
+    }
+    let a = stochastic(128, 3);
+    let pow = measure(|| a.pow(1024));
+    report.record("dense_pow_1024/128", pow);
+
+    std::fs::write(&out_path, report.to_json()).expect("write report");
+    println!("\nwrote {out_path}");
+}

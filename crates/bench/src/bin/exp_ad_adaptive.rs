@@ -29,7 +29,10 @@ struct Counted<'a, D> {
 impl<D: FastRule> FastRule for Counted<'_, D> {
     fn choose_bin<R: Rng + ?Sized>(&self, loads: &[u32], rng: &mut R) -> usize {
         // Count probes by counting RNG draws through a counting wrapper.
-        let mut counting = CountingRng { inner: rng, draws: 0 };
+        let mut counting = CountingRng {
+            inner: rng,
+            draws: 0,
+        };
         let out = self.inner.choose_bin(loads, &mut counting);
         self.probes.fetch_add(counting.draws, Ordering::Relaxed);
         self.calls.fetch_add(1, Ordering::Relaxed);
@@ -71,7 +74,11 @@ fn measure<D: FastRule + Clone + Sync>(
     let loads_summary = {
         let obs = par_trials(trials, seed, |_, s| {
             let mut rng = SmallRng::seed_from_u64(s);
-            let counted = Counted { inner: rule.clone(), probes: &probes, calls: &calls };
+            let counted = Counted {
+                inner: rule.clone(),
+                probes: &probes,
+                calls: &calls,
+            };
             let mut proc = FastProcess::new(Removal::RandomBall, counted, vec![1u32; n]);
             proc.run(30 * u64::from(m), &mut rng);
             let mut acc = 0.0;
@@ -126,13 +133,25 @@ fn main() {
     let trials = cfg.trials_or(8);
     println!("n = m = {n}\n");
 
-    let mut tbl =
-        Table::new(["rule", "stationary max load", "probes/insert", "recovery mean", "rec/(m ln m)"]);
+    let mut tbl = Table::new([
+        "rule",
+        "stationary max load",
+        "probes/insert",
+        "recovery mean",
+        "rec/(m ln m)",
+    ]);
     measure("ABKU[1]", Abku::new(1), n, trials, cfg.seed, &mut tbl);
     measure("ABKU[2]", Abku::new(2), n, trials, cfg.seed + 1, &mut tbl);
     measure("ABKU[3]", Abku::new(3), n, trials, cfg.seed + 2, &mut tbl);
     measure("ABKU[4]", Abku::new(4), n, trials, cfg.seed + 3, &mut tbl);
-    measure("ADAP(ℓ+1)", Adap::new(|l: u32| l + 1), n, trials, cfg.seed + 4, &mut tbl);
+    measure(
+        "ADAP(ℓ+1)",
+        Adap::new(|l: u32| l + 1),
+        n,
+        trials,
+        cfg.seed + 4,
+        &mut tbl,
+    );
     measure(
         "ADAP(2^ℓ)",
         Adap::new(|l: u32| 1u32 << l.min(20)),

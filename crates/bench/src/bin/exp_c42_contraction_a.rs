@@ -69,8 +69,12 @@ fn measure<D: RightOriented + Sync>(
             stats.count().to_string(),
             table::f(stats.beta_hat(), 5),
             table::f(bound, 5),
-            if stats.beta_hat() <= bound + 3.0 / (stats.count() as f64).sqrt() { "✓" } else { "✗" }
-                .to_string(),
+            if stats.beta_hat() <= bound + 3.0 / (stats.count() as f64).sqrt() {
+                "✓"
+            } else {
+                "✗"
+            }
+            .to_string(),
             table::f(stats.alpha_hat(), 4),
             stats.max_after().to_string(),
         ]);
@@ -86,10 +90,32 @@ fn main() {
     let sizes = cfg.sizes(&[16usize, 32, 64, 128], &[16, 32, 64, 128, 256, 512]);
     let steps = cfg.trials_or(120_000);
 
-    let mut tbl =
-        Table::new(["rule", "n=m", "samples", "β̂ = E[Δ']", "1 − 1/m", "≤ bound", "α̂ = Pr[Δ'≠Δ]", "max Δ'"]);
-    measure("Id-ABKU[2]", |n, m| AllocationChain::new(n, m, Removal::RandomBall, Abku::new(2)), sizes, steps, cfg.seed, &mut tbl);
-    measure("Id-ABKU[3]", |n, m| AllocationChain::new(n, m, Removal::RandomBall, Abku::new(3)), sizes, steps, cfg.seed + 1, &mut tbl);
+    let mut tbl = Table::new([
+        "rule",
+        "n=m",
+        "samples",
+        "β̂ = E[Δ']",
+        "1 − 1/m",
+        "≤ bound",
+        "α̂ = Pr[Δ'≠Δ]",
+        "max Δ'",
+    ]);
+    measure(
+        "Id-ABKU[2]",
+        |n, m| AllocationChain::new(n, m, Removal::RandomBall, Abku::new(2)),
+        sizes,
+        steps,
+        cfg.seed,
+        &mut tbl,
+    );
+    measure(
+        "Id-ABKU[3]",
+        |n, m| AllocationChain::new(n, m, Removal::RandomBall, Abku::new(3)),
+        sizes,
+        steps,
+        cfg.seed + 1,
+        &mut tbl,
+    );
     measure(
         "Id-ADAP(ℓ+1)",
         |n, m| AllocationChain::new(n, m, Removal::RandomBall, Adap::new(|l: u32| l + 1)),

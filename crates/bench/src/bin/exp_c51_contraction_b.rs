@@ -79,9 +79,7 @@ fn measure(n: usize, m: u32, want_boundary: bool, steps: usize, seed: u64) -> Ca
         let mut tries = 0usize;
         while (stats.count as usize) < steps / workers + 1 && tries < 4 * steps {
             tries += 1;
-            if let Some((mut v, mut u)) =
-                adjacent_pair(coupling.chain(), &mut rng, want_boundary)
-            {
+            if let Some((mut v, mut u)) = adjacent_pair(coupling.chain(), &mut rng, want_boundary) {
                 coupling.step_adjacent(&mut v, &mut u, &mut rng);
                 stats.record(v.delta(&u));
             }
@@ -106,12 +104,26 @@ fn main() {
     let steps = cfg.trials_or(60_000);
 
     let mut tbl = Table::new([
-        "case", "n=m", "samples", "Pr[Δ'=0]", "Pr[Δ'=1]", "Pr[Δ'=2]", "β̂ = E[Δ']", "α̂ = Pr[Δ'≠1]", "n·α̂",
+        "case",
+        "n=m",
+        "samples",
+        "Pr[Δ'=0]",
+        "Pr[Δ'=1]",
+        "Pr[Δ'=2]",
+        "β̂ = E[Δ']",
+        "α̂ = Pr[Δ'≠1]",
+        "n·α̂",
     ]);
     for &(label, boundary) in &[("s1=s2", false), ("s1=s2−1", true)] {
         for &n in sizes {
             let m = n as u32;
-            let s = measure(n, m, boundary, steps, cfg.seed ^ (n as u64) ^ u64::from(boundary));
+            let s = measure(
+                n,
+                m,
+                boundary,
+                steps,
+                cfg.seed ^ (n as u64) ^ u64::from(boundary),
+            );
             if s.count == 0 {
                 tbl.push_row([
                     label.to_string(),

@@ -24,11 +24,20 @@ fn main() {
         "Claim: τ(ε) = O(n·m²·ln ε⁻¹), improved O(m² ln·) in the full version;\n\
          lower bounds Ω(n·m), Ω(m²). Measured: §5-coupling coalescence, IB-ABKU[2], n = m.",
     );
-    let sizes = cfg.sizes(&[8usize, 12, 16, 24, 32, 48], &[8, 12, 16, 24, 32, 48, 64, 96, 128]);
+    let sizes = cfg.sizes(
+        &[8usize, 12, 16, 24, 32, 48],
+        &[8, 12, 16, 24, 32, 48, 64, 96, 128],
+    );
     let trials = cfg.trials_or(24);
 
     let mut tbl = Table::new([
-        "n=m", "B: mean", "B: median", "A: mean (ref)", "B/A", "n·m² bound", "mean/m²",
+        "n=m",
+        "B: mean",
+        "B: median",
+        "A: mean (ref)",
+        "B/A",
+        "n·m² bound",
+        "mean/m²",
     ]);
     let mut ms = Vec::new();
     let mut means = Vec::new();

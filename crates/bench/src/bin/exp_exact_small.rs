@@ -31,11 +31,28 @@ fn main() {
     let trials = cfg.trials_or(400);
     let pairs: &[(usize, u32)] = cfg.sizes(
         &[(3usize, 3u32), (4, 4), (4, 6), (5, 5), (6, 6), (6, 8)],
-        &[(3, 3), (4, 4), (4, 6), (5, 5), (6, 6), (6, 8), (8, 8), (10, 10)],
+        &[
+            (3, 3),
+            (4, 4),
+            (4, 6),
+            (5, 5),
+            (6, 6),
+            (6, 8),
+            (8, 8),
+            (10, 10),
+        ],
     );
 
     let mut tbl = Table::new([
-        "chain", "n", "m", "|Ω|", "exact τ(¼)", "τ from crash", "coupl q75", "paper bound", "relax T",
+        "chain",
+        "n",
+        "m",
+        "|Ω|",
+        "exact τ(¼)",
+        "τ from crash",
+        "coupl q75",
+        "paper bound",
+        "relax T",
     ]);
     for &(n, m) in pairs {
         // Scenario A.
@@ -43,7 +60,9 @@ fn main() {
         let mut exact = ExactChain::build(&chain);
         let tau = exact.mixing_time(0.25, 1 << 30).expect("mixes");
         let crash = LoadVector::all_in_one(n, m);
-        let tau_crash = exact.mixing_time_from(&crash, 0.25, 1 << 30).expect("mixes");
+        let tau_crash = exact
+            .mixing_time_from(&crash, 0.25, 1 << 30)
+            .expect("mixes");
         let coupling = CouplingA::new(chain);
         let rep = coalescence::measure(
             &coupling,
@@ -62,7 +81,9 @@ fn main() {
             count_partitions(m, n).to_string(),
             tau.to_string(),
             tau_crash.to_string(),
-            rep.quantile(0.75).map(|q| q.to_string()).unwrap_or("-".into()),
+            rep.quantile(0.75)
+                .map(|q| q.to_string())
+                .unwrap_or("-".into()),
             theorem1_bound(u64::from(m), 0.25).to_string(),
             table::f(relax, 1),
         ]);
@@ -71,7 +92,9 @@ fn main() {
         let chain_b = AllocationChain::new(n, m, Removal::RandomNonEmptyBin, Abku::new(2));
         let mut exact_b = ExactChain::build(&chain_b);
         let tau_b = exact_b.mixing_time(0.25, 1 << 30).expect("mixes");
-        let tau_b_crash = exact_b.mixing_time_from(&crash, 0.25, 1 << 30).expect("mixes");
+        let tau_b_crash = exact_b
+            .mixing_time_from(&crash, 0.25, 1 << 30)
+            .expect("mixes");
         let coupling_b = CouplingB::new(chain_b);
         let rep_b = coalescence::measure(
             &coupling_b,
@@ -89,7 +112,10 @@ fn main() {
             count_partitions(m, n).to_string(),
             tau_b.to_string(),
             tau_b_crash.to_string(),
-            rep_b.quantile(0.75).map(|q| q.to_string()).unwrap_or("-".into()),
+            rep_b
+                .quantile(0.75)
+                .map(|q| q.to_string())
+                .unwrap_or("-".into()),
             claim53_bound(n as u64, u64::from(m), 0.25).to_string(),
             table::f(relax_b, 1),
         ]);
@@ -120,7 +146,9 @@ fn main() {
             size.to_string(),
             tau.to_string(),
             tau_skew.to_string(),
-            rep.quantile(0.75).map(|q| q.to_string()).unwrap_or("-".into()),
+            rep.quantile(0.75)
+                .map(|q| q.to_string())
+                .unwrap_or("-".into()),
             rt_markov::path_coupling::theorem2_bound(n as u64).to_string(),
             table::f(relax, 1),
         ]);

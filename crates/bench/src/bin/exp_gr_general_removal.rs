@@ -32,7 +32,10 @@ fn main() {
     let trials = cfg.trials_or(12);
 
     let mut tbl = Table::new([
-        "α", "exact τ(¼) (n=4,m=6)", "τ from crash", format!("recovery mean (n={n})").as_str(),
+        "α",
+        "exact τ(¼) (n=4,m=6)",
+        "τ from crash",
+        format!("recovery mean (n={n})").as_str(),
     ]);
     for (i, &alpha) in alphas.iter().enumerate() {
         let chain = GeneralChain::new(n_small, m_small, PowerWeighted::new(alpha), Abku::new(2));

@@ -57,7 +57,7 @@ fn gap_pair(n: usize, k: i32, rng: &mut SmallRng) -> (DiscProfile, DiscProfile) 
     xs.push(hi);
     xs.push(low);
     let shift_each = hi + low; // total excess
-    // Remove the excess by lowering the two smallest bulk vertices.
+                               // Remove the excess by lowering the two smallest bulk vertices.
     let len = xs.len();
     xs[len - 3] -= shift_each; // one (low-rank) bulk vertex absorbs it
     let x = DiscProfile::from_values(xs.clone());
@@ -89,7 +89,9 @@ fn measure_class(
         let mut max_after = 0u64;
         let mut bad_pairs = 0u64;
         for _ in 0..per {
-            let Some((x, y)) = make(&mut rng) else { continue };
+            let Some((x, y)) = make(&mut rng) else {
+                continue;
+            };
             let before = profile_distance(&x, &y, k + 2);
             if before != Some(k) {
                 bad_pairs += 1;
@@ -125,8 +127,12 @@ fn measure_class(
         k.to_string(),
         table::f(mean_after, 5),
         table::f(budget, 5),
-        if mean_after <= budget + 3.0 * (k as f64) / (count as f64).sqrt() { "✓" } else { "✗" }
-            .to_string(),
+        if mean_after <= budget + 3.0 * (k as f64) / (count as f64).sqrt() {
+            "✓"
+        } else {
+            "✗"
+        }
+        .to_string(),
         max_after.to_string(),
     ]);
 }
@@ -143,10 +149,25 @@ fn main() {
     let samples = cfg.trials_or(8_000);
 
     let mut tbl = Table::new([
-        "pair class", "n", "samples", "Δ", "E[Δ*]", "Δ − (n choose 2)⁻¹", "≤ bound", "max Δ*",
+        "pair class",
+        "n",
+        "samples",
+        "Δ",
+        "E[Δ*]",
+        "Δ − (n choose 2)⁻¹",
+        "≤ bound",
+        "max Δ*",
     ]);
     for &n in sizes {
-        measure_class("Ḡ (unit)", n, 1, |rng| unit_pair(n, rng), samples, cfg.seed ^ n as u64, &mut tbl);
+        measure_class(
+            "Ḡ (unit)",
+            n,
+            1,
+            |rng| unit_pair(n, rng),
+            samples,
+            cfg.seed ^ n as u64,
+            &mut tbl,
+        );
     }
     for &k in &[2i32, 3] {
         for &n in sizes {

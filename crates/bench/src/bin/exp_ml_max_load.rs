@@ -47,15 +47,25 @@ fn main() {
         "Claim: max load → ln ln n / ln d + O(1) for d ≥ 2; Θ(ln n / ln ln n) for d = 1,\n\
          in both scenarios. The recovery experiments measure the time to reach these levels.",
     );
-    let sizes = cfg.sizes(&[1usize << 10, 1 << 12, 1 << 14], &[1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 17]);
+    let sizes = cfg.sizes(
+        &[1usize << 10, 1 << 12, 1 << 14],
+        &[1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 17],
+    );
     let trials = cfg.trials_or(8);
 
     let mut tbl = Table::new([
-        "scenario", "rule", "n=m", "max load", "±sd", "ln n/ln ln n", "ln ln n/ln d",
+        "scenario",
+        "rule",
+        "n=m",
+        "max load",
+        "±sd",
+        "ln n/ln ln n",
+        "ln ln n/ln d",
     ]);
-    for &(scen, scen_label) in
-        &[(Removal::RandomBall, "A (Id)"), (Removal::RandomNonEmptyBin, "B (IB)")]
-    {
+    for &(scen, scen_label) in &[
+        (Removal::RandomBall, "A (Id)"),
+        (Removal::RandomNonEmptyBin, "B (IB)"),
+    ] {
         for &n in sizes {
             let lnn = (n as f64).ln();
             let lnlnn = lnn.ln();
@@ -70,7 +80,13 @@ fn main() {
                 "-".into(),
             ]);
             for d in [2u32, 3, 4] {
-                let s = stationary_max_load(Abku::new(d), scen, n, trials, cfg.seed ^ n as u64 ^ u64::from(d));
+                let s = stationary_max_load(
+                    Abku::new(d),
+                    scen,
+                    n,
+                    trials,
+                    cfg.seed ^ n as u64 ^ u64::from(d),
+                );
                 tbl.push_row([
                     scen_label.into(),
                     format!("ABKU[{d}]"),

@@ -38,8 +38,14 @@ fn main() {
         ("L2 imbalance", observables::l2_imbalance),
     ];
 
-    let mut tbl =
-        Table::new(["observable", "n=m", "band hi", "mean recovery", "median", "mean/(m ln m)"]);
+    let mut tbl = Table::new([
+        "observable",
+        "n=m",
+        "band hi",
+        "mean recovery",
+        "median",
+        "mean/(m ln m)",
+    ]);
     for &n in sizes {
         let m = n as u32;
         let chain = AllocationChain::new(n, m, Removal::RandomBall, Abku::new(2));
@@ -62,8 +68,10 @@ fn main() {
             // genuinely inside the stationary regime.
             let q95 = rt_sim::stats::quantile(stream, 0.95);
             let band_hi = q95 + 0.02 * q95.abs().max(1.0);
-            let times =
-                par_trials(trials, cfg.seed ^ n as u64 ^ name.len() as u64, |_, seed| {
+            let times = par_trials(
+                trials,
+                cfg.seed ^ n as u64 ^ name.len() as u64,
+                |_, seed| {
                     let chain = AllocationChain::new(n, m, Removal::RandomBall, Abku::new(2));
                     let mut rng = SmallRng::seed_from_u64(seed);
                     let mut v = LoadVector::all_in_one(n, m);
@@ -75,7 +83,8 @@ fn main() {
                         (n as u64) * (n as u64) * 100,
                     )
                     .expect("recovers") as f64
-                });
+                },
+            );
             let s = stats::Summary::of(&times);
             let mlnm = f64::from(m) * f64::from(m).ln();
             tbl.push_row([

@@ -44,7 +44,10 @@ fn main() {
             (n as u64).pow(3) * 1_000,
             cfg.seed ^ n as u64,
         );
-        assert_eq!(report.failures, 0, "open coupling failed to coalesce at n={n}");
+        assert_eq!(
+            report.failures, 0,
+            "open coupling failed to coalesce at n={n}"
+        );
         let s = report.summary();
         let model = f64::from(m0) * f64::from(m0).ln();
         masses.push(f64::from(m0));

@@ -30,7 +30,10 @@ fn main() {
 
     let batches = [1usize, 4, 16, 64, 256, n / 4, n];
     let mut tbl = Table::new([
-        "batch k", "stationary max load", "recovery (ball ops)", "rec/(m ln m)",
+        "batch k",
+        "stationary max load",
+        "recovery (ball ops)",
+        "rec/(m ln m)",
     ]);
     for &k in &batches {
         let level = {

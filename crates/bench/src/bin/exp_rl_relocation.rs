@@ -30,7 +30,12 @@ fn main() {
 
     // Exact mixing times on a small instance.
     let (n_small, m_small) = (4usize, 6u32);
-    let mut tbl = Table::new(["p_reloc", "exact τ(¼) (n=4,m=6)", "recovery mean (n=1024)", "speedup"]);
+    let mut tbl = Table::new([
+        "p_reloc",
+        "exact τ(¼) (n=4,m=6)",
+        "recovery mean (n=1024)",
+        "speedup",
+    ]);
     let mut exact_taus = Vec::new();
     for &p in &ps {
         let base = AllocationChain::new(n_small, m_small, Removal::RandomNonEmptyBin, Abku::new(2));

@@ -72,14 +72,61 @@ fn main() {
     grid.push((4.0 * mlnm) as u64);
 
     let series: Vec<(&str, Vec<f64>)> = vec![
-        ("A d=1", trajectory(Abku::new(1), Removal::RandomBall, n, &grid, trials, cfg.seed)),
-        ("A d=2", trajectory(Abku::new(2), Removal::RandomBall, n, &grid, trials, cfg.seed + 1)),
-        ("A d=3", trajectory(Abku::new(3), Removal::RandomBall, n, &grid, trials, cfg.seed + 2)),
+        (
+            "A d=1",
+            trajectory(
+                Abku::new(1),
+                Removal::RandomBall,
+                n,
+                &grid,
+                trials,
+                cfg.seed,
+            ),
+        ),
+        (
+            "A d=2",
+            trajectory(
+                Abku::new(2),
+                Removal::RandomBall,
+                n,
+                &grid,
+                trials,
+                cfg.seed + 1,
+            ),
+        ),
+        (
+            "A d=3",
+            trajectory(
+                Abku::new(3),
+                Removal::RandomBall,
+                n,
+                &grid,
+                trials,
+                cfg.seed + 2,
+            ),
+        ),
         (
             "A ADAP",
-            trajectory(Adap::new(|l: u32| l + 1), Removal::RandomBall, n, &grid, trials, cfg.seed + 3),
+            trajectory(
+                Adap::new(|l: u32| l + 1),
+                Removal::RandomBall,
+                n,
+                &grid,
+                trials,
+                cfg.seed + 3,
+            ),
         ),
-        ("B d=2", trajectory(Abku::new(2), Removal::RandomNonEmptyBin, n, &grid, trials, cfg.seed + 4)),
+        (
+            "B d=2",
+            trajectory(
+                Abku::new(2),
+                Removal::RandomNonEmptyBin,
+                n,
+                &grid,
+                trials,
+                cfg.seed + 4,
+            ),
+        ),
     ];
 
     let mut headers = vec!["t".to_string(), "t/(m ln m)".to_string()];

@@ -46,14 +46,22 @@ fn main() {
         "Claim (Azar et al. / Mitzenmacher): the dynamic process's stationary max\n\
          load equals the static throw's max load up to an additive constant.",
     );
-    let sizes = cfg.sizes(&[1usize << 10, 1 << 12, 1 << 14], &[1 << 10, 1 << 12, 1 << 14, 1 << 16]);
+    let sizes = cfg.sizes(
+        &[1usize << 10, 1 << 12, 1 << 14],
+        &[1 << 10, 1 << 12, 1 << 14, 1 << 16],
+    );
     let trials = cfg.trials_or(12);
 
     let mut tbl = Table::new(["rule", "n=m", "static max", "dynamic max", "dyn − stat"]);
     for &n in sizes {
         for (label, d) in [("ABKU[1]", 1u32), ("ABKU[2]", 2), ("ABKU[3]", 3)] {
             let st = static_level(Abku::new(d), n, trials, cfg.seed ^ n as u64 ^ u64::from(d));
-            let dy = dynamic_level(Abku::new(d), n, trials, cfg.seed ^ n as u64 ^ (u64::from(d) << 8));
+            let dy = dynamic_level(
+                Abku::new(d),
+                n,
+                trials,
+                cfg.seed ^ n as u64 ^ (u64::from(d) << 8),
+            );
             tbl.push_row([
                 label.into(),
                 n.to_string(),
@@ -62,8 +70,18 @@ fn main() {
                 table::f(dy - st, 2),
             ]);
         }
-        let st = static_level(Adap::new(|l: u32| l + 1), n, trials, cfg.seed ^ n as u64 ^ 0xA1);
-        let dy = dynamic_level(Adap::new(|l: u32| l + 1), n, trials, cfg.seed ^ n as u64 ^ 0xA2);
+        let st = static_level(
+            Adap::new(|l: u32| l + 1),
+            n,
+            trials,
+            cfg.seed ^ n as u64 ^ 0xA1,
+        );
+        let dy = dynamic_level(
+            Adap::new(|l: u32| l + 1),
+            n,
+            trials,
+            cfg.seed ^ n as u64 ^ 0xA2,
+        );
         tbl.push_row([
             "ADAP(ℓ+1)".into(),
             n.to_string(),

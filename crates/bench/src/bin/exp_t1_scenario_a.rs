@@ -68,13 +68,45 @@ fn main() {
         "Claim: τ(ε) = ⌈m·ln(m ε⁻¹)⌉ for every right-oriented rule.\n\
          Measured: §4-coupling coalescence from the diameter pair (n = m).",
     );
-    let sizes = cfg.sizes(&[64usize, 128, 256, 512, 1024], &[64, 128, 256, 512, 1024, 2048, 4096]);
+    let sizes = cfg.sizes(
+        &[64usize, 128, 256, 512, 1024],
+        &[64, 128, 256, 512, 1024, 2048, 4096],
+    );
     let trials = cfg.trials_or(24);
 
-    let mut tbl = Table::new(["rule", "n=m", "mean", "median", "max", "T1 bound (ε=¼)", "mean/bound"]);
-    run_rule("Id-ABKU[1]", |n, m| AllocationChain::new(n, m, Removal::RandomBall, Abku::new(1)), sizes, trials, cfg.seed, &mut tbl);
-    run_rule("Id-ABKU[2]", |n, m| AllocationChain::new(n, m, Removal::RandomBall, Abku::new(2)), sizes, trials, cfg.seed + 1, &mut tbl);
-    run_rule("Id-ABKU[3]", |n, m| AllocationChain::new(n, m, Removal::RandomBall, Abku::new(3)), sizes, trials, cfg.seed + 2, &mut tbl);
+    let mut tbl = Table::new([
+        "rule",
+        "n=m",
+        "mean",
+        "median",
+        "max",
+        "T1 bound (ε=¼)",
+        "mean/bound",
+    ]);
+    run_rule(
+        "Id-ABKU[1]",
+        |n, m| AllocationChain::new(n, m, Removal::RandomBall, Abku::new(1)),
+        sizes,
+        trials,
+        cfg.seed,
+        &mut tbl,
+    );
+    run_rule(
+        "Id-ABKU[2]",
+        |n, m| AllocationChain::new(n, m, Removal::RandomBall, Abku::new(2)),
+        sizes,
+        trials,
+        cfg.seed + 1,
+        &mut tbl,
+    );
+    run_rule(
+        "Id-ABKU[3]",
+        |n, m| AllocationChain::new(n, m, Removal::RandomBall, Abku::new(3)),
+        sizes,
+        trials,
+        cfg.seed + 2,
+        &mut tbl,
+    );
     run_rule(
         "Id-ADAP(ℓ+1)",
         |n, m| AllocationChain::new(n, m, Removal::RandomBall, Adap::new(|l: u32| l + 1)),

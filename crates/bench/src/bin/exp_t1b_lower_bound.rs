@@ -26,10 +26,20 @@ fn main() {
         "Claim: recovery from v(0) = m·e₁ needs Ω(m ln m) steps.\n\
          Measured: max-load recovery time of Id-ABKU[2] from the crash state, n = m.",
     );
-    let sizes = cfg.sizes(&[64usize, 128, 256, 512, 1024], &[64, 128, 256, 512, 1024, 2048, 4096]);
+    let sizes = cfg.sizes(
+        &[64usize, 128, 256, 512, 1024],
+        &[64, 128, 256, 512, 1024, 2048, 4096],
+    );
     let trials = cfg.trials_or(24);
 
-    let mut tbl = Table::new(["n=m", "band hi", "mean recovery", "median", "m ln m", "mean/(m ln m)"]);
+    let mut tbl = Table::new([
+        "n=m",
+        "band hi",
+        "mean recovery",
+        "median",
+        "m ln m",
+        "mean/(m ln m)",
+    ]);
     let mut ms = Vec::new();
     let mut means = Vec::new();
     for &n in sizes {

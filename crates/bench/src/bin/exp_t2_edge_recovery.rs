@@ -23,11 +23,21 @@ fn main() {
         "Claim: τ(¼) = O(n² ln² n), improving O(n⁵) [Ajtai et al.]; also τ = Ω(n²).\n\
          Measured: unfairness recovery from the skewed start (±n/4), lazy greedy chain.",
     );
-    let sizes = cfg.sizes(&[32usize, 48, 64, 96, 128, 192], &[32, 48, 64, 96, 128, 192, 256, 384, 512]);
+    let sizes = cfg.sizes(
+        &[32usize, 48, 64, 96, 128, 192],
+        &[32, 48, 64, 96, 128, 192, 256, 384, 512],
+    );
     let trials = cfg.trials_or(16);
 
     let mut tbl = Table::new([
-        "n", "band hi", "mean recovery", "median", "n² ln² n", "mean/(n² ln² n)", "n³ / mean", "n⁵ / mean",
+        "n",
+        "band hi",
+        "mean recovery",
+        "median",
+        "n² ln² n",
+        "mean/(n² ln² n)",
+        "n³ / mean",
+        "n⁵ / mean",
     ]);
     let mut ns = Vec::new();
     let mut means = Vec::new();

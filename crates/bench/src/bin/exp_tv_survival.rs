@@ -44,8 +44,14 @@ fn main() {
     let grid_b = geometric_grid(1, 2048, 1.8);
     let tv_b = exact_b.tv_curve(&crash, &grid_b);
     let coupling_b = CouplingB::new(chain_b);
-    let rep_b =
-        coalescence::measure(&coupling_b, &crash, &balanced, trials, 1 << 22, cfg.seed + 1);
+    let rep_b = coalescence::measure(
+        &coupling_b,
+        &crash,
+        &balanced,
+        trials,
+        1 << 22,
+        cfg.seed + 1,
+    );
     let surv_b = rep_b.survival_curve(&grid_b);
 
     let mut tbl = Table::new(["t", "A: exact TV", "A: Pr[alive]", "dominates"]);
@@ -54,7 +60,12 @@ fn main() {
             t.to_string(),
             table::f(tv_a[i], 4),
             table::f(surv_a[i], 4),
-            if surv_a[i] + 0.02 >= tv_a[i] { "✓" } else { "✗" }.to_string(),
+            if surv_a[i] + 0.02 >= tv_a[i] {
+                "✓"
+            } else {
+                "✗"
+            }
+            .to_string(),
         ]);
     }
     println!("\nScenario A (Id-ABKU[2], n=6, m=8):\n{}", tbl.render());
@@ -65,7 +76,12 @@ fn main() {
             t.to_string(),
             table::f(tv_b[i], 4),
             table::f(surv_b[i], 4),
-            if surv_b[i] + 0.02 >= tv_b[i] { "✓" } else { "✗" }.to_string(),
+            if surv_b[i] + 0.02 >= tv_b[i] {
+                "✓"
+            } else {
+                "✗"
+            }
+            .to_string(),
         ]);
     }
     println!("Scenario B (IB-ABKU[2], n=6, m=8):\n{}", tbl_b.render());

@@ -33,7 +33,13 @@ fn main() {
     let trials = cfg.trials_or(8);
 
     let mut tbl = Table::new([
-        "n", "greedy mean", "±sd", "coin-flip mean", "degree-bal mean", "ln ln n", "greedy/ln ln n",
+        "n",
+        "greedy mean",
+        "±sd",
+        "coin-flip mean",
+        "degree-bal mean",
+        "ln ln n",
+        "greedy/ln ln n",
     ]);
     for &n in sizes {
         let horizon = 20 * (n as u64) * ((n as f64).ln() as u64 + 1);
@@ -53,7 +59,11 @@ fn main() {
             coin.run(horizon, &mut rng);
             let mut maj = MajorityOrientation::new(&DiscProfile::zero(n));
             maj.run(horizon, &mut rng);
-            (acc / samples as f64, f64::from(coin.unfairness()), f64::from(maj.unfairness()))
+            (
+                acc / samples as f64,
+                f64::from(coin.unfairness()),
+                f64::from(maj.unfairness()),
+            )
         });
         let greedy: Vec<f64> = results.iter().map(|r| r.0).collect();
         let coin: Vec<f64> = results.iter().map(|r| r.1).collect();

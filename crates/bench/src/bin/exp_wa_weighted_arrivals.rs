@@ -22,7 +22,10 @@ fn main() {
         "The paper assumes uniform arrivals; this measures how the Θ(log log n)\n\
          plateau degrades as arrival skew grows.",
     );
-    let sizes = cfg.sizes(&[1usize << 8, 1 << 10, 1 << 12], &[1 << 8, 1 << 10, 1 << 12, 1 << 14]);
+    let sizes = cfg.sizes(
+        &[1usize << 8, 1 << 10, 1 << 12],
+        &[1 << 8, 1 << 10, 1 << 12, 1 << 14],
+    );
     let skews = [0.0f64, 0.25, 0.5, 0.75, 1.0];
     let trials = cfg.trials_or(8);
 
@@ -30,19 +33,23 @@ fn main() {
     for &s in &skews {
         for &n in sizes {
             let horizon = 30 * (n as u64) * ((n as f64).ln() as u64 + 1);
-            let obs = par_trials(trials, cfg.seed ^ n as u64 ^ (s * 100.0) as u64, |_, seed| {
-                let mut rng = SmallRng::seed_from_u64(seed);
-                let mut g =
-                    WeightedGreedy::new(&DiscProfile::zero(n), WeightedArrivals::zipf(n, s));
-                g.run(horizon, &mut rng);
-                let mut acc = 0.0;
-                let samples = 16;
-                for _ in 0..samples {
-                    g.run(n as u64, &mut rng);
-                    acc += f64::from(g.unfairness());
-                }
-                acc / samples as f64
-            });
+            let obs = par_trials(
+                trials,
+                cfg.seed ^ n as u64 ^ (s * 100.0) as u64,
+                |_, seed| {
+                    let mut rng = SmallRng::seed_from_u64(seed);
+                    let mut g =
+                        WeightedGreedy::new(&DiscProfile::zero(n), WeightedArrivals::zipf(n, s));
+                    g.run(horizon, &mut rng);
+                    let mut acc = 0.0;
+                    let samples = 16;
+                    for _ in 0..samples {
+                        g.run(n as u64, &mut rng);
+                        acc += f64::from(g.unfairness());
+                    }
+                    acc / samples as f64
+                },
+            );
             let summary = stats::Summary::of(&obs);
             tbl.push_row([
                 table::f(s, 2),

@@ -30,17 +30,24 @@ fn main() {
         "Jobs carry weights; insertion compares weighted loads. The removal\n\
          lottery is still uniform over jobs, so Theorem 1's clock survives.",
     );
-    let sizes = cfg.sizes(&[256usize, 512, 1024, 2048], &[256, 512, 1024, 2048, 4096, 8192]);
+    let sizes = cfg.sizes(
+        &[256usize, 512, 1024, 2048],
+        &[256, 512, 1024, 2048, 4096, 8192],
+    );
     let trials = cfg.trials_or(12);
 
     let mut tbl = Table::new([
-        "weights", "n=m", "mean wt/bin", "stationary max", "recovery mean", "rec/(m ln m)",
+        "weights",
+        "n=m",
+        "mean wt/bin",
+        "stationary max",
+        "recovery mean",
+        "rec/(m ln m)",
     ]);
     for kind in ["unit", "bimodal", "geometric"] {
         for &n in sizes {
             let ws = weights(kind, n);
-            let mean_per_bin =
-                ws.iter().map(|&w| f64::from(w)).sum::<f64>() / n as f64;
+            let mean_per_bin = ws.iter().map(|&w| f64::from(w)).sum::<f64>() / n as f64;
             // Stationary level.
             let level = {
                 let obs = par_trials(trials, cfg.seed ^ n as u64 ^ kind.len() as u64, |_, s| {
@@ -59,8 +66,10 @@ fn main() {
             // Recovery from the weighted crash.
             let target = level.mean.ceil() + 1.0;
             let rec = {
-                let times =
-                    par_trials(trials, cfg.seed ^ (n as u64) << 8 ^ kind.len() as u64, |_, s| {
+                let times = par_trials(
+                    trials,
+                    cfg.seed ^ (n as u64) << 8 ^ kind.len() as u64,
+                    |_, s| {
                         let mut rng = SmallRng::seed_from_u64(s);
                         let mut p = WeightedProcess::crashed(n, 2, &ws);
                         recovery::time_to_threshold(
@@ -74,7 +83,8 @@ fn main() {
                             (n as u64) * (n as u64) * 10,
                         )
                         .expect("recovers") as f64
-                    });
+                    },
+                );
                 stats::Summary::of(&times)
             };
             let mlnm = (n as f64) * (n as f64).ln();

@@ -60,7 +60,10 @@ impl Config {
 }
 
 fn parse_env<T: std::str::FromStr + Copy>(name: &str, default: T) -> T {
-    env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Print the standard experiment header.
@@ -78,12 +81,24 @@ mod tests {
     #[test]
     fn defaults_without_env() {
         // Env vars are process-global; just verify the accessors.
-        let cfg = Config { seed: 1, trials: 0, full: false };
+        let cfg = Config {
+            seed: 1,
+            trials: 0,
+            full: false,
+        };
         assert_eq!(cfg.trials_or(7), 7);
-        let cfg2 = Config { seed: 1, trials: 3, full: false };
+        let cfg2 = Config {
+            seed: 1,
+            trials: 3,
+            full: false,
+        };
         assert_eq!(cfg2.trials_or(7), 3);
         assert_eq!(cfg.sizes(&[1, 2], &[1, 2, 3]).len(), 2);
-        let cfg3 = Config { seed: 1, trials: 0, full: true };
+        let cfg3 = Config {
+            seed: 1,
+            trials: 0,
+            full: true,
+        };
         assert_eq!(cfg3.sizes(&[1, 2], &[1, 2, 3]).len(), 3);
     }
 }

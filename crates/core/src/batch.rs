@@ -46,7 +46,12 @@ impl<D: FastRule> BatchedProcess<D> {
             inner.total()
         );
         let n = inner.loads().len();
-        BatchedProcess { inner, batch, snapshot: vec![0; n], pending: Vec::with_capacity(batch) }
+        BatchedProcess {
+            inner,
+            batch,
+            snapshot: vec![0; n],
+            pending: Vec::with_capacity(batch),
+        }
     }
 
     /// The batch size `k`.
@@ -107,8 +112,7 @@ mod tests {
 
     #[test]
     fn rounds_preserve_ball_count() {
-        let mut p =
-            BatchedProcess::new(Removal::RandomBall, Abku::new(2), vec![4u32; 32], 8);
+        let mut p = BatchedProcess::new(Removal::RandomBall, Abku::new(2), vec![4u32; 32], 8);
         let mut rng = SmallRng::seed_from_u64(311);
         for _ in 0..2_000 {
             p.round(&mut rng);
@@ -124,8 +128,7 @@ mod tests {
         // stationary mean max load against the plain FastProcess.
         let n = 64usize;
         let mut rng = SmallRng::seed_from_u64(313);
-        let mut batched =
-            BatchedProcess::new(Removal::RandomBall, Abku::new(2), vec![1u32; n], 1);
+        let mut batched = BatchedProcess::new(Removal::RandomBall, Abku::new(2), vec![1u32; n], 1);
         batched.run(20_000, &mut rng);
         let mut acc_b = 0.0;
         for _ in 0..20_000 {
@@ -150,8 +153,7 @@ mod tests {
         let n = 256usize;
         let mut rng = SmallRng::seed_from_u64(317);
         let level = |k: usize, rng: &mut SmallRng| {
-            let mut p =
-                BatchedProcess::new(Removal::RandomBall, Abku::new(2), vec![1u32; n], k);
+            let mut p = BatchedProcess::new(Removal::RandomBall, Abku::new(2), vec![1u32; n], k);
             p.run((40 * n / k) as u64, rng);
             let mut worst = 0u32;
             for _ in 0..200 {

@@ -22,6 +22,7 @@
 //! the one whose contraction the experiments measure.
 
 use crate::dist;
+use crate::fenwick::{coupled_insert_sampled, SampledLoadVector, SampledPairCoupling};
 use crate::right_oriented::{coupled_insert, RightOriented, SeqSeed};
 use crate::scenario::{AllocationChain, Removal};
 use crate::LoadVector;
@@ -119,6 +120,87 @@ impl<D: RightOriented> CouplingA<D> {
         u.sub_at(j);
         let rs = SeqSeed::sample(rng);
         coupled_insert(self.chain.rule(), v, u, rs);
+    }
+
+    /// [`Self::step_adjacent`] on Fenwick-sampled state: the 𝒜(v) draw
+    /// and both CDF inversions run in O(log n). RNG-identical to the
+    /// unsampled phase.
+    ///
+    /// # Panics
+    /// If the pair is not adjacent (`Δ(v, u) ≠ 1`).
+    pub fn step_adjacent_sampled<R: Rng + ?Sized>(
+        &self,
+        v: &mut SampledLoadVector,
+        u: &mut SampledLoadVector,
+        rng: &mut R,
+    ) {
+        if let Some((lambda, delta)) = v.vector().adjacent_offsets(u.vector()) {
+            self.step_adjacent_oriented_sampled(v, u, lambda, delta, rng);
+        } else if let Some((lambda, delta)) = u.vector().adjacent_offsets(v.vector()) {
+            self.step_adjacent_oriented_sampled(u, v, lambda, delta, rng);
+        } else {
+            panic!("step_adjacent called on a non-adjacent pair");
+        }
+    }
+
+    fn step_adjacent_oriented_sampled<R: Rng + ?Sized>(
+        &self,
+        v: &mut SampledLoadVector,
+        u: &mut SampledLoadVector,
+        lambda: usize,
+        delta: usize,
+        rng: &mut R,
+    ) {
+        let i = v.sample_ball_weighted(rng);
+        let j = if i == lambda {
+            if rng.random_range(0..u64::from(v.load(lambda))) == 0 {
+                delta
+            } else {
+                i
+            }
+        } else {
+            i
+        };
+        v.sub_at(i);
+        u.sub_at(j);
+        let rs = SeqSeed::sample(rng);
+        coupled_insert_sampled(self.chain.rule(), v, u, rs);
+    }
+
+    /// [`Self::step_quantile`] on Fenwick-sampled state. RNG-identical
+    /// to the unsampled phase.
+    pub fn step_quantile_sampled<R: Rng + ?Sized>(
+        &self,
+        v: &mut SampledLoadVector,
+        u: &mut SampledLoadVector,
+        rng: &mut R,
+    ) {
+        debug_assert_eq!(v.total(), u.total());
+        let r = rng.random_range(0..v.total());
+        let i = v.quantile_ball_weighted(r);
+        let j = u.quantile_ball_weighted(r);
+        v.sub_at(i);
+        u.sub_at(j);
+        let rs = SeqSeed::sample(rng);
+        coupled_insert_sampled(self.chain.rule(), v, u, rs);
+    }
+}
+
+impl<D: RightOriented> SampledPairCoupling for CouplingA<D> {
+    fn step_pair_sampled<R: Rng + ?Sized>(
+        &self,
+        x: &mut SampledLoadVector,
+        y: &mut SampledLoadVector,
+        rng: &mut R,
+    ) {
+        if x == y {
+            self.chain.step_sampled_with_seed(x, rng);
+            y.copy_from(x);
+        } else if x.delta(y) == 1 {
+            self.step_adjacent_sampled(x, y, rng);
+        } else {
+            self.step_quantile_sampled(x, y, rng);
+        }
     }
 }
 
@@ -276,7 +358,10 @@ mod tests {
         let mean = total as f64 / trials as f64;
         // The coupling bound is an upper bound on expectation up to the
         // ln factor; sanity-band the measurement around m ln m.
-        assert!(mean < 20.0 * bound as f64, "mean coalescence {mean} vs bound {bound}");
+        assert!(
+            mean < 20.0 * bound as f64,
+            "mean coalescence {mean} vs bound {bound}"
+        );
     }
 
     #[test]
@@ -290,6 +375,42 @@ mod tests {
             c.step_pair(&mut x, &mut y, &mut rng);
             assert_eq!(x, y);
         }
+    }
+
+    #[test]
+    fn sampled_pair_coupling_is_bit_identical() {
+        let chain = AllocationChain::new(8, 20, Removal::RandomBall, Abku::new(2));
+        let c = CouplingA::new(chain);
+        let mut rng_a = SmallRng::seed_from_u64(131);
+        let mut rng_b = SmallRng::seed_from_u64(131);
+        let mut x = LoadVector::all_in_one(8, 20);
+        let mut y = LoadVector::balanced(8, 20);
+        let mut sx = SampledLoadVector::new(x.clone());
+        let mut sy = SampledLoadVector::new(y.clone());
+        for t in 0..3_000 {
+            c.step_pair(&mut x, &mut y, &mut rng_a);
+            c.step_pair_sampled(&mut sx, &mut sy, &mut rng_b);
+            assert_eq!(x, *sx.vector(), "x diverged at step {t}");
+            assert_eq!(y, *sy.vector(), "y diverged at step {t}");
+        }
+    }
+
+    #[test]
+    fn sampled_wrapper_plugs_into_coalescence_machinery() {
+        use crate::fenwick::Sampled;
+        let n = 8usize;
+        let m = 8u32;
+        let chain = AllocationChain::new(n, m, Removal::RandomBall, Abku::new(2));
+        let c = Sampled(CouplingA::new(chain));
+        let mut rng = SmallRng::seed_from_u64(137);
+        let t = coalescence_time(
+            &c,
+            SampledLoadVector::new(LoadVector::all_in_one(n, m)),
+            SampledLoadVector::new(LoadVector::balanced(n, m)),
+            1_000_000,
+            &mut rng,
+        );
+        assert!(t.is_some(), "sampled coupling failed to coalesce");
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! monotone quantile coupling on ℬ.
 
 use crate::dist;
+use crate::fenwick::{coupled_insert_sampled, SampledLoadVector, SampledPairCoupling};
 use crate::right_oriented::{coupled_insert, RightOriented, SeqSeed};
 use crate::scenario::{AllocationChain, Removal};
 use crate::LoadVector;
@@ -143,6 +144,106 @@ impl<D: RightOriented> CouplingB<D> {
         u.sub_at(j);
         let rs = SeqSeed::sample(rng);
         coupled_insert(self.chain.rule(), v, u, rs);
+    }
+
+    /// [`Self::step_adjacent`] on Fenwick-sampled state. Scenario B
+    /// never inverts the 𝒜-CDF, so the gain here is keeping the sampler
+    /// in sync (O(log n)) so mixed workloads can stay on sampled state;
+    /// the phase is RNG-identical to the unsampled one.
+    ///
+    /// # Panics
+    /// If the pair is not adjacent (`Δ(v, u) ≠ 1`).
+    pub fn step_adjacent_sampled<R: Rng + ?Sized>(
+        &self,
+        v: &mut SampledLoadVector,
+        u: &mut SampledLoadVector,
+        rng: &mut R,
+    ) {
+        let Some((lambda, delta)) = v.vector().adjacent_offsets(u.vector()) else {
+            panic!("step_adjacent called on a non-adjacent pair");
+        };
+        if lambda < delta {
+            self.step_adjacent_oriented_sampled(v, u, lambda, delta, rng);
+        } else {
+            self.step_adjacent_oriented_sampled(u, v, delta, lambda, rng);
+        }
+    }
+
+    fn step_adjacent_oriented_sampled<R: Rng + ?Sized>(
+        &self,
+        v: &mut SampledLoadVector,
+        u: &mut SampledLoadVector,
+        lambda: usize,
+        delta: usize,
+        rng: &mut R,
+    ) {
+        let s_v = v.nonempty();
+        let s_u = u.nonempty();
+        debug_assert!(s_v == s_u || s_v + 1 == s_u, "impossible non-empty counts");
+
+        let (i, i_star) = if s_v == s_u {
+            let i = rng.random_range(0..s_v);
+            let i_star = if i == lambda {
+                delta
+            } else if i == delta {
+                lambda
+            } else {
+                i
+            };
+            (i, i_star)
+        } else {
+            debug_assert_eq!(v.load(delta), 0);
+            debug_assert_eq!(delta, s_u - 1);
+            let i_star = rng.random_range(0..s_u);
+            let i = if i_star == delta {
+                lambda
+            } else if i_star == lambda {
+                rng.random_range(0..s_v)
+            } else {
+                i_star
+            };
+            (i, i_star)
+        };
+        debug_assert!(v.load(i) > 0 && u.load(i_star) > 0);
+        v.sub_at(i);
+        u.sub_at(i_star);
+        let rs = SeqSeed::sample(rng);
+        coupled_insert_sampled(self.chain.rule(), v, u, rs);
+    }
+
+    /// [`Self::step_quantile`] on Fenwick-sampled state. RNG-identical
+    /// to the unsampled phase.
+    pub fn step_quantile_sampled<R: Rng + ?Sized>(
+        &self,
+        v: &mut SampledLoadVector,
+        u: &mut SampledLoadVector,
+        rng: &mut R,
+    ) {
+        let q: f64 = rng.random();
+        let i = dist::quantile_nonempty(v.vector(), q);
+        let j = dist::quantile_nonempty(u.vector(), q);
+        v.sub_at(i);
+        u.sub_at(j);
+        let rs = SeqSeed::sample(rng);
+        coupled_insert_sampled(self.chain.rule(), v, u, rs);
+    }
+}
+
+impl<D: RightOriented> SampledPairCoupling for CouplingB<D> {
+    fn step_pair_sampled<R: Rng + ?Sized>(
+        &self,
+        x: &mut SampledLoadVector,
+        y: &mut SampledLoadVector,
+        rng: &mut R,
+    ) {
+        if x == y {
+            self.chain.step_sampled_with_seed(x, rng);
+            y.copy_from(x);
+        } else if x.delta(y) == 1 {
+            self.step_adjacent_sampled(x, y, rng);
+        } else {
+            self.step_quantile_sampled(x, y, rng);
+        }
     }
 }
 
@@ -264,10 +365,14 @@ mod tests {
         use rt_markov::chain::EnumerableChain;
         let u = LoadVector::from_loads(vec![2, 2, 1, 1]);
         let v = u.try_shift(0, 3).unwrap(); // [3,2,1,0]… wait: [3,2,1,0] has s=3, u has s=4.
-        // Pick a pair that genuinely has equal non-empty counts:
+                                            // Pick a pair that genuinely has equal non-empty counts:
         let u2 = LoadVector::from_loads(vec![2, 2, 2, 0]);
         let v2 = u2.try_shift(0, 2).unwrap(); // [3,2,1,0]: s=3 both.
-        let (v, u) = if v.nonempty() == u.nonempty() { (v, u) } else { (v2, u2) };
+        let (v, u) = if v.nonempty() == u.nonempty() {
+            (v, u)
+        } else {
+            (v2, u2)
+        };
         assert_eq!(v.nonempty(), u.nonempty());
 
         let chain = AllocationChain::new(4, 6, Removal::RandomNonEmptyBin, Abku::new(2));
@@ -307,6 +412,24 @@ mod tests {
                 &mut rng,
             );
             assert!(t.is_some(), "scenario-B coupling failed to coalesce");
+        }
+    }
+
+    #[test]
+    fn sampled_pair_coupling_is_bit_identical() {
+        let chain = AllocationChain::new(8, 20, Removal::RandomNonEmptyBin, Abku::new(2));
+        let c = CouplingB::new(chain);
+        let mut rng_a = SmallRng::seed_from_u64(139);
+        let mut rng_b = SmallRng::seed_from_u64(139);
+        let mut x = LoadVector::all_in_one(8, 20);
+        let mut y = LoadVector::balanced(8, 20);
+        let mut sx = SampledLoadVector::new(x.clone());
+        let mut sy = SampledLoadVector::new(y.clone());
+        for t in 0..3_000 {
+            c.step_pair(&mut x, &mut y, &mut rng_a);
+            c.step_pair_sampled(&mut sx, &mut sy, &mut rng_b);
+            assert_eq!(x, *sx.vector(), "x diverged at step {t}");
+            assert_eq!(y, *sy.vector(), "y diverged at step {t}");
         }
     }
 

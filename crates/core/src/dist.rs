@@ -126,7 +126,9 @@ mod tests {
     #[test]
     fn quantiles_cover_support_in_order() {
         let v = LoadVector::from_loads(vec![2, 1, 1, 0]);
-        let picks: Vec<usize> = (0..v.total()).map(|r| quantile_ball_weighted(&v, r)).collect();
+        let picks: Vec<usize> = (0..v.total())
+            .map(|r| quantile_ball_weighted(&v, r))
+            .collect();
         assert_eq!(picks, vec![0, 0, 1, 2]);
         assert_eq!(quantile_nonempty(&v, 0.0), 0);
         assert_eq!(quantile_nonempty(&v, 0.34), 1);

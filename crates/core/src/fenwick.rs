@@ -1,0 +1,469 @@
+//! O(log n) weighted sampling for 𝒜(v) via a Fenwick (binary indexed)
+//! tree over bin loads.
+//!
+//! [`crate::dist::quantile_ball_weighted`] inverts the 𝒜(v) CDF by a
+//! linear scan — O(n) per draw, the dominant cost of scenario-A steps
+//! on the normalized chain once n is large. [`FenwickSampler`]
+//! maintains the prefix sums incrementally: ±1 load updates and
+//! quantile inversion are both O(log n), and the quantile agrees with
+//! the linear scan *index for index* (both compute
+//! `min{ i : r < Σ_{t≤i} v_t }` over the same exact integer sums — no
+//! floating point anywhere).
+//!
+//! [`SampledLoadVector`] pairs a [`LoadVector`] with a sampler kept in
+//! sync through the normalized update operations (`⊕ e_i` / `⊖ e_i`,
+//! which report the index actually mutated), giving the allocation
+//! chains and couplings an O(log n) scenario-A phase without touching
+//! the semantics of the normalized representation. The chains consume
+//! the *same* RNG stream as their unsampled counterparts, so
+//! trajectories are bit-identical for a fixed seed.
+
+use crate::LoadVector;
+use rand::Rng;
+
+/// A Fenwick tree over `n` bin loads supporting O(log n) point update
+/// and O(log n) inverse-CDF sampling from 𝒜(v).
+///
+/// ```
+/// use rt_core::fenwick::FenwickSampler;
+/// let s = FenwickSampler::from_loads(&[2, 1, 1, 0]);
+/// let picks: Vec<usize> = (0..s.total()).map(|r| s.quantile(r)).collect();
+/// assert_eq!(picks, vec![0, 0, 1, 2]); // same as the linear scan
+/// ```
+#[derive(Clone, Debug)]
+pub struct FenwickSampler {
+    /// 1-based implicit tree: `tree[j]` = sum of the `j & (-j)` loads
+    /// ending at index `j − 1`.
+    tree: Vec<u64>,
+    n: usize,
+    total: u64,
+    /// Largest power of two ≤ n (descent start mask).
+    top: usize,
+}
+
+impl FenwickSampler {
+    /// An all-zero sampler over `n` bins.
+    ///
+    /// # Panics
+    /// If `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one bin");
+        let top = usize::BITS as usize - 1 - n.leading_zeros() as usize;
+        FenwickSampler {
+            tree: vec![0; n + 1],
+            n,
+            total: 0,
+            top: 1 << top,
+        }
+    }
+
+    /// Build from raw loads in O(n).
+    pub fn from_loads(loads: &[u32]) -> Self {
+        let mut s = Self::new(loads.len());
+        for (i, &l) in loads.iter().enumerate() {
+            s.tree[i + 1] = u64::from(l);
+            s.total += u64::from(l);
+        }
+        for j in 1..=s.n {
+            let parent = j + (j & j.wrapping_neg());
+            if parent <= s.n {
+                s.tree[parent] += s.tree[j];
+            }
+        }
+        s
+    }
+
+    /// Build from a normalized load vector in O(n).
+    pub fn from_load_vector(v: &LoadVector) -> Self {
+        Self::from_loads(v.as_slice())
+    }
+
+    /// Number of bins.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Total weight (ball count).
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Add `w` to the load at index `i`.
+    #[inline]
+    pub fn add(&mut self, i: usize, w: u32) {
+        debug_assert!(i < self.n);
+        let mut j = i + 1;
+        while j <= self.n {
+            self.tree[j] += u64::from(w);
+            j += j & j.wrapping_neg();
+        }
+        self.total += u64::from(w);
+    }
+
+    /// Subtract `w` from the load at index `i`.
+    ///
+    /// Underflow panics in debug builds (the tree stores prefix sums,
+    /// so a negative load corrupts every ancestor).
+    #[inline]
+    pub fn sub(&mut self, i: usize, w: u32) {
+        debug_assert!(i < self.n);
+        debug_assert!(self.weight(i) >= u64::from(w), "fenwick underflow at {i}");
+        let mut j = i + 1;
+        while j <= self.n {
+            self.tree[j] -= u64::from(w);
+            j += j & j.wrapping_neg();
+        }
+        self.total -= u64::from(w);
+    }
+
+    /// Add one ball at index `i`.
+    #[inline]
+    pub fn inc(&mut self, i: usize) {
+        self.add(i, 1);
+    }
+
+    /// Remove one ball at index `i`.
+    #[inline]
+    pub fn dec(&mut self, i: usize) {
+        self.sub(i, 1);
+    }
+
+    /// Inclusive prefix sum `Σ_{t<i} w_t` of the first `i` loads.
+    #[inline]
+    pub fn prefix(&self, i: usize) -> u64 {
+        debug_assert!(i <= self.n);
+        let mut sum = 0u64;
+        let mut j = i;
+        while j > 0 {
+            sum += self.tree[j];
+            j &= j - 1;
+        }
+        sum
+    }
+
+    /// Current weight at index `i` (O(log n)).
+    #[inline]
+    pub fn weight(&self, i: usize) -> u64 {
+        self.prefix(i + 1) - self.prefix(i)
+    }
+
+    /// Inverse CDF of 𝒜: the index `i` with
+    /// `Σ_{t<i} w_t ≤ r < Σ_{t≤i} w_t` — index-identical to
+    /// [`crate::dist::quantile_ball_weighted`].
+    ///
+    /// # Panics
+    /// Debug builds panic if `r ≥ total`.
+    #[inline]
+    pub fn quantile(&self, r: u64) -> usize {
+        debug_assert!(r < self.total, "quantile argument out of range");
+        // Bit-descend: grow a 1-based position while the cumulative sum
+        // stays ≤ r; the count of absorbed leading loads is the answer.
+        let mut pos = 0usize;
+        let mut rem = r;
+        let mut mask = self.top;
+        while mask > 0 {
+            let next = pos + mask;
+            if next <= self.n && self.tree[next] <= rem {
+                rem -= self.tree[next];
+                pos = next;
+            }
+            mask >>= 1;
+        }
+        pos
+    }
+
+    /// Sample `i ~ 𝒜(v)`: one uniform draw in `[0, total)` inverted
+    /// through [`Self::quantile`]. Consumes the RNG exactly like
+    /// [`crate::dist::sample_ball_weighted`].
+    ///
+    /// # Panics
+    /// If the total weight is zero.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        assert!(self.total > 0, "𝒜(v) is undefined for an empty system");
+        let r = rng.random_range(0..self.total);
+        self.quantile(r)
+    }
+}
+
+/// A normalized load vector bundled with a [`FenwickSampler`] kept in
+/// sync through the `⊕ e_i` / `⊖ e_i` operations.
+///
+/// Read access goes through `Deref<Target = LoadVector>`; mutation must
+/// go through [`SampledLoadVector::add_at`] / [`SampledLoadVector::sub_at`]
+/// (or [`coupled_insert_sampled`]) so the tree tracks the vector. The
+/// sync is exact because Fact 3.2 pins down the index actually mutated
+/// by a normalized update, and `LoadVector::add_at`/`sub_at` report it.
+#[derive(Clone, Debug)]
+pub struct SampledLoadVector {
+    v: LoadVector,
+    sampler: FenwickSampler,
+}
+
+impl SampledLoadVector {
+    /// Wrap a load vector, building its sampler in O(n).
+    pub fn new(v: LoadVector) -> Self {
+        let sampler = FenwickSampler::from_load_vector(&v);
+        SampledLoadVector { v, sampler }
+    }
+
+    /// The underlying normalized vector.
+    #[inline]
+    pub fn vector(&self) -> &LoadVector {
+        &self.v
+    }
+
+    /// Unwrap into the normalized vector.
+    pub fn into_vector(self) -> LoadVector {
+        self.v
+    }
+
+    /// The synced sampler.
+    #[inline]
+    pub fn sampler(&self) -> &FenwickSampler {
+        &self.sampler
+    }
+
+    /// `v ⊕ e_i` with sampler sync; returns the mutated index.
+    #[inline]
+    pub fn add_at(&mut self, i: usize) -> usize {
+        let j = self.v.add_at(i);
+        self.sampler.inc(j);
+        j
+    }
+
+    /// `v ⊖ e_i` with sampler sync; returns the mutated index.
+    #[inline]
+    pub fn sub_at(&mut self, i: usize) -> usize {
+        let s = self.v.sub_at(i);
+        self.sampler.dec(s);
+        s
+    }
+
+    /// O(log n) inverse CDF of 𝒜(v) — index-identical to
+    /// [`crate::dist::quantile_ball_weighted`] on the wrapped vector.
+    #[inline]
+    pub fn quantile_ball_weighted(&self, r: u64) -> usize {
+        self.sampler.quantile(r)
+    }
+
+    /// O(log n) sample from 𝒜(v), RNG-compatible with
+    /// [`crate::dist::sample_ball_weighted`].
+    #[inline]
+    pub fn sample_ball_weighted<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.sampler.sample(rng)
+    }
+
+    /// Assign from another sampled vector without allocating (both the
+    /// loads and the tree are copied slice-to-slice).
+    ///
+    /// # Panics
+    /// If the bin counts differ.
+    pub fn copy_from(&mut self, other: &SampledLoadVector) {
+        self.v.copy_from(&other.v);
+        self.sampler.tree.copy_from_slice(&other.sampler.tree);
+        self.sampler.total = other.sampler.total;
+    }
+}
+
+impl std::ops::Deref for SampledLoadVector {
+    type Target = LoadVector;
+
+    #[inline]
+    fn deref(&self) -> &LoadVector {
+        &self.v
+    }
+}
+
+impl PartialEq for SampledLoadVector {
+    /// Equality of the normalized vectors (the sampler is derived
+    /// state).
+    fn eq(&self, other: &Self) -> bool {
+        self.v == other.v
+    }
+}
+
+impl Eq for SampledLoadVector {}
+
+impl From<LoadVector> for SampledLoadVector {
+    fn from(v: LoadVector) -> Self {
+        SampledLoadVector::new(v)
+    }
+}
+
+/// The Lemma 3.3 shared-seed insertion on a pair of sampled vectors:
+/// delegates to [`crate::right_oriented::coupled_insert`] and syncs
+/// both samplers with the indices actually incremented.
+pub fn coupled_insert_sampled<D: crate::RightOriented>(
+    rule: &D,
+    v: &mut SampledLoadVector,
+    u: &mut SampledLoadVector,
+    rs: crate::SeqSeed,
+) -> (usize, usize) {
+    let (jv, ju) = crate::right_oriented::coupled_insert(rule, &mut v.v, &mut u.v, rs);
+    v.sampler.inc(jv);
+    u.sampler.inc(ju);
+    (jv, ju)
+}
+
+/// A pair coupling that advances [`SampledLoadVector`] state — the
+/// O(log n) counterpart of `PairCoupling<State = LoadVector>`.
+///
+/// Implemented by [`crate::coupling_a::CouplingA`] and
+/// [`crate::coupling_b::CouplingB`]; wrap either in [`Sampled`] to use
+/// it with the generic coalescence machinery.
+pub trait SampledPairCoupling {
+    /// One coupled phase on sampled state, consuming the RNG exactly
+    /// like the unsampled `step_pair`.
+    fn step_pair_sampled<R: Rng + ?Sized>(
+        &self,
+        x: &mut SampledLoadVector,
+        y: &mut SampledLoadVector,
+        rng: &mut R,
+    );
+}
+
+/// Adapter giving a [`SampledPairCoupling`] the `rt-markov`
+/// `PairCoupling` interface with `State = SampledLoadVector`.
+pub struct Sampled<C>(pub C);
+
+impl<C: SampledPairCoupling> rt_markov::coupling::PairCoupling for Sampled<C> {
+    type State = SampledLoadVector;
+
+    fn step_pair<R: Rng + ?Sized>(
+        &self,
+        x: &mut SampledLoadVector,
+        y: &mut SampledLoadVector,
+        rng: &mut R,
+    ) {
+        self.0.step_pair_sampled(x, y, rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn quantile_matches_linear_scan_exhaustively() {
+        let cases: Vec<Vec<u32>> = vec![
+            vec![1],
+            vec![5, 0, 0],
+            vec![2, 1, 1, 0],
+            vec![3, 3, 3],
+            vec![7, 4, 4, 2, 1, 1, 0, 0],
+            vec![1, 1, 1, 1, 1, 1, 1],
+        ];
+        for loads in cases {
+            let v = LoadVector::from_loads(loads);
+            let s = FenwickSampler::from_load_vector(&v);
+            for r in 0..v.total() {
+                assert_eq!(
+                    s.quantile(r),
+                    dist::quantile_ball_weighted(&v, r),
+                    "r = {r} on {v:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_updates_track_prefix_sums() {
+        let mut s = FenwickSampler::new(9);
+        let mut shadow = [0u32; 9];
+        let mut rng = SmallRng::seed_from_u64(61);
+        for _ in 0..5_000 {
+            let i = rng.random_range(0..9usize);
+            if rng.random() && shadow[i] > 0 {
+                shadow[i] -= 1;
+                s.dec(i);
+            } else {
+                shadow[i] += 1;
+                s.inc(i);
+            }
+            let total: u64 = shadow.iter().map(|&l| u64::from(l)).sum();
+            assert_eq!(s.total(), total);
+            let mut acc = 0u64;
+            for (j, &l) in shadow.iter().enumerate() {
+                assert_eq!(s.prefix(j), acc);
+                assert_eq!(s.weight(j), u64::from(l));
+                acc += u64::from(l);
+            }
+        }
+    }
+
+    #[test]
+    fn sample_consumes_rng_like_dist() {
+        let v = LoadVector::from_loads(vec![9, 6, 3, 1, 0, 0]);
+        let s = FenwickSampler::from_load_vector(&v);
+        let mut rng_a = SmallRng::seed_from_u64(67);
+        let mut rng_b = SmallRng::seed_from_u64(67);
+        for _ in 0..2_000 {
+            assert_eq!(
+                s.sample(&mut rng_a),
+                dist::sample_ball_weighted(&v, &mut rng_b)
+            );
+        }
+        // Both consumed identically: the streams still agree.
+        assert_eq!(rng_a.random::<u64>(), rng_b.random::<u64>());
+    }
+
+    #[test]
+    fn sampled_vector_stays_in_sync_through_updates() {
+        let mut sv = SampledLoadVector::new(LoadVector::from_loads(vec![4, 2, 2, 1, 0]));
+        let mut rng = SmallRng::seed_from_u64(71);
+        for _ in 0..3_000 {
+            let i = rng.random_range(0..sv.n());
+            if rng.random() && sv.load(i) > 0 {
+                sv.sub_at(i);
+            } else {
+                sv.add_at(i);
+            }
+            // Tree ≡ vector at every step.
+            let rebuilt = FenwickSampler::from_load_vector(sv.vector());
+            assert_eq!(sv.sampler().total(), rebuilt.total());
+            for j in 0..sv.n() {
+                assert_eq!(sv.sampler().weight(j), u64::from(sv.load(j)));
+            }
+        }
+    }
+
+    #[test]
+    fn copy_from_is_exact_and_allocation_free_in_spirit() {
+        let a = SampledLoadVector::new(LoadVector::from_loads(vec![5, 3, 1, 0]));
+        let mut b = SampledLoadVector::new(LoadVector::balanced(4, 9));
+        b.copy_from(&a);
+        assert_eq!(a, b);
+        for r in 0..a.total() {
+            assert_eq!(a.quantile_ball_weighted(r), b.quantile_ball_weighted(r));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined for an empty system")]
+    fn empty_sample_panics() {
+        let s = FenwickSampler::new(4);
+        let mut rng = SmallRng::seed_from_u64(0);
+        s.sample(&mut rng);
+    }
+
+    #[test]
+    fn single_bin_and_power_of_two_sizes() {
+        for n in [1usize, 2, 4, 8, 1024] {
+            let mut s = FenwickSampler::new(n);
+            s.add(n - 1, 3);
+            s.add(0, 2);
+            assert_eq!(s.quantile(0), 0);
+            assert_eq!(s.quantile(1), 0);
+            if n > 1 {
+                assert_eq!(s.quantile(2), n - 1);
+                assert_eq!(s.quantile(4), n - 1);
+            }
+        }
+    }
+}

@@ -35,6 +35,7 @@ pub mod batch;
 pub mod coupling_a;
 pub mod coupling_b;
 pub mod dist;
+pub mod fenwick;
 pub mod load_vector;
 pub mod observables;
 pub mod open;
@@ -48,6 +49,7 @@ pub mod scenario;
 pub mod static_alloc;
 pub mod weighted;
 
+pub use fenwick::{FenwickSampler, SampledLoadVector};
 pub use load_vector::LoadVector;
 pub use right_oriented::{RightOriented, SeqSeed};
 pub use rules::{Abku, Adap, ThresholdSeq};

@@ -44,7 +44,10 @@ impl LoadVector {
     /// An empty system: `n` bins, zero balls.
     pub fn empty(n: usize) -> Self {
         assert!(n > 0, "need at least one bin");
-        LoadVector { loads: vec![0; n], total: 0 }
+        LoadVector {
+            loads: vec![0; n],
+            total: 0,
+        }
     }
 
     /// Normalize an arbitrary multiset of loads.
@@ -60,7 +63,10 @@ impl LoadVector {
     pub fn all_in_one(n: usize, m: u32) -> Self {
         let mut loads = vec![0; n];
         loads[0] = m;
-        LoadVector { loads, total: u64::from(m) }
+        LoadVector {
+            loads,
+            total: u64::from(m),
+        }
     }
 
     /// The most balanced state with `m` balls in `n` bins
@@ -72,7 +78,10 @@ impl LoadVector {
         for l in loads.iter_mut().take(r) {
             *l += 1;
         }
-        LoadVector { loads, total: u64::from(m) }
+        LoadVector {
+            loads,
+            total: u64::from(m),
+        }
     }
 
     /// Number of bins `n`.
@@ -162,6 +171,33 @@ impl LoadVector {
         s
     }
 
+    /// Assign from another vector without allocating.
+    ///
+    /// # Panics
+    /// If the bin counts differ.
+    pub fn copy_from(&mut self, other: &LoadVector) {
+        assert_eq!(self.n(), other.n(), "copy_from requires equal bin counts");
+        self.loads.copy_from_slice(&other.loads);
+        self.total = other.total;
+    }
+
+    /// Re-normalize from raw (unsorted) loads into this vector's
+    /// existing buffer — the allocation-free counterpart of
+    /// [`LoadVector::from_loads`], used by simulation snapshot loops.
+    ///
+    /// # Panics
+    /// If the bin counts differ.
+    pub fn assign_from_unsorted(&mut self, loads: &[u32]) {
+        assert_eq!(
+            self.n(),
+            loads.len(),
+            "assign_from_unsorted requires equal bin counts"
+        );
+        self.loads.copy_from_slice(loads);
+        self.loads.sort_unstable_by(|a, b| b.cmp(a));
+        self.total = self.loads.iter().map(|&l| u64::from(l)).sum();
+    }
+
     /// The paper's distance `Δ(v, u) = ½‖v − u‖₁ = Σ_i max(v_i − u_i, 0)`
     /// (§4, §5). The second equality holds because both vectors carry the
     /// same total; this method requires equal `n` and equal totals.
@@ -198,7 +234,10 @@ impl LoadVector {
         loads[lambda] += 1;
         loads[delta] -= 1;
         if loads.windows(2).all(|w| w[0] >= w[1]) {
-            Some(LoadVector { loads, total: self.total })
+            Some(LoadVector {
+                loads,
+                total: self.total,
+            })
         } else {
             None
         }

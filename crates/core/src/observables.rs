@@ -35,8 +35,9 @@ pub fn overload_mass(v: &LoadVector) -> f64 {
         return 0.0;
     }
     let fair = (v.total() as u32).div_ceil(v.n() as u32);
-    let excess: u64 =
-        (0..v.n()).map(|i| u64::from(v.load(i).saturating_sub(fair))).sum();
+    let excess: u64 = (0..v.n())
+        .map(|i| u64::from(v.load(i).saturating_sub(fair)))
+        .sum();
     excess as f64 / v.total() as f64
 }
 

@@ -35,7 +35,10 @@ impl<D: RightOriented> OpenChain<D> {
     /// If `p_insert ∉ [0, 1]` or `n == 0`.
     pub fn new(n: usize, p_insert: f64, rule: D) -> Self {
         assert!(n > 0);
-        assert!((0.0..=1.0).contains(&p_insert), "p_insert must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&p_insert),
+            "p_insert must be a probability"
+        );
         OpenChain { n, p_insert, rule }
     }
 
@@ -130,7 +133,10 @@ mod tests {
             sum += v.total();
         }
         let mean = sum as f64 / steps as f64;
-        assert!(mean < 10.0, "mean ball count {mean} too large for subcritical drift");
+        assert!(
+            mean < 10.0,
+            "mean ball count {mean} too large for subcritical drift"
+        );
     }
 
     #[test]

@@ -6,8 +6,10 @@
 //! instead use [`FastProcess`]: raw unsorted bin loads plus the
 //! auxiliary structures that make one phase O(d):
 //!
-//! * scenario A keeps a ball table (`bin of ball k`) → O(1) uniform
-//!   ball removal via `swap_remove`;
+//! * scenario A keeps a [`FenwickSampler`] over the loads → O(log n)
+//!   load-weighted removal in O(n) memory (the former ball table was
+//!   O(1) per removal but O(m) memory and O(m) init — prohibitive for
+//!   heavily loaded systems m ≫ n);
 //! * scenario B keeps a dense list of non-empty bins with back-pointers
 //!   → O(1) uniform non-empty-bin removal;
 //! * a load histogram tracks the maximum load in O(1) amortized.
@@ -17,6 +19,7 @@
 //! sampled bins does not affect the load multiset) — cross-validated in
 //! tests against exact transition rows.
 
+use crate::fenwick::FenwickSampler;
 use crate::rules::{Abku, Adap, ThresholdSeq};
 use crate::scenario::Removal;
 use crate::LoadVector;
@@ -86,8 +89,9 @@ pub struct FastProcess<D> {
     removal: Removal,
     loads: Vec<u32>,
     total: u64,
-    /// Scenario A only: `balls[k]` = bin of ball `k`.
-    balls: Vec<u32>,
+    /// Scenario A only: Fenwick tree over the loads for O(log n)
+    /// load-weighted removal (left empty for scenario B).
+    sampler: FenwickSampler,
     /// Scenario B only: dense list of non-empty bins…
     nonempty: Vec<u32>,
     /// …with back-pointers (`u32::MAX` = not present).
@@ -108,18 +112,10 @@ impl<D: FastRule> FastProcess<D> {
         for &l in &loads {
             hist[l as usize] += 1;
         }
-        let mut balls = Vec::new();
         let mut nonempty = Vec::new();
         let mut pos = vec![u32::MAX; n];
-        match removal {
-            Removal::RandomBall => {
-                balls.reserve(total as usize);
-                for (b, &l) in loads.iter().enumerate() {
-                    for _ in 0..l {
-                        balls.push(b as u32);
-                    }
-                }
-            }
+        let sampler = match removal {
+            Removal::RandomBall => FenwickSampler::from_loads(&loads),
             Removal::RandomNonEmptyBin => {
                 for (b, &l) in loads.iter().enumerate() {
                     if l > 0 {
@@ -127,9 +123,20 @@ impl<D: FastRule> FastProcess<D> {
                         nonempty.push(b as u32);
                     }
                 }
+                FenwickSampler::new(n)
             }
+        };
+        FastProcess {
+            rule,
+            removal,
+            loads,
+            total,
+            sampler,
+            nonempty,
+            pos,
+            hist,
+            max_load,
         }
-        FastProcess { rule, removal, loads, total, balls, nonempty, pos, hist, max_load }
     }
 
     /// Current maximum load.
@@ -157,9 +164,20 @@ impl<D: FastRule> FastProcess<D> {
         &self.hist
     }
 
-    /// Snapshot as a normalized vector.
+    /// Snapshot as a normalized vector (allocates; inside measurement
+    /// loops prefer [`Self::load_vector_into`]).
     pub fn to_load_vector(&self) -> LoadVector {
         LoadVector::from_loads(self.loads.clone())
+    }
+
+    /// Snapshot into an existing normalized vector without allocating —
+    /// the per-observation form for hot measurement loops (the
+    /// recovery protocol snapshots every step).
+    ///
+    /// # Panics
+    /// If `out` has a different bin count.
+    pub fn load_vector_into(&self, out: &mut LoadVector) {
+        out.assign_from_unsorted(&self.loads);
     }
 
     #[inline]
@@ -180,7 +198,7 @@ impl<D: FastRule> FastProcess<D> {
             self.nonempty.push(b as u32);
         }
         if self.removal == Removal::RandomBall {
-            self.balls.push(b as u32);
+            self.sampler.inc(b);
         }
     }
 
@@ -195,6 +213,9 @@ impl<D: FastRule> FastProcess<D> {
             self.max_load -= 1;
         }
         self.total -= 1;
+        if self.removal == Removal::RandomBall {
+            self.sampler.dec(b);
+        }
         if self.removal == Removal::RandomNonEmptyBin && l == 1 {
             // Bin just became empty: swap-remove it from the dense list.
             let p = self.pos[b] as usize;
@@ -222,8 +243,11 @@ impl<D: FastRule> FastProcess<D> {
         assert!(self.total > 0, "a removal needs at least one ball");
         match self.removal {
             Removal::RandomBall => {
-                let k = rng.random_range(0..self.balls.len());
-                let b = self.balls.swap_remove(k) as usize;
+                // One uniform draw over the balls, inverted through the
+                // load CDF — the same bin distribution (loads[b]/total)
+                // as the former uniform draw over a ball table.
+                let r = rng.random_range(0..self.total);
+                let b = self.sampler.quantile(r);
                 self.dec_bin(b);
             }
             Removal::RandomNonEmptyBin => {
@@ -303,7 +327,9 @@ mod tests {
             for _ in 0..trials {
                 let mut p = FastProcess::new(removal, Abku::new(2), vec![m, 0, 0]);
                 p.run(t, &mut rng);
-                *fast_counts.entry(p.to_load_vector().as_slice().to_vec()).or_default() += 1;
+                *fast_counts
+                    .entry(p.to_load_vector().as_slice().to_vec())
+                    .or_default() += 1;
             }
             let chain = AllocationChain::new(n, m, removal, Abku::new(2));
             let mut exact_counts: HashMap<Vec<u32>, u64> = HashMap::new();
@@ -314,8 +340,7 @@ mod tests {
             }
             for (state, &c_fast) in &fast_counts {
                 let p_fast = c_fast as f64 / trials as f64;
-                let p_exact =
-                    exact_counts.get(state).copied().unwrap_or(0) as f64 / trials as f64;
+                let p_exact = exact_counts.get(state).copied().unwrap_or(0) as f64 / trials as f64;
                 assert!(
                     (p_fast - p_exact).abs() < 0.01,
                     "{removal:?} state {state:?}: fast {p_fast} vs chain {p_exact}"
@@ -341,7 +366,10 @@ mod tests {
         }
         let expect = 1.0 - (0.75f64).powi(6);
         let emp = f64::from(empty_hits) / f64::from(trials);
-        assert!((emp - expect).abs() < 0.01, "empirical {emp} vs exact {expect}");
+        assert!(
+            (emp - expect).abs() < 0.01,
+            "empirical {emp} vs exact {expect}"
+        );
     }
 
     #[test]
@@ -356,6 +384,34 @@ mod tests {
             let mut got = p.nonempty.clone();
             got.sort_unstable();
             assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn scenario_a_sampler_tracks_loads() {
+        let mut p = FastProcess::new(Removal::RandomBall, Abku::new(2), vec![7, 0, 3, 0, 1]);
+        let mut rng = SmallRng::seed_from_u64(107);
+        for _ in 0..10_000 {
+            p.step(&mut rng);
+            debug_assert!(
+                (0..p.loads().len()).all(|b| p.sampler.weight(b) == u64::from(p.loads()[b]))
+            );
+        }
+        assert_eq!(p.sampler.total(), p.total());
+        for b in 0..p.loads().len() {
+            assert_eq!(p.sampler.weight(b), u64::from(p.loads()[b]));
+        }
+    }
+
+    #[test]
+    fn load_vector_into_matches_allocating_snapshot() {
+        let mut p = FastProcess::new(Removal::RandomBall, Abku::new(2), vec![9, 0, 0, 2]);
+        let mut rng = SmallRng::seed_from_u64(109);
+        let mut scratch = LoadVector::empty(4);
+        for _ in 0..500 {
+            p.step(&mut rng);
+            p.load_vector_into(&mut scratch);
+            assert_eq!(scratch, p.to_load_vector());
         }
     }
 

@@ -33,7 +33,10 @@ impl<D: RightOriented> RelocatingChain<D> {
     /// # Panics
     /// If `p_reloc ∉ [0, 1]`.
     pub fn new(base: AllocationChain<D>, p_reloc: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p_reloc), "p_reloc must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&p_reloc),
+            "p_reloc must be a probability"
+        );
         RelocatingChain { base, p_reloc }
     }
 
@@ -89,8 +92,7 @@ impl<D: RightOriented> EnumerableChain for RelocatingChain<D> {
                     }
                     let mut after_rm = mid.clone();
                     after_rm.sub_at(i);
-                    for (j, &p_ins) in
-                        self.base.rule().insertion_pmf(&after_rm).iter().enumerate()
+                    for (j, &p_ins) in self.base.rule().insertion_pmf(&after_rm).iter().enumerate()
                     {
                         if p_ins == 0.0 {
                             continue;
@@ -135,7 +137,10 @@ mod tests {
         let a = collapse(b.transition_row(&v));
         let c = collapse(r.transition_row(&v));
         for (s, p) in &a {
-            assert!((p - c.get(s).copied().unwrap_or(0.0)).abs() < 1e-12, "{s:?}");
+            assert!(
+                (p - c.get(s).copied().unwrap_or(0.0)).abs() < 1e-12,
+                "{s:?}"
+            );
         }
     }
 

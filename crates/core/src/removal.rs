@@ -63,8 +63,9 @@ impl RemovalDist for PowerWeighted {
     fn sample<R: Rng + ?Sized>(&self, v: &LoadVector, rng: &mut R) -> usize {
         let s = v.nonempty();
         assert!(s > 0, "removal from an empty system");
-        let weights: Vec<f64> =
-            (0..s).map(|i| f64::from(v.load(i)).powf(self.alpha)).collect();
+        let weights: Vec<f64> = (0..s)
+            .map(|i| f64::from(v.load(i)).powf(self.alpha))
+            .collect();
         let total: f64 = weights.iter().sum();
         let mut r = rng.random::<f64>() * total;
         for (i, w) in weights.iter().enumerate() {
@@ -79,8 +80,15 @@ impl RemovalDist for PowerWeighted {
     fn pmf(&self, v: &LoadVector) -> Vec<f64> {
         let s = v.nonempty();
         assert!(s > 0, "removal from an empty system");
-        let mut pmf: Vec<f64> =
-            (0..v.n()).map(|i| if i < s { f64::from(v.load(i)).powf(self.alpha) } else { 0.0 }).collect();
+        let mut pmf: Vec<f64> = (0..v.n())
+            .map(|i| {
+                if i < s {
+                    f64::from(v.load(i)).powf(self.alpha)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
         let total: f64 = pmf.iter().sum();
         for p in &mut pmf {
             *p /= total;
@@ -103,7 +111,12 @@ impl<Rm: RemovalDist, D: RightOriented> GeneralChain<Rm, D> {
     /// Create a chain on `n` bins and `m ≥ 1` balls.
     pub fn new(n: usize, m: u32, removal: Rm, rule: D) -> Self {
         assert!(n > 0 && m > 0);
-        GeneralChain { n, m, removal, rule }
+        GeneralChain {
+            n,
+            m,
+            removal,
+            rule,
+        }
     }
 
     /// Number of bins.
@@ -250,7 +263,10 @@ mod tests {
         };
         let fast = tau(8.0);
         let slow = tau(0.0);
-        assert!(fast <= slow, "heavy-biased removal (τ={fast}) should mix no slower than uniform-bin (τ={slow})");
+        assert!(
+            fast <= slow,
+            "heavy-biased removal (τ={fast}) should mix no slower than uniform-bin (τ={slow})"
+        );
     }
 
     #[test]

@@ -164,7 +164,10 @@ mod tests {
         }
         let expected = 50_000.0 / n as f64;
         for &c in &counts {
-            assert!((c as f64 - expected).abs() < 0.05 * expected, "counts {counts:?}");
+            assert!(
+                (c as f64 - expected).abs() < 0.05 * expected,
+                "counts {counts:?}"
+            );
         }
     }
 
@@ -181,7 +184,10 @@ mod tests {
         }
         let expected = trials as f64 / (n * n) as f64;
         for &c in &joint {
-            assert!((c as f64 - expected).abs() < 0.06 * expected, "joint {joint:?}");
+            assert!(
+                (c as f64 - expected).abs() < 0.06 * expected,
+                "joint {joint:?}"
+            );
         }
     }
 }

@@ -75,7 +75,10 @@ impl<T: ThresholdSeq> Adap<T> {
         for l in 0..=v.max_load() {
             let x = self.thresholds.x(l);
             debug_assert!(x >= 1, "threshold x_{l} = {x} must be ≥ 1");
-            debug_assert!(x >= prev, "threshold sequence must be nondecreasing at load {l}");
+            debug_assert!(
+                x >= prev,
+                "threshold sequence must be nondecreasing at load {l}"
+            );
             prev = x;
         }
     }
@@ -194,7 +197,10 @@ mod tests {
         }
         for (c, p) in counts.iter().zip(&pmf) {
             let emp = *c as f64 / trials as f64;
-            assert!((emp - p).abs() < 0.006, "empirical {emp} vs exact {p} ({pmf:?})");
+            assert!(
+                (emp - p).abs() < 0.006,
+                "empirical {emp} vs exact {p} ({pmf:?})"
+            );
         }
     }
 

@@ -8,6 +8,7 @@
 //! dense analysis (`rt-markov`).
 
 use crate::dist;
+use crate::fenwick::SampledLoadVector;
 use crate::partitions::enumerate_states;
 use crate::right_oriented::{RightOriented, SeqSeed};
 use crate::LoadVector;
@@ -65,7 +66,12 @@ impl<D: RightOriented> AllocationChain<D> {
     pub fn new(n: usize, m: u32, removal: Removal, rule: D) -> Self {
         assert!(n > 0, "need at least one bin");
         assert!(m > 0, "a removal/insertion phase needs at least one ball");
-        AllocationChain { n, m, removal, rule }
+        AllocationChain {
+            n,
+            m,
+            removal,
+            rule,
+        }
     }
 
     /// Number of bins.
@@ -95,6 +101,28 @@ impl<D: RightOriented> AllocationChain<D> {
         v.sub_at(i);
         let rs = SeqSeed::sample(rng);
         let j = self.rule.choose(v, rs);
+        v.add_at(j);
+        rs
+    }
+
+    /// [`Self::step_with_seed`] on Fenwick-sampled state: the 𝒜(v)
+    /// removal inverts the CDF in O(log n) instead of the O(n) scan.
+    ///
+    /// Consumes the RNG exactly like `step_with_seed`, so for a fixed
+    /// seed the trajectory of the wrapped vector is bit-identical to
+    /// the unsampled chain's.
+    pub fn step_sampled_with_seed<R: Rng + ?Sized>(
+        &self,
+        v: &mut SampledLoadVector,
+        rng: &mut R,
+    ) -> SeqSeed {
+        let i = match self.removal {
+            Removal::RandomBall => v.sample_ball_weighted(rng),
+            Removal::RandomNonEmptyBin => dist::sample_nonempty(v.vector(), rng),
+        };
+        v.sub_at(i);
+        let rs = SeqSeed::sample(rng);
+        let j = self.rule.choose(v.vector(), rs);
         v.add_at(j);
         rs
     }
@@ -198,23 +226,47 @@ mod tests {
         }
         for (state, p) in &exact {
             let emp = counts.get(state).copied().unwrap_or(0) as f64 / trials as f64;
-            assert!((emp - p).abs() < 0.006, "state {state:?}: empirical {emp} vs exact {p}");
+            assert!(
+                (emp - p).abs() < 0.006,
+                "state {state:?}: empirical {emp} vs exact {p}"
+            );
         }
-        assert_eq!(counts.len(), exact.len(), "simulation reached unlisted states");
+        assert_eq!(
+            counts.len(),
+            exact.len(),
+            "simulation reached unlisted states"
+        );
     }
 
     #[test]
     fn scenario_a_with_adap_builds_exact_chain() {
-        let chain =
-            AllocationChain::new(3, 5, Removal::RandomBall, Adap::new(|l: u32| l + 1));
+        let chain = AllocationChain::new(3, 5, Removal::RandomBall, Adap::new(|l: u32| l + 1));
         let exact = ExactChain::build(&chain);
         let pi = exact.stationary(1e-12, 1_000_000);
         assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         // The stationary distribution must favor balanced states over the
         // all-in-one state for an adaptive rule.
         let idx_bad = exact.state_index(&LoadVector::all_in_one(3, 5)).unwrap();
-        let idx_good = exact.state_index(&LoadVector::from_loads(vec![2, 2, 1])).unwrap();
+        let idx_good = exact
+            .state_index(&LoadVector::from_loads(vec![2, 2, 1]))
+            .unwrap();
         assert!(pi[idx_good] > pi[idx_bad]);
+    }
+
+    #[test]
+    fn sampled_step_is_bit_identical_to_unsampled() {
+        for removal in [Removal::RandomBall, Removal::RandomNonEmptyBin] {
+            let chain = AllocationChain::new(16, 48, removal, Abku::new(2));
+            let mut v = LoadVector::all_in_one(16, 48);
+            let mut sv = SampledLoadVector::new(v.clone());
+            let mut rng_a = SmallRng::seed_from_u64(77);
+            let mut rng_b = SmallRng::seed_from_u64(77);
+            for t in 0..4_000 {
+                chain.step_with_seed(&mut v, &mut rng_a);
+                chain.step_sampled_with_seed(&mut sv, &mut rng_b);
+                assert_eq!(v, *sv.vector(), "{removal:?} diverged at step {t}");
+            }
+        }
     }
 
     #[test]

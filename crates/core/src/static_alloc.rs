@@ -16,12 +16,7 @@ use rand::Rng;
 
 /// Throw `m` balls into `n` bins one at a time using `rule`, returning
 /// the final (normalized) state.
-pub fn throw<D: FastRule, R: Rng + ?Sized>(
-    n: usize,
-    m: u32,
-    rule: &D,
-    rng: &mut R,
-) -> LoadVector {
+pub fn throw<D: FastRule, R: Rng + ?Sized>(n: usize, m: u32, rule: &D, rng: &mut R) -> LoadVector {
     assert!(n > 0);
     let mut loads = vec![0u32; n];
     for _ in 0..m {
@@ -68,7 +63,11 @@ mod tests {
             "ABKU[2] ({sum2}) must beat uniform ({sum1}) on average"
         );
         // d = 2 static max load at n = 4096 is ln ln n / ln 2 + O(1) ≈ 4±2.
-        assert!(sum2 / trials <= 6, "d=2 static max load too high: {}", sum2 / trials);
+        assert!(
+            sum2 / trials <= 6,
+            "d=2 static max load too high: {}",
+            sum2 / trials
+        );
     }
 
     #[test]
@@ -91,8 +90,16 @@ mod tests {
         let m = 8 * n as u32;
         let mut rng = SmallRng::seed_from_u64(229);
         let v = throw(n, m, &Abku::new(2), &mut rng);
-        assert!(v.max_load() <= 8 + 4, "max load {} way above m/n + O(1)", v.max_load());
-        assert!(v.min_load() >= 8 - 4, "min load {} way below m/n − O(1)", v.min_load());
+        assert!(
+            v.max_load() <= 8 + 4,
+            "max load {} way above m/n + O(1)",
+            v.max_load()
+        );
+        assert!(
+            v.min_load() >= 8 - 4,
+            "min load {} way below m/n − O(1)",
+            v.min_load()
+        );
     }
 
     #[test]

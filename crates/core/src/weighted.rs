@@ -43,11 +43,20 @@ impl WeightedProcess {
         assert!(n > 0 && d > 0 && !weights.is_empty());
         assert!(weights.iter().all(|&w| w > 0), "weights must be positive");
         let mut loads = vec![0u64; n];
-        let balls: Vec<Ball> =
-            weights.iter().map(|&weight| Ball { bin: 0, weight }).collect();
+        let balls: Vec<Ball> = weights
+            .iter()
+            .map(|&weight| Ball { bin: 0, weight })
+            .collect();
         let total_weight: u64 = weights.iter().map(|&w| u64::from(w)).sum();
         loads[0] = total_weight;
-        WeightedProcess { d, loads, balls, total_weight, max_load: total_weight, max_dirty: false }
+        WeightedProcess {
+            d,
+            loads,
+            balls,
+            total_weight,
+            max_load: total_weight,
+            max_dirty: false,
+        }
     }
 
     /// Create a process with balls spread round-robin (a balanced-ish
@@ -113,7 +122,10 @@ impl WeightedProcess {
             }
         }
         self.loads[best] += u64::from(weight);
-        self.balls[k] = Ball { bin: best as u32, weight };
+        self.balls[k] = Ball {
+            bin: best as u32,
+            weight,
+        };
         if !self.max_dirty && self.loads[best] > self.max_load {
             self.max_load = self.loads[best];
         }
@@ -132,8 +144,7 @@ impl WeightedProcess {
         for b in &self.balls {
             loads[b.bin as usize] += u64::from(b.weight);
         }
-        loads == self.loads
-            && self.total_weight == loads.iter().sum::<u64>()
+        loads == self.loads && self.total_weight == loads.iter().sum::<u64>()
     }
 }
 
@@ -197,7 +208,10 @@ mod tests {
             acc_u += f64::from(u.max_load());
         }
         let (mw, mu) = (acc_w / steps as f64, acc_u / steps as f64);
-        assert!((mw - mu).abs() < 0.1, "weighted-unit {mw} vs unweighted {mu}");
+        assert!(
+            (mw - mu).abs() < 0.1,
+            "weighted-unit {mw} vs unweighted {mu}"
+        );
     }
 
     #[test]
@@ -232,7 +246,10 @@ mod tests {
             p.step(&mut rng);
             worst = worst.max(p.max_load());
         }
-        assert!(worst <= 8 + 8, "max weighted load {worst} far above heavy + O(1)");
+        assert!(
+            worst <= 8 + 8,
+            "max weighted load {worst} far above heavy + O(1)"
+        );
     }
 
     #[test]

@@ -14,9 +14,7 @@ use rt_markov::chain::EnumerableChain;
 
 /// Strategy: raw loads for up to `n_max` bins and `m_max` total balls.
 fn raw_loads(n_max: usize, m_max: u32) -> impl Strategy<Value = Vec<u32>> {
-    (1..=n_max).prop_flat_map(move |n| {
-        proptest::collection::vec(0..=m_max / 2, n)
-    })
+    (1..=n_max).prop_flat_map(move |n| proptest::collection::vec(0..=m_max / 2, n))
 }
 
 proptest! {
@@ -287,5 +285,67 @@ proptest! {
         p.run(500, &mut rng);
         prop_assert_eq!(p.total_weight(), total);
         prop_assert!(p.check_consistency());
+    }
+}
+
+proptest! {
+    /// The Fenwick quantile agrees with the linear CDF scan
+    /// index-for-index over the whole support, after an arbitrary
+    /// history of ±1 updates.
+    #[test]
+    fn fenwick_quantile_matches_linear_scan(
+        loads in raw_loads(16, 24),
+        ops in proptest::collection::vec((0usize..16, any::<bool>()), 0..64),
+    ) {
+        use rt_core::dist::quantile_ball_weighted;
+        use rt_core::FenwickSampler;
+        let mut v = LoadVector::from_loads(loads);
+        let mut s = FenwickSampler::from_load_vector(&v);
+        for (raw_i, grow) in ops {
+            let i = raw_i % v.n();
+            if grow {
+                let j = v.add_at(i);
+                s.inc(j);
+            } else if v.load(i) > 0 {
+                let j = v.sub_at(i);
+                s.dec(j);
+            }
+        }
+        prop_assert_eq!(s.total(), v.total());
+        for r in 0..v.total() {
+            prop_assert_eq!(s.quantile(r), quantile_ball_weighted(&v, r), "r = {}", r);
+        }
+    }
+
+    /// A SampledLoadVector driven through the allocation chain stays
+    /// bit-identical to the plain chain for any seed and size.
+    #[test]
+    fn sampled_chain_trajectory_is_bit_identical(
+        n in 1usize..24,
+        per_bin in 1u32..5,
+        scenario_a in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        use rt_core::SampledLoadVector;
+        let removal = if scenario_a { Removal::RandomBall } else { Removal::RandomNonEmptyBin };
+        let m = per_bin * n as u32;
+        let chain = AllocationChain::new(n, m, removal, Abku::new(2));
+        let mut v = LoadVector::all_in_one(n, m);
+        let mut sv = SampledLoadVector::new(v.clone());
+        let mut rng_a = SmallRng::seed_from_u64(seed);
+        let mut rng_b = SmallRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            chain.step_with_seed(&mut v, &mut rng_a);
+            chain.step_sampled_with_seed(&mut sv, &mut rng_b);
+            prop_assert_eq!(&v, sv.vector());
+        }
+    }
+
+    /// `assign_from_unsorted` is `from_loads` without the allocation.
+    #[test]
+    fn assign_from_unsorted_matches_from_loads(loads in raw_loads(16, 24)) {
+        let mut scratch = LoadVector::empty(loads.len());
+        scratch.assign_from_unsorted(&loads);
+        prop_assert_eq!(scratch, LoadVector::from_loads(loads));
     }
 }

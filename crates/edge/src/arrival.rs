@@ -29,7 +29,10 @@ impl WeightedArrivals {
     /// If fewer than two vertices or any weight is non-positive.
     pub fn new(weights: &[f64]) -> Self {
         assert!(weights.len() >= 2, "need at least two vertices");
-        assert!(weights.iter().all(|&w| w > 0.0 && w.is_finite()), "weights must be positive");
+        assert!(
+            weights.iter().all(|&w| w > 0.0 && w.is_finite()),
+            "weights must be positive"
+        );
         let mut cumulative = Vec::with_capacity(weights.len());
         let mut acc = 0.0;
         for &w in weights {
@@ -60,7 +63,9 @@ impl WeightedArrivals {
     fn endpoint<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let total = *self.cumulative.last().unwrap();
         let r = rng.random::<f64>() * total;
-        self.cumulative.partition_point(|&c| c <= r).min(self.n() - 1)
+        self.cumulative
+            .partition_point(|&c| c <= r)
+            .min(self.n() - 1)
     }
 
     /// Sample an undirected edge (two distinct endpoints).
@@ -89,7 +94,10 @@ impl WeightedGreedy {
     /// If the vertex counts disagree.
     pub fn new(start: &DiscProfile, arrivals: WeightedArrivals) -> Self {
         assert_eq!(start.n(), arrivals.n(), "vertex count mismatch");
-        WeightedGreedy { arrivals, disc: start.as_slice().to_vec() }
+        WeightedGreedy {
+            arrivals,
+            disc: start.as_slice().to_vec(),
+        }
     }
 
     /// Current unfairness.
@@ -100,7 +108,11 @@ impl WeightedGreedy {
     /// One arrival, oriented greedily.
     pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
         let (u, w) = self.arrivals.sample_edge(rng);
-        let (head, tail) = if self.disc[u] >= self.disc[w] { (u, w) } else { (w, u) };
+        let (head, tail) = if self.disc[u] >= self.disc[w] {
+            (u, w)
+        } else {
+            (w, u)
+        };
         self.disc[head] -= 1;
         self.disc[tail] += 1;
     }
@@ -159,7 +171,11 @@ mod tests {
         g.run(200_000, &mut rng);
         assert_eq!(g.disc.iter().map(|&d| i64::from(d)).sum::<i64>(), 0);
         // Mild Zipf skew: greedy fairness stays single-digit.
-        assert!(g.unfairness() <= 9, "unfairness {} under mild skew", g.unfairness());
+        assert!(
+            g.unfairness() <= 9,
+            "unfairness {} under mild skew",
+            g.unfairness()
+        );
     }
 
     #[test]
@@ -171,8 +187,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(349);
         let mut hist_w = [0u64; 12];
         for _ in 0..trials {
-            let mut g =
-                WeightedGreedy::new(&DiscProfile::zero(n), WeightedArrivals::uniform(n));
+            let mut g = WeightedGreedy::new(&DiscProfile::zero(n), WeightedArrivals::uniform(n));
             g.run(t, &mut rng);
             hist_w[(g.unfairness() as usize).min(11)] += 1;
         }
@@ -185,7 +200,10 @@ mod tests {
         for (i, (a, b)) in hist_w.iter().zip(&hist_p).enumerate() {
             let pa = *a as f64 / trials as f64;
             let pb = *b as f64 / trials as f64;
-            assert!((pa - pb).abs() < 0.01, "unfairness {i}: weighted {pa} vs plain {pb}");
+            assert!(
+                (pa - pb).abs() < 0.01,
+                "unfairness {i}: weighted {pa} vs plain {pb}"
+            );
         }
     }
 

@@ -27,7 +27,9 @@ pub struct RandomOrientation {
 impl RandomOrientation {
     /// Start from a discrepancy profile.
     pub fn new(start: &DiscProfile) -> Self {
-        RandomOrientation { disc: start.as_slice().to_vec() }
+        RandomOrientation {
+            disc: start.as_slice().to_vec(),
+        }
     }
 
     /// Number of vertices.
@@ -79,7 +81,10 @@ impl MajorityOrientation {
     /// Start from a discrepancy profile (degrees start at zero).
     pub fn new(start: &DiscProfile) -> Self {
         let n = start.n();
-        MajorityOrientation { disc: start.as_slice().to_vec(), degree: vec![0; n] }
+        MajorityOrientation {
+            disc: start.as_slice().to_vec(),
+            degree: vec![0; n],
+        }
     }
 
     /// Current unfairness.
@@ -96,7 +101,11 @@ impl MajorityOrientation {
         if w >= u {
             w += 1;
         }
-        let (tail, head) = if self.degree[u] <= self.degree[w] { (u, w) } else { (w, u) };
+        let (tail, head) = if self.degree[u] <= self.degree[w] {
+            (u, w)
+        } else {
+            (w, u)
+        };
         self.disc[tail] += 1;
         self.disc[head] -= 1;
         self.degree[tail] += 1;
@@ -182,6 +191,9 @@ mod tests {
         }
         // Greedy at this horizon recovers essentially always; the coin
         // flip should still be bad in the majority of runs.
-        assert!(still_bad > trials / 2, "coin baseline 'recovered' {still_bad}/{trials}");
+        assert!(
+            still_bad > trials / 2,
+            "coin baseline 'recovered' {still_bad}/{trials}"
+        );
     }
 }

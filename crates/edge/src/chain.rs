@@ -116,7 +116,10 @@ mod tests {
         let expected = trials as f64 / 10.0;
         for (&pair, &c) in &counts {
             assert!(pair.0 < pair.1);
-            assert!((c as f64 - expected).abs() < 0.05 * expected, "{pair:?}: {c}");
+            assert!(
+                (c as f64 - expected).abs() < 0.05 * expected,
+                "{pair:?}: {c}"
+            );
         }
     }
 
@@ -127,7 +130,10 @@ mod tests {
         let set: HashSet<_> = states.iter().cloned().collect();
         for s in &states {
             for (next, _) in chain.transition_row(s) {
-                assert!(set.contains(&next), "transition escapes Ψ: {s:?} → {next:?}");
+                assert!(
+                    set.contains(&next),
+                    "transition escapes Ψ: {s:?} → {next:?}"
+                );
             }
         }
         // Ψ must contain the zero profile and skewed variants.
@@ -150,7 +156,10 @@ mod tests {
                 high += p;
             }
         }
-        assert!(low > high, "fair states should dominate: low={low} high={high}");
+        assert!(
+            low > high,
+            "fair states should dominate: low={low} high={high}"
+        );
     }
 
     #[test]
@@ -179,11 +188,7 @@ mod tests {
         let chain = EdgeChain::new(3);
         let s = DiscProfile::zero(3);
         let row = chain.transition_row(&s);
-        let self_mass: f64 = row
-            .iter()
-            .filter(|(t, _)| *t == s)
-            .map(|(_, p)| p)
-            .sum();
+        let self_mass: f64 = row.iter().filter(|(t, _)| *t == s).map(|(_, p)| p).sum();
         // b = 0 contributes exactly ½ (no move returns to the zero
         // profile, every pair splits it).
         assert!((self_mass - 0.5).abs() < 1e-12);

@@ -37,7 +37,12 @@ impl ValueHist {
         }
         let max = values.iter().copied().max().unwrap();
         let min = values.iter().copied().min().unwrap();
-        ValueHist { counts, offset: lo, max, min }
+        ValueHist {
+            counts,
+            offset: lo,
+            max,
+            min,
+        }
     }
 
     #[inline]
@@ -149,7 +154,11 @@ impl GreedySimulation {
         // Orient from the smaller discrepancy (tail, +1) to the larger
         // (head, −1); (u, w) is already a uniformly random ordered pair,
         // so on ties "u is the head" is an unbiased tie-break.
-        let (head, tail) = if self.disc[u] >= self.disc[w] { (u, w) } else { (w, u) };
+        let (head, tail) = if self.disc[u] >= self.disc[w] {
+            (u, w)
+        } else {
+            (w, u)
+        };
         let h = self.disc[head];
         let t = self.disc[tail];
         self.disc[head] = h - 1;
@@ -239,7 +248,10 @@ mod tests {
             sim.run(1_000, &mut rng);
             max_seen = max_seen.max(sim.unfairness());
         }
-        assert!(max_seen <= 8, "unfairness {max_seen} way above Θ(log log n)");
+        assert!(
+            max_seen <= 8,
+            "unfairness {max_seen} way above Θ(log log n)"
+        );
     }
 
     #[test]

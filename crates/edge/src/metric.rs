@@ -122,8 +122,22 @@ pub fn distance(x: &[u32], y: &[u32], cap: u64) -> Option<u64> {
 pub fn profile_distance(a: &DiscProfile, b: &DiscProfile, cap: u64) -> Option<u64> {
     assert_eq!(a.n(), b.n(), "profiles must have equal vertex counts");
     let pad = i32::try_from(cap).expect("cap fits i32");
-    let lo = a.as_slice().iter().chain(b.as_slice()).copied().min().unwrap() - pad;
-    let hi = a.as_slice().iter().chain(b.as_slice()).copied().max().unwrap() + pad;
+    let lo = a
+        .as_slice()
+        .iter()
+        .chain(b.as_slice())
+        .copied()
+        .min()
+        .unwrap()
+        - pad;
+    let hi = a
+        .as_slice()
+        .iter()
+        .chain(b.as_slice())
+        .copied()
+        .max()
+        .unwrap()
+        + pad;
     distance(&a.to_buckets(lo, hi), &b.to_buckets(lo, hi), cap)
 }
 
@@ -161,10 +175,7 @@ mod tests {
     fn triangle_inequality_on_samples() {
         // Check Δ(a,c) ≤ Δ(a,b) + Δ(b,c) over the reachable set of a
         // tiny instance.
-        let vecs = [
-            vec![0u32, 2, 0],
-            vec![1u32, 0, 1],
-        ];
+        let vecs = [vec![0u32, 2, 0], vec![1u32, 0, 1]];
         let d01 = distance(&vecs[0], &vecs[1], 10).unwrap();
         assert_eq!(d01, 1);
         // With a third point: [2,0,0] is unreachable (sum of values
@@ -183,10 +194,18 @@ mod tests {
     fn moves_preserve_count_and_weighted_sum() {
         let x = vec![1u32, 2, 0, 0, 3, 1];
         let count: u32 = x.iter().sum();
-        let weighted: i64 = x.iter().enumerate().map(|(i, &c)| i as i64 * i64::from(c)).sum();
+        let weighted: i64 = x
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| i as i64 * i64::from(c))
+            .sum();
         for (y, _) in neighbors(&x) {
             assert_eq!(y.iter().sum::<u32>(), count);
-            let w: i64 = y.iter().enumerate().map(|(i, &c)| i as i64 * i64::from(c)).sum();
+            let w: i64 = y
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| i as i64 * i64::from(c))
+                .sum();
             assert_eq!(w, weighted, "move changed the discrepancy sum: {y:?}");
         }
     }

@@ -25,7 +25,11 @@ impl OrientedMultigraph {
     /// An edge-less multigraph on `n ≥ 2` vertices.
     pub fn new(n: usize) -> Self {
         assert!(n >= 2);
-        OrientedMultigraph { outdeg: vec![0; n], indeg: vec![0; n], edges: Vec::new() }
+        OrientedMultigraph {
+            outdeg: vec![0; n],
+            indeg: vec![0; n],
+            edges: Vec::new(),
+        }
     }
 
     /// Number of vertices.
@@ -50,7 +54,10 @@ impl OrientedMultigraph {
 
     /// The unfairness `max_v |outdeg(v) − indeg(v)|`.
     pub fn unfairness(&self) -> i64 {
-        (0..self.n()).map(|v| self.discrepancy(v).abs()).max().unwrap_or(0)
+        (0..self.n())
+            .map(|v| self.discrepancy(v).abs())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Orient a specific undirected edge `{a, b}` greedily: tail = the
@@ -60,9 +67,15 @@ impl OrientedMultigraph {
     /// # Panics
     /// If `a == b` or either endpoint is out of range.
     pub fn orient_greedy(&mut self, a: usize, b: usize) -> (u32, u32) {
-        assert!(a != b && a < self.n() && b < self.n(), "need two distinct vertices");
-        let (tail, head) =
-            if self.discrepancy(a) <= self.discrepancy(b) { (a, b) } else { (b, a) };
+        assert!(
+            a != b && a < self.n() && b < self.n(),
+            "need two distinct vertices"
+        );
+        let (tail, head) = if self.discrepancy(a) <= self.discrepancy(b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
         self.outdeg[tail] += 1;
         self.indeg[head] += 1;
         let e = (tail as u32, head as u32);
@@ -174,7 +187,10 @@ mod tests {
         for (i, (a, b)) in hist_graph.iter().zip(&hist_profile).enumerate() {
             let pa = *a as f64 / trials as f64;
             let pb = *b as f64 / trials as f64;
-            assert!((pa - pb).abs() < 0.01, "unfairness {i}: graph {pa} vs profile {pb}");
+            assert!(
+                (pa - pb).abs() < 0.01,
+                "unfairness {i}: graph {pa} vs profile {pb}"
+            );
         }
     }
 

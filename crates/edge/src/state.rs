@@ -37,7 +37,11 @@ impl DiscProfile {
     /// or fewer than two vertices are given.
     pub fn from_values(mut disc: Vec<i32>) -> Self {
         assert!(disc.len() >= 2);
-        assert_eq!(disc.iter().map(|&d| i64::from(d)).sum::<i64>(), 0, "discrepancies must sum to 0");
+        assert_eq!(
+            disc.iter().map(|&d| i64::from(d)).sum::<i64>(),
+            0,
+            "discrepancies must sum to 0"
+        );
         disc.sort_unstable_by(|a, b| b.cmp(a));
         DiscProfile { disc }
     }

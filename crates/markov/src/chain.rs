@@ -87,7 +87,10 @@ pub(crate) mod test_chains {
     fn run_advances_t_steps() {
         use rand::rngs::SmallRng;
         use rand::SeedableRng;
-        let chain = LazyCycle { n: 5, move_prob: 1.0 };
+        let chain = LazyCycle {
+            n: 5,
+            move_prob: 1.0,
+        };
         let mut s = 0usize;
         let mut rng = SmallRng::seed_from_u64(1);
         chain.run(&mut s, 101, &mut rng);

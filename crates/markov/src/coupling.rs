@@ -85,7 +85,10 @@ mod tests {
 
     #[test]
     fn coalescence_is_zero_for_equal_starts() {
-        let c = SynchronousCoupling(LazyCycle { n: 8, move_prob: 0.5 });
+        let c = SynchronousCoupling(LazyCycle {
+            n: 8,
+            move_prob: 0.5,
+        });
         let mut rng = SmallRng::seed_from_u64(2);
         assert_eq!(coalescence_time(&c, 3usize, 3usize, 100, &mut rng), Some(0));
     }
@@ -95,7 +98,10 @@ mod tests {
         // Under fully shared randomness both walkers move identically, so
         // their difference is invariant: a sanity check that coalescence
         // measurement reports the failure rather than a bogus time.
-        let c = SynchronousCoupling(LazyCycle { n: 8, move_prob: 0.5 });
+        let c = SynchronousCoupling(LazyCycle {
+            n: 8,
+            move_prob: 0.5,
+        });
         let mut rng = SmallRng::seed_from_u64(3);
         assert_eq!(coalescence_time(&c, 0usize, 4usize, 5_000, &mut rng), None);
     }

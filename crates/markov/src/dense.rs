@@ -1,11 +1,34 @@
 //! Minimal dense matrix kernel for exact chain analysis.
 //!
 //! Only what [`crate::exact`] needs: row-major `f64` matrices,
-//! row-vector × matrix products, matrix × matrix products with a
-//! cache-friendly i-k-j loop, and repeated squaring. Written from
-//! scratch — the sanctioned dependency set has no linear algebra crate,
-//! and the state spaces involved (≤ a few thousand states) don't need
-//! one.
+//! row-vector × matrix products, matrix × matrix products, and repeated
+//! squaring. Written from scratch — the sanctioned dependency set has
+//! no linear algebra crate.
+//!
+//! The product kernel ([`DenseMatrix::mul_into`]) is k-blocked and
+//! row-panel parallel:
+//!
+//! * the i-k-j loop order streams rows of the right factor against an
+//!   output row that stays hot, skipping zero entries of the left
+//!   factor (transition matrices are sparse in practice);
+//! * the k loop is tiled ([`K_BLOCK`] rows of the right factor per
+//!   pass) so those rows are reused from cache across every row of an
+//!   output panel instead of being re-streamed from memory;
+//! * output row panels are disjoint slices, distributed over the
+//!   `rt-par` engine; small products stay single-threaded to avoid
+//!   thread overhead.
+//!
+//! For a fixed output row the additions still happen in ascending-k
+//! order, so the result is bit-identical to the naive i-k-j loop
+//! ([`DenseMatrix::mul_naive`], kept as the reference) regardless of
+//! blocking or worker count. [`DenseMatrix::pow`] reuses one scratch
+//! buffer across the repeated-squaring iterations instead of
+//! allocating two matrices per bit of the exponent.
+
+/// Rows of the right factor processed per cache tile of the product
+/// kernel (64 rows × 8 bytes × a typical few-hundred column count sits
+/// comfortably in L2 while the panel's output rows cycle through it).
+const K_BLOCK: usize = 64;
 
 /// A dense row-major matrix of `f64`.
 #[derive(Clone, Debug, PartialEq)]
@@ -18,7 +41,11 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// Zero matrix.
     pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
-        DenseMatrix { n_rows, n_cols, data: vec![0.0; n_rows * n_cols] }
+        DenseMatrix {
+            n_rows,
+            n_cols,
+            data: vec![0.0; n_rows * n_cols],
+        }
     }
 
     /// Identity matrix.
@@ -89,12 +116,73 @@ impl DenseMatrix {
         out
     }
 
-    /// Matrix product `self · other` with the cache-friendly i-k-j loop
-    /// (each inner pass streams a row of `other`).
+    /// Matrix product `self · other` — the blocked, row-panel-parallel
+    /// kernel (see module docs). Bit-identical to
+    /// [`DenseMatrix::mul_naive`].
     ///
     /// # Panics
     /// If the inner dimensions do not agree.
     pub fn mul(&self, other: &DenseMatrix) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.n_rows, other.n_cols);
+        self.mul_into(other, &mut out);
+        out
+    }
+
+    /// Matrix product into a pre-allocated output (`out = self · other`,
+    /// previous contents overwritten). The allocation-free form used by
+    /// [`DenseMatrix::pow`]'s repeated squaring.
+    ///
+    /// # Panics
+    /// If the inner dimensions do not agree or `out` has the wrong
+    /// shape.
+    pub fn mul_into(&self, other: &DenseMatrix, out: &mut DenseMatrix) {
+        assert_eq!(self.n_cols, other.n_rows, "dimension mismatch");
+        assert_eq!(out.n_rows, self.n_rows, "output row mismatch");
+        assert_eq!(out.n_cols, other.n_cols, "output column mismatch");
+        out.data.fill(0.0);
+        if out.data.is_empty() || self.n_cols == 0 {
+            return;
+        }
+        let n_cols = other.n_cols;
+        let inner = self.n_cols;
+        // Below ~2²⁰ flops thread spawn overhead dominates; run inline.
+        let flops = self.n_rows.saturating_mul(inner).saturating_mul(n_cols);
+        let workers = if flops < (1 << 20) {
+            1
+        } else {
+            rt_par::num_threads().min(self.n_rows)
+        };
+        // A few panels per worker so a slow panel doesn't straggle.
+        let panel_rows = self.n_rows.div_ceil(workers * 4).max(1);
+        rt_par::par_chunks_mut(workers, &mut out.data, panel_rows * n_cols, |pi, panel| {
+            let row0 = pi * panel_rows;
+            let rows = panel.len() / n_cols;
+            for k0 in (0..inner).step_by(K_BLOCK) {
+                let k1 = (k0 + K_BLOCK).min(inner);
+                for r in 0..rows {
+                    let a_row = &self.data[(row0 + r) * inner..(row0 + r + 1) * inner];
+                    let out_row = &mut panel[r * n_cols..(r + 1) * n_cols];
+                    for (k, &a) in a_row[k0..k1].iter().enumerate() {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let b_row = other.row(k0 + k);
+                        for (o, &b) in out_row.iter_mut().zip(b_row) {
+                            *o += a * b;
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    /// The original single-threaded unblocked i-k-j product, kept as
+    /// the reference implementation for equivalence tests and the
+    /// before/after benchmark.
+    ///
+    /// # Panics
+    /// If the inner dimensions do not agree.
+    pub fn mul_naive(&self, other: &DenseMatrix) -> DenseMatrix {
         assert_eq!(self.n_cols, other.n_rows, "dimension mismatch");
         let mut out = DenseMatrix::zeros(self.n_rows, other.n_cols);
         for i in 0..self.n_rows {
@@ -114,17 +202,24 @@ impl DenseMatrix {
     }
 
     /// `self^k` by repeated squaring (k ≥ 0; `self` must be square).
+    ///
+    /// One scratch buffer ping-pongs through every squaring and
+    /// accumulation step — two allocations total (scratch + running
+    /// base) instead of two per exponent bit.
     pub fn pow(&self, mut k: u64) -> DenseMatrix {
         assert_eq!(self.n_rows, self.n_cols, "pow needs a square matrix");
         let mut result = DenseMatrix::identity(self.n_rows);
         let mut base = self.clone();
+        let mut scratch = DenseMatrix::zeros(self.n_rows, self.n_cols);
         while k > 0 {
             if k & 1 == 1 {
-                result = result.mul(&base);
+                result.mul_into(&base, &mut scratch);
+                std::mem::swap(&mut result, &mut scratch);
             }
             k >>= 1;
             if k > 0 {
-                base = base.mul(&base);
+                base.mul_into(&base, &mut scratch);
+                std::mem::swap(&mut base, &mut scratch);
             }
         }
         result
@@ -172,14 +267,21 @@ mod tests {
         m.set(1, 0, 0.5);
         m.set(1, 1, 0.5);
         let mu = vec![0.4, 0.6];
-        approx(&m.vec_mul(&mu), &[0.4 * 0.25 + 0.6 * 0.5, 0.4 * 0.75 + 0.6 * 0.5], 1e-15);
+        approx(
+            &m.vec_mul(&mu),
+            &[0.4 * 0.25 + 0.6 * 0.5, 0.4 * 0.75 + 0.6 * 0.5],
+            1e-15,
+        );
     }
 
     #[test]
     fn pow_matches_iterated_mul() {
         let mut m = DenseMatrix::zeros(3, 3);
         // A small stochastic matrix.
-        for (i, row) in [[0.1, 0.6, 0.3], [0.5, 0.25, 0.25], [0.2, 0.2, 0.6]].iter().enumerate() {
+        for (i, row) in [[0.1, 0.6, 0.3], [0.5, 0.25, 0.25], [0.2, 0.2, 0.6]]
+            .iter()
+            .enumerate()
+        {
             for (j, &v) in row.iter().enumerate() {
                 m.set(i, j, v);
             }
@@ -212,5 +314,80 @@ mod tests {
     #[should_panic(expected = "dimension mismatch")]
     fn mismatched_mul_panics() {
         DenseMatrix::zeros(2, 3).mul(&DenseMatrix::zeros(2, 3));
+    }
+
+    /// Deterministic pseudo-random matrix (no RNG dep in this crate).
+    fn scrambled(n_rows: usize, n_cols: usize, seed: u64) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(n_rows, n_cols);
+        let mut z = seed;
+        for v in &mut m.data {
+            z = z
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Mix in exact zeros to exercise the skip path.
+            *v = if z >> 61 == 0 {
+                0.0
+            } else {
+                ((z >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            };
+        }
+        m
+    }
+
+    #[test]
+    fn blocked_mul_is_bit_identical_to_naive() {
+        // Cover sizes straddling K_BLOCK boundaries, non-square shapes,
+        // and a size big enough to cross the parallel threshold.
+        for (ra, ca, cb, seed) in [
+            (1, 1, 1, 1u64),
+            (7, 5, 3, 2),
+            (63, 64, 65, 3),
+            (64, 64, 64, 4),
+            (130, 70, 129, 5),
+        ] {
+            let a = scrambled(ra, ca, seed);
+            let b = scrambled(ca, cb, seed ^ 0xDEAD_BEEF);
+            let blocked = a.mul(&b);
+            let naive = a.mul_naive(&b);
+            assert_eq!(blocked, naive, "shape {ra}x{ca}·{ca}x{cb}");
+        }
+        let a = scrambled(150, 150, 6);
+        let b = scrambled(150, 150, 7);
+        assert_eq!(a.mul(&b), a.mul_naive(&b), "parallel-threshold size");
+    }
+
+    #[test]
+    fn mul_into_overwrites_stale_contents() {
+        let a = scrambled(9, 9, 8);
+        let b = scrambled(9, 9, 9);
+        let mut out = scrambled(9, 9, 10); // garbage to overwrite
+        a.mul_into(&b, &mut out);
+        assert_eq!(out, a.mul_naive(&b));
+    }
+
+    #[test]
+    fn pow_with_scratch_matches_naive_squaring() {
+        let mut m = scrambled(20, 20, 11);
+        // Normalize rows to keep powers bounded.
+        for i in 0..20 {
+            let row = m.row_mut(i);
+            let s: f64 = row.iter().map(|x| x.abs()).sum::<f64>().max(1.0);
+            row.iter_mut().for_each(|x| *x = x.abs() / s);
+        }
+        for k in [0u64, 1, 2, 3, 5, 13, 64] {
+            let mut expect = DenseMatrix::identity(20);
+            let mut base = m.clone();
+            let mut kk = k;
+            while kk > 0 {
+                if kk & 1 == 1 {
+                    expect = expect.mul_naive(&base);
+                }
+                kk >>= 1;
+                if kk > 0 {
+                    base = base.mul_naive(&base);
+                }
+            }
+            assert_eq!(m.pow(k), expect, "k = {k}");
+        }
     }
 }

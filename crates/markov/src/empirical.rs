@@ -27,7 +27,10 @@ impl<S: Clone + Eq + Hash> Default for EmpiricalDist<S> {
 impl<S: Clone + Eq + Hash> EmpiricalDist<S> {
     /// New, empty distribution.
     pub fn new() -> Self {
-        EmpiricalDist { counts: HashMap::new(), total: 0 }
+        EmpiricalDist {
+            counts: HashMap::new(),
+            total: 0,
+        }
     }
 
     /// Record one observation.

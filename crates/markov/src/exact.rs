@@ -63,8 +63,12 @@ impl<S: Clone + Eq + Hash + Ord> ExactChain<S> {
     {
         let states = chain.states();
         assert!(!states.is_empty(), "empty state space");
-        let index: HashMap<S, usize> =
-            states.iter().cloned().enumerate().map(|(i, s)| (s, i)).collect();
+        let index: HashMap<S, usize> = states
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, s)| (s, i))
+            .collect();
         assert_eq!(index.len(), states.len(), "duplicate states in enumeration");
         let n = states.len();
         let mut p = DenseMatrix::zeros(n, n);
@@ -81,7 +85,12 @@ impl<S: Clone + Eq + Hash + Ord> ExactChain<S> {
             "transition rows must be stochastic (error {})",
             p.row_sum_error()
         );
-        ExactChain { states, index, p, powers: Vec::new() }
+        ExactChain {
+            states,
+            index,
+            p,
+            powers: Vec::new(),
+        }
     }
 
     /// Number of states `|Ω|`.
@@ -177,7 +186,9 @@ impl<S: Clone + Eq + Hash + Ord> ExactChain<S> {
             return pi.iter().fold(0.0f64, |acc, &p| acc.max(1.0 - p));
         }
         let pt = self.power(t);
-        (0..self.n_states()).map(|i| tv_distance(pt.row(i), pi)).fold(0.0, f64::max)
+        (0..self.n_states())
+            .map(|i| tv_distance(pt.row(i), pi))
+            .fold(0.0, f64::max)
     }
 
     /// TV distance from the single start `s0`: `‖P^t(s0,·) − π‖_TV`.
@@ -238,7 +249,7 @@ impl<S: Clone + Eq + Hash + Ord> ExactChain<S> {
             hi = hi.checked_mul(2).expect("t overflow");
         }
         let mut lo = hi / 2; // d(lo) > ε (or lo == 0, handled above)
-        // Invariant: d(lo) > ε, d(hi) ≤ ε.
+                             // Invariant: d(lo) > ε, d(hi) ≤ ε.
         while hi - lo > 1 {
             let mid = lo + (hi - lo) / 2;
             if d(self, mid) <= eps {
@@ -261,7 +272,10 @@ mod tests {
 
     #[test]
     fn stationary_of_lazy_cycle_is_uniform() {
-        let chain = LazyCycle { n: 9, move_prob: 0.5 };
+        let chain = LazyCycle {
+            n: 9,
+            move_prob: 0.5,
+        };
         let exact = ExactChain::build(&chain);
         let pi = {
             let e = exact;
@@ -277,11 +291,17 @@ mod tests {
         // τ for the lazy walk on Z_n grows ~ n²; check the ratio between
         // n = 8 and n = 16 is near 4.
         let t8 = {
-            let mut e = ExactChain::build(&LazyCycle { n: 8, move_prob: 0.5 });
+            let mut e = ExactChain::build(&LazyCycle {
+                n: 8,
+                move_prob: 0.5,
+            });
             e.mixing_time(0.25, 1 << 20).unwrap()
         };
         let t16 = {
-            let mut e = ExactChain::build(&LazyCycle { n: 16, move_prob: 0.5 });
+            let mut e = ExactChain::build(&LazyCycle {
+                n: 16,
+                move_prob: 0.5,
+            });
             e.mixing_time(0.25, 1 << 20).unwrap()
         };
         let r = t16 as f64 / t8 as f64;
@@ -290,7 +310,10 @@ mod tests {
 
     #[test]
     fn mixing_time_definition_is_threshold() {
-        let mut e = ExactChain::build(&LazyCycle { n: 8, move_prob: 0.5 });
+        let mut e = ExactChain::build(&LazyCycle {
+            n: 8,
+            move_prob: 0.5,
+        });
         let pi = e.stationary(1e-13, 100_000);
         let tau = e.mixing_time(0.25, 1 << 20).unwrap();
         assert!(e.worst_tv(tau, &pi) <= 0.25);
@@ -299,7 +322,10 @@ mod tests {
 
     #[test]
     fn from_start_mixing_is_at_most_worst_case() {
-        let mut e = ExactChain::build(&LazyCycle { n: 12, move_prob: 0.5 });
+        let mut e = ExactChain::build(&LazyCycle {
+            n: 12,
+            move_prob: 0.5,
+        });
         let worst = e.mixing_time(0.25, 1 << 20).unwrap();
         let from0 = e.mixing_time_from(&0usize, 0.25, 1 << 20).unwrap();
         assert!(from0 <= worst);
@@ -307,7 +333,10 @@ mod tests {
 
     #[test]
     fn distribution_at_matches_simulation() {
-        let chain = LazyCycle { n: 6, move_prob: 0.5 };
+        let chain = LazyCycle {
+            n: 6,
+            move_prob: 0.5,
+        };
         let mut e = ExactChain::build(&chain);
         let t = 10u64;
         let mu = e.distribution_at(&0usize, t);
@@ -351,7 +380,10 @@ mod tests {
 
     #[test]
     fn expectation_matches_manual_sum() {
-        let e = ExactChain::build(&LazyCycle { n: 5, move_prob: 0.5 });
+        let e = ExactChain::build(&LazyCycle {
+            n: 5,
+            move_prob: 0.5,
+        });
         let pi = e.stationary(1e-13, 100_000);
         // E_π[state] over the uniform stationary distribution on 0..5.
         let mean = e.expectation(&pi, |&s| s as f64);
@@ -362,7 +394,10 @@ mod tests {
 
     #[test]
     fn tv_curve_is_nonincreasing_and_hits_zero() {
-        let mut e = ExactChain::build(&LazyCycle { n: 6, move_prob: 0.5 });
+        let mut e = ExactChain::build(&LazyCycle {
+            n: 6,
+            move_prob: 0.5,
+        });
         let grid = [0u64, 1, 2, 4, 8, 16, 64, 4096];
         let curve = e.tv_curve(&0usize, &grid);
         for w in curve.windows(2) {
@@ -374,7 +409,10 @@ mod tests {
 
     #[test]
     fn t_max_exceeded_returns_none() {
-        let mut e = ExactChain::build(&LazyCycle { n: 32, move_prob: 0.5 });
+        let mut e = ExactChain::build(&LazyCycle {
+            n: 32,
+            move_prob: 0.5,
+        });
         assert_eq!(e.mixing_time(0.01, 4), None);
     }
 }

@@ -132,17 +132,30 @@ mod tests {
         // itself mixes).
         use crate::chain::test_chains::LazyCycle;
         let tau_half = {
-            let mut e =
-                ExactChain::build(&Lazy::new(LazyCycle { n: 8, move_prob: 1.0 }, 0.5));
+            let mut e = ExactChain::build(&Lazy::new(
+                LazyCycle {
+                    n: 8,
+                    move_prob: 1.0,
+                },
+                0.5,
+            ));
             e.mixing_time(0.25, 1 << 22).unwrap()
         };
         let tau_eighth = {
-            let mut e =
-                ExactChain::build(&Lazy::new(LazyCycle { n: 8, move_prob: 1.0 }, 0.125));
+            let mut e = ExactChain::build(&Lazy::new(
+                LazyCycle {
+                    n: 8,
+                    move_prob: 1.0,
+                },
+                0.125,
+            ));
             e.mixing_time(0.25, 1 << 22).unwrap()
         };
         let ratio = tau_eighth as f64 / tau_half as f64;
-        assert!((ratio - 4.0).abs() < 1.0, "1/p slowdown expected, ratio {ratio}");
+        assert!(
+            (ratio - 4.0).abs() < 1.0,
+            "1/p slowdown expected, ratio {ratio}"
+        );
     }
 
     #[test]

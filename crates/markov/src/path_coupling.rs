@@ -23,7 +23,10 @@
 /// # Panics
 /// If `β ≥ 1`, `ε ≤ 0`, or `D < 1`.
 pub fn bound_contracting(beta: f64, diameter: f64, eps: f64) -> u64 {
-    assert!((0.0..1.0).contains(&beta), "case 1 needs β ∈ [0, 1), got {beta}");
+    assert!(
+        (0.0..1.0).contains(&beta),
+        "case 1 needs β ∈ [0, 1), got {beta}"
+    );
     assert!(eps > 0.0 && diameter >= 1.0);
     ((diameter / eps).ln() / (1.0 - beta)).ceil().max(0.0) as u64
 }

@@ -8,18 +8,16 @@ use rt_markov::DenseMatrix;
 
 /// Strategy: a random row-stochastic matrix of size `s`.
 fn stochastic(s: usize) -> impl Strategy<Value = DenseMatrix> {
-    proptest::collection::vec(proptest::collection::vec(0.01f64..1.0, s), s).prop_map(
-        move |rows| {
-            let mut m = DenseMatrix::zeros(s, s);
-            for (i, row) in rows.iter().enumerate() {
-                let total: f64 = row.iter().sum();
-                for (j, &v) in row.iter().enumerate() {
-                    m.set(i, j, v / total);
-                }
+    proptest::collection::vec(proptest::collection::vec(0.01f64..1.0, s), s).prop_map(move |rows| {
+        let mut m = DenseMatrix::zeros(s, s);
+        for (i, row) in rows.iter().enumerate() {
+            let total: f64 = row.iter().sum();
+            for (j, &v) in row.iter().enumerate() {
+                m.set(i, j, v / total);
             }
-            m
-        },
-    )
+        }
+        m
+    })
 }
 
 /// Strategy: a random probability vector of size `s`.

@@ -1,0 +1,376 @@
+//! Lock-free parallel execution engine for Monte Carlo fan-out and
+//! dense linear algebra.
+//!
+//! The previous engine (kept here as [`par_map_locked`] as a reference
+//! implementation) claimed one item at a time from an atomic counter
+//! and wrote each result through a `Mutex<Vec<Option<T>>>` — one lock
+//! acquisition per item plus an `Option` discriminant per slot. That is
+//! fine when every item is a full recovery run, but collapses when
+//! items are cheap (rows of a matrix panel, single chain steps).
+//!
+//! [`par_map`] instead:
+//!
+//! * pre-allocates the exact output buffer (`Vec<MaybeUninit<T>>`) and
+//!   lets each worker write results in place — no lock, no `Option`,
+//!   no post-hoc reshuffle;
+//! * claims work in contiguous chunks via a single atomic counter, with
+//!   the chunk size adapted to the item count (`n / (workers × 8)`,
+//!   clamped to `[1, 8192]`) so heavyweight items still balance well
+//!   (chunk size 1 reproduces per-item claiming) while cheap items
+//!   amortize the atomic traffic;
+//! * converts the filled buffer back to `Vec<T>` without copying.
+//!
+//! Determinism contract: `f` is called exactly once per index and the
+//! result for index `i` lands at position `i`, regardless of worker
+//! count or scheduling. [`par_trials`] layers the repo-standard
+//! SplitMix64 per-trial seeding on top, so simulation output is
+//! byte-identical for a fixed master seed whether it runs on 1 thread
+//! or 64.
+
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads used by [`par_map`].
+pub fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Chunk size used by the engine for `n` items on `workers` threads.
+///
+/// Exposed for benchmarks and tests; see the module docs for the
+/// rationale.
+pub fn chunk_size(n: usize, workers: usize) -> usize {
+    (n / (workers.max(1) * 8)).clamp(1, 8192)
+}
+
+/// Shared mutable output window. Workers write disjoint indices, which
+/// is the whole safety argument — see `claim_loop`.
+struct OutPtr<T>(*mut MaybeUninit<T>);
+unsafe impl<T: Send> Sync for OutPtr<T> {}
+
+/// Apply `f` to every index in `0..n` in parallel, preserving order.
+///
+/// `f` must be `Sync` (shared across workers) and is called exactly
+/// once per index. Panics in workers propagate.
+pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_map_with_threads(num_threads(), n, f)
+}
+
+/// [`par_map`] with an explicit worker count (1 runs inline).
+///
+/// Used by benchmarks to pin the worker count and by callers that know
+/// better than `available_parallelism` (e.g. nested parallelism).
+pub fn par_map_with_threads<T, F>(workers: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.max(1).min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let chunk = chunk_size(n, workers);
+    let mut out: Vec<MaybeUninit<T>> = Vec::with_capacity(n);
+    // SAFETY: MaybeUninit<T> needs no initialization; length equals the
+    // reserved capacity.
+    unsafe { out.set_len(n) };
+
+    let next = AtomicUsize::new(0);
+    let out_ptr = OutPtr(out.as_mut_ptr());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let next = &next;
+            let f = &f;
+            let out_ptr = &out_ptr;
+            scope.spawn(move || loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + chunk).min(n);
+                for i in start..end {
+                    let value = f(i);
+                    // SAFETY: chunk claims are disjoint (each start is
+                    // returned by fetch_add exactly once), so index `i`
+                    // is written by exactly one worker, and `out` lives
+                    // until the scope joins.
+                    unsafe { (*out_ptr.0.add(i)).write(value) };
+                }
+            });
+        }
+    });
+    // The scope joined every worker without panicking, so all n slots
+    // are initialized: the claim loop only exits once `next >= n`, and
+    // each claimed index was written before the claim loop advanced.
+    let (ptr, len, cap) = (out.as_mut_ptr(), out.len(), out.capacity());
+    std::mem::forget(out);
+    // SAFETY: same allocation, every element initialized, and
+    // MaybeUninit<T> has the same layout as T.
+    unsafe { Vec::from_raw_parts(ptr.cast::<T>(), len, cap) }
+}
+
+/// Reference implementation: the original lock-based engine (atomic
+/// per-item claiming, `Mutex<Vec<Option<T>>>` result store).
+///
+/// Kept verbatim for equivalence tests and the overhead benchmark; new
+/// code should call [`par_map`].
+pub fn par_map_locked<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_map_locked_with_threads(num_threads(), n, f)
+}
+
+/// [`par_map_locked`] with an explicit worker count, for benchmarks.
+pub fn par_map_locked_with_threads<T, F>(workers: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    use parking_lot::Mutex;
+    let workers = workers.max(1).min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f(i);
+                results.lock()[i] = Some(out);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|o| o.expect("every index visited"))
+        .collect()
+}
+
+/// Process disjoint mutable chunks of `data` in parallel.
+///
+/// `data` is split into consecutive chunks of `chunk_len` elements (the
+/// last may be shorter); `f` receives `(chunk_index, chunk)` and may
+/// mutate the chunk freely. This is the primitive behind row-panel
+/// parallel matrix multiplication: each panel of output rows is a
+/// disjoint chunk.
+pub fn par_chunks_mut<T, F>(workers: usize, data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let n = data.len();
+    let chunks = n.div_ceil(chunk_len);
+    let workers = workers.max(1).min(chunks.max(1));
+    if workers <= 1 || chunks <= 1 {
+        for (ci, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(ci, chunk);
+        }
+        return;
+    }
+    struct DataPtr<T>(*mut T);
+    unsafe impl<T: Send> Sync for DataPtr<T> {}
+    let next = AtomicUsize::new(0);
+    let data_ptr = DataPtr(data.as_mut_ptr());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let next = &next;
+            let f = &f;
+            let data_ptr = &data_ptr;
+            scope.spawn(move || loop {
+                let ci = next.fetch_add(1, Ordering::Relaxed);
+                if ci >= chunks {
+                    break;
+                }
+                let start = ci * chunk_len;
+                let len = chunk_len.min(n - start);
+                // SAFETY: chunk index `ci` is claimed exactly once and
+                // [start, start+len) ranges for distinct ci are
+                // disjoint; `data` outlives the scope.
+                let chunk = unsafe { std::slice::from_raw_parts_mut(data_ptr.0.add(start), len) };
+                f(ci, chunk);
+            });
+        }
+    });
+}
+
+/// Deterministic per-trial seed derivation: a SplitMix64 stream over a
+/// master seed. Identical to the stream used by `rt-core`'s `SeqSeed`
+/// but kept separate so simulation seeding and in-model randomness do
+/// not alias.
+#[derive(Clone, Copy, Debug)]
+pub struct Seeder {
+    master: u64,
+}
+
+impl Seeder {
+    /// Create a seeder from a master seed.
+    pub fn new(master: u64) -> Self {
+        Seeder { master }
+    }
+
+    /// The seed for trial `i`.
+    pub fn seed_for(&self, i: u64) -> u64 {
+        let mut z = self
+            .master
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(i.wrapping_mul(0xD1B5_4A32_D192_ED03));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Run `trials` independent trials in parallel; trial `i` receives
+/// `(i, seed_i)` with the deterministic seed from [`Seeder`].
+///
+/// ```
+/// use rt_par::par_trials;
+/// let a = par_trials(32, 99, |i, seed| i as u64 ^ seed);
+/// let b = par_trials(32, 99, |i, seed| i as u64 ^ seed);
+/// assert_eq!(a, b); // deterministic regardless of thread schedule
+/// ```
+pub fn par_trials<T, F>(trials: usize, master_seed: u64, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, u64) -> T + Sync,
+{
+    let seeder = Seeder::new(master_seed);
+    par_map(trials, |i| f(i, seeder.seed_for(i as u64)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order_and_coverage() {
+        let out = par_map(1000, |i| i * i);
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        assert!(par_map(0, |i| i).is_empty());
+        assert_eq!(par_map(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn par_map_matches_locked_reference() {
+        for n in [0, 1, 2, 3, 17, 100, 1000, 10_007] {
+            let fast = par_map_with_threads(4, n, |i| i.wrapping_mul(2654435761));
+            let slow = par_map_locked_with_threads(4, n, |i| i.wrapping_mul(2654435761));
+            assert_eq!(fast, slow, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn par_map_forced_worker_counts() {
+        for workers in [1, 2, 3, 8, 33] {
+            let out = par_map_with_threads(workers, 257, |i| i + 1);
+            assert_eq!(out, (1..=257).collect::<Vec<_>>(), "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn par_map_with_non_copy_results() {
+        let out = par_map_with_threads(4, 123, |i| vec![i; i % 5]);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(v.len(), i % 5);
+            assert!(v.iter().all(|&x| x == i));
+        }
+    }
+
+    #[test]
+    fn chunk_size_adapts() {
+        assert_eq!(chunk_size(8, 8), 1, "heavyweight items: per-item claiming");
+        assert_eq!(chunk_size(64_000, 8), 1000);
+        assert_eq!(chunk_size(usize::MAX / 2, 2), 8192, "clamped above");
+        assert_eq!(chunk_size(0, 4), 1, "clamped below");
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_every_element() {
+        let mut data = vec![0u64; 1013];
+        par_chunks_mut(4, &mut data, 64, |ci, chunk| {
+            for (k, x) in chunk.iter_mut().enumerate() {
+                *x = (ci * 64 + k) as u64;
+            }
+        });
+        for (i, x) in data.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_single_chunk_runs_inline() {
+        let mut data = vec![1u8; 10];
+        par_chunks_mut(8, &mut data, 100, |ci, chunk| {
+            assert_eq!(ci, 0);
+            chunk.iter_mut().for_each(|x| *x += 1);
+        });
+        assert!(data.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn par_trials_is_deterministic_across_runs() {
+        let a = par_trials(64, 42, |_, seed| seed);
+        let b = par_trials(64, 42, |_, seed| seed);
+        assert_eq!(a, b);
+        let c = par_trials(64, 43, |_, seed| seed);
+        assert_ne!(a, c, "different master seed must change the stream");
+    }
+
+    #[test]
+    fn seeder_streams_do_not_collide_trivially() {
+        let s = Seeder::new(7);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000 {
+            assert!(seen.insert(s.seed_for(i)), "seed collision at {i}");
+        }
+    }
+
+    #[test]
+    fn par_map_uses_shared_state_safely() {
+        use std::sync::atomic::AtomicU64;
+        let counter = AtomicU64::new(0);
+        let out = par_map(500, |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(out.len(), 500);
+        assert_eq!(counter.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            par_map_with_threads(4, 100, |i| {
+                if i == 57 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -139,7 +139,10 @@ mod tests {
 
     #[test]
     fn quantiles_account_for_failures() {
-        let report = CoalescenceReport { times: vec![1, 2, 3, 4, 5], failures: 5 };
+        let report = CoalescenceReport {
+            times: vec![1, 2, 3, 4, 5],
+            failures: 5,
+        };
         // Median over 10 outcomes (5 finite + 5 infinite) = 5th value.
         assert_eq!(report.quantile(0.5), Some(5));
         assert_eq!(report.quantile(0.9), None);
@@ -148,7 +151,10 @@ mod tests {
 
     #[test]
     fn survival_curve_is_monotone_and_counts_failures() {
-        let report = CoalescenceReport { times: vec![2, 5, 5, 9], failures: 1 };
+        let report = CoalescenceReport {
+            times: vec![2, 5, 5, 9],
+            failures: 1,
+        };
         let curve = report.survival_curve(&[0, 2, 5, 9, 100]);
         let expect = [1.0, 0.8, 0.4, 0.2, 0.2];
         for (c, e) in curve.iter().zip(expect) {

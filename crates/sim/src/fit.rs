@@ -33,7 +33,11 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
             e * e
         })
         .sum();
-    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     (intercept, slope, r2)
 }
 
@@ -52,7 +56,10 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
 /// # Panics
 /// If any value is non-positive.
 pub fn power_law_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
-    assert!(xs.iter().chain(ys).all(|&v| v > 0.0), "power law needs positive data");
+    assert!(
+        xs.iter().chain(ys).all(|&v| v > 0.0),
+        "power law needs positive data"
+    );
     let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
     let ly: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
     let (a, b, r2) = linear_fit(&lx, &ly);
@@ -74,8 +81,16 @@ pub fn model_fit<G: Fn(f64) -> f64>(xs: &[f64], ys: &[f64], g: G) -> (f64, f64) 
     let c = num / den;
     let my = ys.iter().sum::<f64>() / ys.len() as f64;
     let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
-    let ss_res: f64 = gs.iter().zip(ys).map(|(g, y)| (y - c * g) * (y - c * g)).sum();
-    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let ss_res: f64 = gs
+        .iter()
+        .zip(ys)
+        .map(|(g, y)| (y - c * g) * (y - c * g))
+        .sum();
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     (c, r2)
 }
 
@@ -121,7 +136,10 @@ mod tests {
         let (_, r2_right) = model_fit(&xs, &ys, |x| x * x);
         let (_, r2_wrong) = model_fit(&xs, &ys, |x| x);
         assert!(r2_right > 0.999999);
-        assert!(r2_wrong < r2_right - 0.05, "wrong model not penalized: {r2_wrong}");
+        assert!(
+            r2_wrong < r2_right - 0.05,
+            "wrong model not penalized: {r2_wrong}"
+        );
     }
 
     #[test]
@@ -129,8 +147,7 @@ mod tests {
         let xs: Vec<f64> = (4..=10).map(|i| (1u64 << i) as f64).collect();
         // Deterministic "noise" multipliers around a slope-2 law.
         let noise = [1.05, 0.97, 1.02, 0.95, 1.04, 0.99, 1.01];
-        let ys: Vec<f64> =
-            xs.iter().zip(noise).map(|(x, k)| 2.0 * x * x * k).collect();
+        let ys: Vec<f64> = xs.iter().zip(noise).map(|(x, k)| 2.0 * x * x * k).collect();
         let (_, b, r2) = power_law_fit(&xs, &ys);
         assert!((b - 2.0).abs() < 0.05, "slope {b}");
         assert!(r2 > 0.99);

@@ -3,9 +3,9 @@
 //! Everything the experiment harness needs that is not specific to one
 //! process:
 //!
-//! * [`parallel`] — a scoped-thread Monte Carlo fan-out built on
-//!   `crossbeam` (the sanctioned set has no rayon), with deterministic
-//!   per-trial seeding via a SplitMix64 stream.
+//! * [`parallel`] — a scoped-thread Monte Carlo fan-out (the `rt-par`
+//!   lock-free engine re-exported; the sanctioned set has no rayon),
+//!   with deterministic per-trial seeding via a SplitMix64 stream.
 //! * [`stats`] — Welford online moments, quantiles, bootstrap CIs.
 //! * [`fit`] — least-squares fits used to check the paper's scaling
 //!   laws: straight lines, log–log power laws, and single-coefficient

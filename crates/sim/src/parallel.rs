@@ -1,104 +1,24 @@
-//! Scoped-thread parallel fan-out for Monte Carlo trials.
+//! Parallel fan-out for Monte Carlo trials.
+//!
+//! The engine itself lives in the `rt-par` crate (shared with
+//! `rt-markov`'s dense linear algebra); this module re-exports the
+//! simulation-facing surface so existing `rt_sim::par_map` /
+//! `rt_sim::par_trials` callers are unaffected.
 //!
 //! [`par_map`] distributes independent work items over
-//! `available_parallelism` worker threads using an atomic work index —
-//! items are typically heavyweight (a full recovery run each), so
-//! fine-grained scheduling is unnecessary. [`par_trials`] adds the
-//! standard deterministic seeding discipline: trial `i` derives its RNG
-//! seed from a SplitMix64 stream over the master seed, so results are
-//! reproducible regardless of thread count or scheduling order.
+//! `available_parallelism` worker threads, writing results into a
+//! pre-allocated output buffer through disjoint chunk claims — no lock
+//! on the result store. [`par_trials`] adds the standard deterministic
+//! seeding discipline: trial `i` derives its RNG seed from a SplitMix64
+//! stream over the master seed, so results are reproducible regardless
+//! of thread count or scheduling order.
 
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-/// Number of worker threads used by [`par_map`].
-pub fn num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-}
-
-/// Apply `f` to every index in `0..n` in parallel, preserving order.
-///
-/// `f` must be `Sync` (shared across workers) and is called exactly once
-/// per index. Panics in workers propagate.
-pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    let workers = num_threads().min(n.max(1));
-    if workers <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let out = f(i);
-                results.lock()[i] = Some(out);
-            });
-        }
-    })
-    .expect("worker thread panicked");
-    results
-        .into_inner()
-        .into_iter()
-        .map(|o| o.expect("every index visited"))
-        .collect()
-}
-
-/// Deterministic per-trial seed derivation: a SplitMix64 stream over a
-/// master seed. Identical to the stream used by `rt-core`'s `SeqSeed`
-/// but kept separate so simulation seeding and in-model randomness do
-/// not alias.
-#[derive(Clone, Copy, Debug)]
-pub struct Seeder {
-    master: u64,
-}
-
-impl Seeder {
-    /// Create a seeder from a master seed.
-    pub fn new(master: u64) -> Self {
-        Seeder { master }
-    }
-
-    /// The seed for trial `i`.
-    pub fn seed_for(&self, i: u64) -> u64 {
-        let mut z = self
-            .master
-            .wrapping_add(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(i.wrapping_mul(0xD1B5_4A32_D192_ED03));
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-}
-
-/// Run `trials` independent trials in parallel; trial `i` receives
-/// `(i, seed_i)` with the deterministic seed from [`Seeder`].
-///
-/// ```
-/// use rt_sim::par_trials;
-/// let a = par_trials(32, 99, |i, seed| i as u64 ^ seed);
-/// let b = par_trials(32, 99, |i, seed| i as u64 ^ seed);
-/// assert_eq!(a, b); // deterministic regardless of thread schedule
-/// ```
-pub fn par_trials<T, F>(trials: usize, master_seed: u64, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize, u64) -> T + Sync,
-{
-    let seeder = Seeder::new(master_seed);
-    par_map(trials, |i| f(i, seeder.seed_for(i as u64)))
-}
+pub use rt_par::{num_threads, par_map, par_trials, Seeder};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn par_map_preserves_order_and_coverage() {
@@ -135,7 +55,6 @@ mod tests {
 
     #[test]
     fn par_map_uses_shared_state_safely() {
-        use std::sync::atomic::AtomicU64;
         let counter = AtomicU64::new(0);
         let out = par_map(500, |i| {
             counter.fetch_add(1, Ordering::Relaxed);

@@ -95,7 +95,10 @@ pub fn stationary_band<S>(
         }
         obs.push(observe(state));
     }
-    (crate::stats::quantile(&obs, q), crate::stats::quantile(&obs, 1.0 - q))
+    (
+        crate::stats::quantile(&obs, q),
+        crate::stats::quantile(&obs, 1.0 - q),
+    )
 }
 
 #[cfg(test)]

@@ -231,7 +231,11 @@ impl Histogram {
         let mut out = String::new();
         for (i, &c) in self.buckets.iter().enumerate() {
             let (lo, hi) = self.bucket_range(i);
-            let bar = "#".repeat((c as usize * max_width).div_ceil(peak as usize).min(max_width));
+            let bar = "#".repeat(
+                (c as usize * max_width)
+                    .div_ceil(peak as usize)
+                    .min(max_width),
+            );
             out.push_str(&format!("[{lo:>10.1}, {hi:>10.1})  {c:>8}  {bar}\n"));
         }
         if self.underflow + self.overflow > 0 {
@@ -333,7 +337,10 @@ mod tests {
     fn bootstrap_ci_brackets_true_mean() {
         let data: Vec<f64> = (0..200).map(|i| (i % 10) as f64).collect();
         let (lo, hi) = bootstrap_mean_ci(&data, 0.95, 500, 11);
-        assert!(lo < 4.5 && 4.5 < hi, "CI ({lo}, {hi}) misses the true mean 4.5");
+        assert!(
+            lo < 4.5 && 4.5 < hi,
+            "CI ({lo}, {hi}) misses the true mean 4.5"
+        );
         assert!(hi - lo < 1.5, "CI suspiciously wide");
     }
 }

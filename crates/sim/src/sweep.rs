@@ -50,7 +50,11 @@ impl Sweep {
     /// If `sizes` is empty or `trials == 0`.
     pub fn new(sizes: &[usize], trials: usize, seed: u64) -> Self {
         assert!(!sizes.is_empty() && trials > 0);
-        Sweep { sizes: sizes.to_vec(), trials, seed }
+        Sweep {
+            sizes: sizes.to_vec(),
+            trials,
+            seed,
+        }
     }
 
     /// The sweep sizes.
@@ -72,7 +76,10 @@ impl Sweep {
                     self.seed ^ (size as u64).wrapping_mul(0x9E37_79B9),
                     |_, seed| f(size, seed),
                 );
-                SweepRow { size, summary: Summary::of(&obs) }
+                SweepRow {
+                    size,
+                    summary: Summary::of(&obs),
+                }
             })
             .collect()
     }
@@ -87,7 +94,11 @@ impl Sweep {
             .iter()
             .map(|&(name, g)| {
                 let (c, r2) = fit::model_fit(&xs, &ys, g);
-                ModelFit { name, coefficient: c, r2 }
+                ModelFit {
+                    name,
+                    coefficient: c,
+                    r2,
+                }
             })
             .collect();
         fits.sort_by(|a, b| b.r2.partial_cmp(&a.r2).expect("finite r²"));

@@ -21,7 +21,10 @@ impl Table {
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
         let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
         assert!(!headers.is_empty(), "a table needs at least one column");
-        Table { headers, rows: Vec::new() }
+        Table {
+            headers,
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row.

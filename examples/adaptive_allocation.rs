@@ -30,7 +30,11 @@ struct Metered<D> {
 
 impl<D> Metered<D> {
     fn new(inner: D) -> Self {
-        Metered { inner, probes: 0.into(), placements: 0.into() }
+        Metered {
+            inner,
+            probes: 0.into(),
+            placements: 0.into(),
+        }
     }
     fn probes_per_placement(&self) -> f64 {
         self.probes.get() as f64 / self.placements.get().max(1) as f64
@@ -73,16 +77,16 @@ fn evaluate<D: FastRule>(label: &str, rule: D, n: usize) {
     sys.run(40 * u64::from(m), &mut rng);
     let eq_load = sys.max_load();
     let eq_cost = metered.probes_per_placement();
-    println!(
-        "{label:>12}  {:>14}  {:>16.2}",
-        eq_load, eq_cost
-    );
+    println!("{label:>12}  {:>14}  {:>16.2}", eq_load, eq_cost);
 }
 
 fn main() {
     let n = 8_192usize;
     println!("Rule comparison at equilibrium, n = m = {n} (scenario A):\n");
-    println!("{:>12}  {:>14}  {:>16}", "rule", "max load", "probes/placement");
+    println!(
+        "{:>12}  {:>14}  {:>16}",
+        "rule", "max load", "probes/placement"
+    );
     evaluate("ABKU[1]", Abku::new(1), n);
     evaluate("ABKU[2]", Abku::new(2), n);
     evaluate("ABKU[3]", Abku::new(3), n);

@@ -33,7 +33,10 @@ fn main() {
 
     println!("Elastic worker pool: {n} workers, arrival rate 0.45/tick.");
     println!("Copy A starts empty; copy B starts with {backlog} jobs on one worker.\n");
-    println!("{:>10}  {:>9}  {:>9}  {:>9}  {:>9}", "tick", "A jobs", "B jobs", "B max", "‖A−B‖₁");
+    println!(
+        "{:>10}  {:>9}  {:>9}  {:>9}  {:>9}",
+        "tick", "A jobs", "B jobs", "B max", "‖A−B‖₁"
+    );
 
     let mut t = 0u64;
     let mut next_print = 1u64;

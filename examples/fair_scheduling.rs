@@ -34,9 +34,15 @@ fn main() {
     let bound = theorem2_bound(n as u64);
 
     println!("Fair scheduling via greedy edge orientation, n = {n} servers.");
-    println!("Crash: half the servers over-assigned by {skew}, unfairness = {}.", sched.unfairness());
+    println!(
+        "Crash: half the servers over-assigned by {skew}, unfairness = {}.",
+        sched.unfairness()
+    );
     println!("Theorem 2 horizon: O(n² ln² n) = {bound} arrivals (constant 1).\n");
-    println!("{:>12}  {:>12}  {:>10}", "arrivals", "t/(n² ln² n)", "unfairness");
+    println!(
+        "{:>12}  {:>12}  {:>10}",
+        "arrivals", "t/(n² ln² n)", "unfairness"
+    );
 
     let mut t = 0u64;
     let mut next_print = 1u64;

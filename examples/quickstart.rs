@@ -34,7 +34,12 @@ fn main() {
     let mut next_print = 1u64;
     while t <= 2 * bound {
         if t >= next_print || t == 0 {
-            println!("{:>10}  {:>10.3}  {:>8}", t, t as f64 / bound as f64, process.max_load());
+            println!(
+                "{:>10}  {:>10.3}  {:>8}",
+                t,
+                t as f64 / bound as f64,
+                process.max_load()
+            );
             next_print = (next_print as f64 * 1.7) as u64 + 1;
         }
         process.step(&mut rng);
@@ -44,5 +49,8 @@ fn main() {
         "\nThe overloaded bin drains steadily and the max load settles at the\n\
          typical ln ln n / ln 2 + O(1) level within the Theorem-1 horizon."
     );
-    assert!(process.max_load() <= 6, "should have recovered to the typical level");
+    assert!(
+        process.max_load() <= 6,
+        "should have recovered to the typical level"
+    );
 }

@@ -55,7 +55,10 @@ fn exact_edge_mixing_respects_theorem_2() {
         let mut exact = ExactChain::build(&chain);
         let tau = exact.mixing_time(0.25, 1 << 24).expect("mixes");
         let bound = theorem2_bound(n as u64);
-        assert!(tau <= bound, "n={n}: exact τ = {tau} > Theorem-2 bound {bound}");
+        assert!(
+            tau <= bound,
+            "n={n}: exact τ = {tau} > Theorem-2 bound {bound}"
+        );
     }
 }
 

@@ -23,8 +23,12 @@ fn mini_t1_scenario_a_rate() {
     let mut means = Vec::new();
     for (i, &n) in sizes.iter().enumerate() {
         let m = n as u32;
-        let coupling =
-            CouplingA::new(AllocationChain::new(n, m, Removal::RandomBall, Abku::new(2)));
+        let coupling = CouplingA::new(AllocationChain::new(
+            n,
+            m,
+            Removal::RandomBall,
+            Abku::new(2),
+        ));
         let rep = coalescence::measure(
             &coupling,
             &LoadVector::all_in_one(n, m),
@@ -36,7 +40,11 @@ fn mini_t1_scenario_a_rate() {
         assert_eq!(rep.failures, 0);
         let s = rep.summary();
         let bound = theorem1_bound(u64::from(m), 0.25) as f64;
-        assert!(s.mean < 3.0 * bound, "n={n}: mean {} vs bound {bound}", s.mean);
+        assert!(
+            s.mean < 3.0 * bound,
+            "n={n}: mean {} vs bound {bound}",
+            s.mean
+        );
         ms.push(m as f64);
         means.push(s.mean);
     }
@@ -125,7 +133,10 @@ fn mini_ml_power_of_two_choices() {
     }
     for (d1, d2) in max_d1.iter().zip(&max_d2) {
         assert!(d2 < d1, "two choices must beat one: d1={d1} d2={d2}");
-        assert!(*d2 <= 5, "d=2 max load should be a small constant, got {d2}");
+        assert!(
+            *d2 <= 5,
+            "d=2 max load should be a small constant, got {d2}"
+        );
     }
 }
 
@@ -163,6 +174,9 @@ fn mini_uf_unfairness_plateau() {
             sim.run(n as u64, &mut rng);
             worst = worst.max(sim.unfairness());
         }
-        assert!(worst <= 8, "n={n}: unfairness {worst} above the log log n plateau");
+        assert!(
+            worst <= 8,
+            "n={n}: unfairness {worst} above the log log n plateau"
+        );
     }
 }

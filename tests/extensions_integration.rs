@@ -48,12 +48,17 @@ fn general_removal_mixing_improves_toward_scenario_a() {
     let (n, m) = (4usize, 5u32);
     let tau = |alpha: f64| {
         let chain = GeneralChain::new(n, m, PowerWeighted::new(alpha), Abku::new(2));
-        ExactChain::build(&chain).mixing_time(0.25, 1 << 24).unwrap()
+        ExactChain::build(&chain)
+            .mixing_time(0.25, 1 << 24)
+            .unwrap()
     };
     let t0 = tau(0.0);
     let t_half = tau(0.5);
     let t1 = tau(1.0);
-    assert!(t1 <= t_half && t_half <= t0, "B→A range must be monotone: {t0} {t_half} {t1}");
+    assert!(
+        t1 <= t_half && t_half <= t0,
+        "B→A range must be monotone: {t0} {t_half} {t1}"
+    );
     for alpha in [2.0, 4.0] {
         assert!(tau(alpha) <= t0, "α = {alpha} slower than scenario B");
     }
@@ -81,7 +86,10 @@ fn batch_one_equals_sequential_distribution() {
     let mut exact = ExactChain::build(&chain);
     let mu = exact.distribution_at(&LoadVector::all_in_one(n, m), t);
     let tv = emp_batch.tv_to(exact.states(), &mu);
-    assert!(tv < 0.01, "batched k=1 deviates from the exact chain: TV = {tv}");
+    assert!(
+        tv < 0.01,
+        "batched k=1 deviates from the exact chain: TV = {tv}"
+    );
 }
 
 /// The weighted process with unit weights recovers on the same clock as
@@ -118,13 +126,20 @@ fn relocation_interpolates_between_chains() {
     let tau_b = ExactChain::build(&base).mixing_time(0.25, 1 << 24).unwrap();
     let tau_half = {
         let chain = RelocatingChain::new(base.clone(), 0.5);
-        ExactChain::build(&chain).mixing_time(0.25, 1 << 24).unwrap()
+        ExactChain::build(&chain)
+            .mixing_time(0.25, 1 << 24)
+            .unwrap()
     };
     let tau_full = {
         let chain = RelocatingChain::new(base, 1.0);
-        ExactChain::build(&chain).mixing_time(0.25, 1 << 24).unwrap()
+        ExactChain::build(&chain)
+            .mixing_time(0.25, 1 << 24)
+            .unwrap()
     };
-    assert!(tau_full <= tau_half && tau_half <= tau_b, "{tau_full} ≤ {tau_half} ≤ {tau_b}");
+    assert!(
+        tau_full <= tau_half && tau_half <= tau_b,
+        "{tau_full} ≤ {tau_half} ≤ {tau_b}"
+    );
 }
 
 /// Observables agree between the exact stationary expectation and a
@@ -147,5 +162,8 @@ fn observable_expectations_match_simulation() {
         acc += observables::gap(&v);
     }
     let sim_gap = acc / steps as f64;
-    assert!((sim_gap - exact_gap).abs() < 0.02, "sim {sim_gap} vs exact {exact_gap}");
+    assert!(
+        (sim_gap - exact_gap).abs() < 0.02,
+        "sim {sim_gap} vs exact {exact_gap}"
+    );
 }

@@ -2,12 +2,12 @@
 //! must fail loudly and predictably on misuse, and degenerate-but-legal
 //! inputs must work.
 
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 use recovery_time::core::rules::{Abku, Adap};
 use recovery_time::core::{AllocationChain, LoadVector, Removal};
 use recovery_time::edge::{DiscProfile, EdgeChain};
 use recovery_time::markov::{DenseMatrix, ExactChain, MarkovChain};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 // ---------- degenerate-but-legal inputs ----------
 

@@ -67,12 +67,18 @@ fn theorem_1_dominates_exact_and_spectral() {
         let tau = exact.mixing_time(0.25, 1 << 24).unwrap();
         let diameter = f64::from(m) - f64::from(m.div_ceil(n as u32));
         let lemma = bound_contracting(1.0 - 1.0 / f64::from(m), diameter.max(1.0), 0.25);
-        assert!(lemma >= tau, "n={n} m={m}: lemma bound {lemma} < exact τ {tau}");
+        assert!(
+            lemma >= tau,
+            "n={n} m={m}: lemma bound {lemma} < exact τ {tau}"
+        );
         // Relaxation time (spectral) lower-bounds mixing up to constants:
         // sanity check the decay estimate is in a sane band.
         let (rho, relax) = decay_rate(exact.matrix(), 0, exact.n_states() - 1, 32, 256);
         assert!(rho < 1.0 && relax >= 1.0);
-        assert!(relax <= 10.0 * tau as f64 + 10.0, "relaxation {relax} vs τ {tau}");
+        assert!(
+            relax <= 10.0 * tau as f64 + 10.0,
+            "relaxation {relax} vs τ {tau}"
+        );
     }
 }
 

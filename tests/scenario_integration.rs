@@ -22,7 +22,10 @@ fn exact_mixing_respects_theorem_1() {
         let chain = AllocationChain::new(n, m, Removal::RandomBall, Abku::new(2));
         let mut exact = ExactChain::build(&chain);
         let tau = exact.mixing_time(0.25, 1 << 24).expect("mixes");
-        assert!(tau <= bound, "n={n} m={m}: exact τ = {tau} > Theorem-1 bound {bound}");
+        assert!(
+            tau <= bound,
+            "n={n} m={m}: exact τ = {tau} > Theorem-1 bound {bound}"
+        );
 
         let adap = AllocationChain::new(n, m, Removal::RandomBall, Adap::new(|l: u32| l + 1));
         let mut exact_adap = ExactChain::build(&adap);
@@ -39,7 +42,10 @@ fn exact_mixing_respects_claim_5_3() {
         let mut exact = ExactChain::build(&chain);
         let tau = exact.mixing_time(0.25, 1 << 24).expect("mixes");
         let bound = claim53_bound(n as u64, u64::from(m), 0.25);
-        assert!(tau <= bound, "n={n} m={m}: exact τ = {tau} > Claim-5.3 bound {bound}");
+        assert!(
+            tau <= bound,
+            "n={n} m={m}: exact τ = {tau} > Claim-5.3 bound {bound}"
+        );
     }
 }
 
@@ -127,8 +133,12 @@ fn scenario_a_coalescence_scales_like_m_ln_m() {
     let sizes = [32usize, 64, 128];
     for &n in &sizes {
         let m = n as u32;
-        let coupling =
-            CouplingA::new(AllocationChain::new(n, m, Removal::RandomBall, Abku::new(2)));
+        let coupling = CouplingA::new(AllocationChain::new(
+            n,
+            m,
+            Removal::RandomBall,
+            Abku::new(2),
+        ));
         let mut total = 0u64;
         let trials = 12;
         for _ in 0..trials {
@@ -146,7 +156,10 @@ fn scenario_a_coalescence_scales_like_m_ln_m() {
     // Ratio between successive sizes ≈ 2·ln(2m)/ln(m) ∈ (2, 2.6).
     for w in means.windows(2) {
         let r = w[1] / w[0];
-        assert!(r > 1.6 && r < 3.5, "scaling ratio {r} out of the m ln m band: {means:?}");
+        assert!(
+            r > 1.6 && r < 3.5,
+            "scaling ratio {r} out of the m ln m band: {means:?}"
+        );
     }
 }
 
@@ -156,8 +169,12 @@ fn scenario_a_coalescence_scales_like_m_ln_m() {
 fn coupling_a_invariant_under_iteration() {
     use recovery_time::markov::coupling::PairCoupling;
     let (n, m) = (6usize, 9u32);
-    let coupling =
-        CouplingA::new(AllocationChain::new(n, m, Removal::RandomBall, Abku::new(2)));
+    let coupling = CouplingA::new(AllocationChain::new(
+        n,
+        m,
+        Removal::RandomBall,
+        Abku::new(2),
+    ));
     let mut rng = SmallRng::seed_from_u64(17);
     let u = LoadVector::from_loads(vec![3, 2, 2, 1, 1, 0]);
     let mut x = u.try_shift(0, 4).unwrap(); // [4,2,2,1,0,0]

@@ -1,0 +1,348 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface this workspace's benches use — `Criterion`,
+//! `benchmark_group`/`bench_function`/`bench_with_input`, `Bencher::iter`
+//! and `iter_batched`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a simple but
+//! honest wall-clock measurement loop:
+//!
+//! 1. calibrate the per-iteration cost to choose a batch size whose
+//!    total runtime is measurable (~`TARGET_BATCH` per sample);
+//! 2. time `samples` batches and report the minimum, median, and mean
+//!    per-iteration times (minimum is the most noise-robust on a busy
+//!    machine).
+//!
+//! No statistical regression analysis, plots, or saved baselines; a
+//! bench filter passed on the command line (`cargo bench -- <filter>`)
+//! is honored by substring match.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — defeats constant folding of bench inputs.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost (accepted for API parity;
+/// the stand-in re-runs setup per measured iteration and subtracts
+/// nothing, it simply excludes setup from the timed window).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small input: setup per iteration is acceptable.
+    SmallInput,
+    /// Large input: setup per iteration is acceptable here too.
+    LargeInput,
+    /// One setup per iteration, always.
+    PerIteration,
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, e.g. `BenchmarkId::new("fenwick", n)`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    /// Per-iteration nanoseconds for each measured sample.
+    results: Vec<f64>,
+}
+
+const TARGET_BATCH: Duration = Duration::from_millis(20);
+const MAX_CALIBRATION: Duration = Duration::from_millis(200);
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            results: Vec::new(),
+        }
+    }
+
+    /// Measure `f` repeatedly; the reported unit is one call of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: how many iterations fit in TARGET_BATCH?
+        let cal_start = Instant::now();
+        let mut cal_iters = 0u64;
+        loop {
+            black_box(f());
+            cal_iters += 1;
+            let elapsed = cal_start.elapsed();
+            if elapsed >= MAX_CALIBRATION || (cal_iters >= 5 && elapsed >= TARGET_BATCH) {
+                break;
+            }
+        }
+        let per_iter = cal_start.elapsed().as_secs_f64() / cal_iters as f64;
+        let batch = ((TARGET_BATCH.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+        self.results.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = start.elapsed().as_secs_f64() * 1e9 / batch as f64;
+            self.results.push(ns);
+        }
+    }
+
+    /// Measure `routine` on fresh values from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Calibrate on a handful of runs.
+        let mut cal_elapsed = Duration::ZERO;
+        let mut cal_iters = 0u64;
+        while cal_elapsed < TARGET_BATCH && cal_iters < 1000 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            cal_elapsed += start.elapsed();
+            cal_iters += 1;
+            if cal_iters >= 3 && cal_elapsed >= MAX_CALIBRATION {
+                break;
+            }
+        }
+        let per_iter = cal_elapsed.as_secs_f64() / cal_iters as f64;
+        let batch = ((TARGET_BATCH.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 16);
+        self.results.clear();
+        for _ in 0..self.samples {
+            let mut timed = Duration::ZERO;
+            for _ in 0..batch {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                timed += start.elapsed();
+            }
+            let ns = timed.as_secs_f64() * 1e9 / batch as f64;
+            self.results.push(ns);
+        }
+    }
+
+    fn report(&self, full_name: &str) {
+        if self.results.is_empty() {
+            println!("{full_name:<56} (no measurement)");
+            return;
+        }
+        let mut sorted = self.results.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        println!(
+            "{full_name:<56} min {:>12}  med {:>12}  mean {:>12}",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Honor a `cargo bench -- <filter>` substring filter.
+    pub fn configure_from_args(mut self) -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        self.filter = args.into_iter().find(|a| !a.starts_with('-'));
+        self
+    }
+
+    /// Default number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        self.run_one(name.to_string(), sample_size, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, full_name: String, samples: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !full_name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher::new(samples);
+        f(&mut bencher);
+        bencher.report(&full_name);
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of measured samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Benchmark a closure under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(full, samples, f);
+        self
+    }
+
+    /// Benchmark a closure that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(full, samples, |b| f(b, input));
+        self
+    }
+
+    /// End the group (measurements are reported eagerly; this is for
+    /// API parity).
+    pub fn finish(self) {}
+}
+
+/// Define a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new(3);
+        b.iter(|| black_box(1u64 + 1));
+        assert_eq!(b.results.len(), 3);
+        assert!(b.results.iter().all(|&ns| ns > 0.0));
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher::new(2);
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert_eq!(b.results.len(), 2);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("match-me".into()),
+            sample_size: 2,
+        };
+        let mut ran = false;
+        c.bench_function("other", |_b| ran = true);
+        assert!(!ran);
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("still-other", |_b| ran = true);
+        g.finish();
+        assert!(!ran);
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("abku", 128).id, "abku/128");
+        assert_eq!(BenchmarkId::from_parameter(42).id, "42");
+    }
+}

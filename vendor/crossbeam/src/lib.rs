@@ -1,0 +1,89 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only [`thread::scope`] is provided — the one entry point this
+//! workspace uses. It wraps `std::thread::scope` (stabilized long after
+//! crossbeam popularized the pattern) behind crossbeam's API shape:
+//! the closure and every spawned closure receive a `&Scope`, and the
+//! call returns `Err` instead of unwinding when a child thread panics.
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Result of a scope: `Err` carries a child thread's panic payload.
+    pub type ScopeResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A handle for spawning scoped threads (mirror of
+    /// `crossbeam::thread::Scope`).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives a fresh `&Scope`
+        /// so nested spawns work, as with crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope in which borrowed-data threads can be
+    /// spawned; all spawned threads are joined before returning.
+    ///
+    /// Returns `Err` with the panic payload if any spawned thread (or
+    /// `f` itself) panicked.
+    pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        let out = thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+            7
+        })
+        .unwrap();
+        assert_eq!(out, 7);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn nested_spawns_work() {
+        let counter = AtomicUsize::new(0);
+        thread::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn child_panic_is_reported_as_err() {
+        let r = thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

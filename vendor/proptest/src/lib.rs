@@ -1,0 +1,577 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the slice of the proptest API this workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map`/`prop_flat_map`,
+//! range/tuple/vec/string strategies, `any::<T>()`, and the
+//! [`proptest!`]/[`prop_assert!`]/[`prop_assume!`] macro family.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports its case number and the
+//!   deterministic per-test seed instead of a minimized input.
+//! * **Deterministic by default.** Each test derives its RNG seed from
+//!   the test's module path and name, so runs are reproducible; set
+//!   `PROPTEST_SEED` to explore a different stream and
+//!   `PROPTEST_CASES` to change the per-test case count (default 64).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SampleUniform};
+use std::ops::{Range, RangeInclusive};
+
+/// Why a generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was vetoed by `prop_assume!`; it is retried, not failed.
+    Reject(String),
+    /// A `prop_assert!` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Construct a rejection (assume-failure).
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+    /// Construct a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Result of one generated test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A generator of random values for property tests.
+///
+/// The associated `Value` is what the test body receives. Unlike real
+/// proptest there is no value tree: `generate` yields the value
+/// directly and failures are not shrunk.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy it selects.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut SmallRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut SmallRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Clone> Strategy for Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Clone> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, G);
+
+/// Types with a canonical "anything" strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value of `Self`.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty => $via:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> Self {
+                rng.random::<$via>() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8 => u64, u16 => u64, u32 => u32, u64 => u64, usize => u64,
+                    i8 => u64, i16 => u64, i32 => u32, i64 => u64, isize => u64);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        rng.random()
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Finite floats spanning many magnitudes (no NaN/inf — the tests
+    /// here feed these into numeric code expecting finite input).
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        let mag = rng.random_range(-300.0..300.0f64);
+        let sign = if rng.random::<bool>() { 1.0 } else { -1.0 };
+        sign * 10f64.powf(mag / 10.0)
+    }
+}
+
+/// Strategy for an arbitrary `T`, like proptest's `any::<T>()`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// See [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// String strategies from a simplified regex pattern.
+///
+/// Supports sequences of literal characters and `[class]{lo,hi}` /
+/// `[class]{n}` / `[class]` atoms, where a class lists characters and
+/// `a-z` ranges. This covers the patterns used in this workspace (e.g.
+/// `"[a-z0-9]{0,8}"`); anything unparsable falls back to the literal
+/// pattern string.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut SmallRng) -> String {
+        pattern::generate(self, rng)
+    }
+}
+
+mod pattern {
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    pub fn generate(pat: &str, rng: &mut SmallRng) -> String {
+        let mut out = String::new();
+        let chars: Vec<char> = pat.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            if chars[i] == '[' {
+                let Some(close) = chars[i..].iter().position(|&c| c == ']').map(|p| p + i) else {
+                    return pat.to_string();
+                };
+                let class = expand_class(&chars[i + 1..close]);
+                if class.is_empty() {
+                    return pat.to_string();
+                }
+                i = close + 1;
+                let (lo, hi, rest) = parse_rep(&chars[i..]);
+                i += rest;
+                let count = if lo == hi {
+                    lo
+                } else {
+                    rng.random_range(lo..=hi)
+                };
+                for _ in 0..count {
+                    out.push(class[rng.random_range(0..class.len())]);
+                }
+            } else {
+                out.push(chars[i]);
+                i += 1;
+            }
+        }
+        out
+    }
+
+    fn expand_class(spec: &[char]) -> Vec<char> {
+        let mut class = Vec::new();
+        let mut j = 0;
+        while j < spec.len() {
+            if j + 2 < spec.len() && spec[j + 1] == '-' {
+                for c in spec[j]..=spec[j + 2] {
+                    class.push(c);
+                }
+                j += 3;
+            } else {
+                class.push(spec[j]);
+                j += 1;
+            }
+        }
+        class
+    }
+
+    /// Parse a `{lo,hi}` / `{n}` suffix; returns (lo, hi, chars consumed).
+    fn parse_rep(rest: &[char]) -> (usize, usize, usize) {
+        if rest.first() != Some(&'{') {
+            return (1, 1, 0);
+        }
+        let Some(close) = rest.iter().position(|&c| c == '}') else {
+            return (1, 1, 0);
+        };
+        let body: String = rest[1..close].iter().collect();
+        let parts: Vec<&str> = body.split(',').collect();
+        let parsed = match parts.as_slice() {
+            [n] => n.trim().parse().ok().map(|n: usize| (n, n)),
+            [lo, hi] => lo
+                .trim()
+                .parse()
+                .ok()
+                .and_then(|lo: usize| hi.trim().parse().ok().map(|hi: usize| (lo, hi))),
+            _ => None,
+        };
+        match parsed {
+            Some((lo, hi)) if lo <= hi => (lo, hi, close + 1),
+            _ => (1, 1, 0),
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{SizeRange, Strategy};
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+            let len = if self.size.lo >= self.size.hi {
+                self.size.lo
+            } else {
+                rng.random_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// A length specification for collection strategies: a fixed size or a
+/// half-open range.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        let (lo, hi) = r.into_inner();
+        SizeRange { lo, hi: hi + 1 }
+    }
+}
+
+/// Namespaced strategies (`prop::bool::ANY` etc.).
+pub mod prop {
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::Strategy;
+        use rand::rngs::SmallRng;
+        use rand::Rng;
+
+        /// Strategy for a fair coin.
+        #[derive(Clone, Copy, Debug)]
+        pub struct Any;
+
+        /// A fair-coin strategy, mirroring `proptest::bool::ANY`.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn generate(&self, rng: &mut SmallRng) -> bool {
+                rng.random()
+            }
+        }
+    }
+}
+
+/// The per-test driver invoked by the [`proptest!`] macro expansion.
+pub mod test_runner {
+    use super::TestCaseError;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn env_u64(name: &str) -> Option<u64> {
+        std::env::var(name).ok().and_then(|s| s.parse().ok())
+    }
+
+    /// FNV-1a, used to derive a stable per-test seed from its name.
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Run `f` for the configured number of generated cases.
+    ///
+    /// Rejections (from `prop_assume!`) are retried without counting,
+    /// up to a cap; failures panic with the case number and seed so the
+    /// run can be reproduced with `PROPTEST_SEED`.
+    pub fn run<F>(name: &str, mut f: F)
+    where
+        F: FnMut(&mut SmallRng) -> Result<(), TestCaseError>,
+    {
+        let cases = env_u64("PROPTEST_CASES").unwrap_or(64);
+        let seed = env_u64("PROPTEST_SEED").unwrap_or_else(|| fnv1a(name.as_bytes()));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut passed = 0u64;
+        let mut rejected = 0u64;
+        let max_rejects = cases * 16 + 256;
+        while passed < cases {
+            match f(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= max_rejects,
+                        "proptest '{name}': too many prop_assume! rejections \
+                         ({rejected} for {passed} accepted cases)"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "proptest '{name}' failed at case {passed}: {msg}\n\
+                     (reproduce with PROPTEST_SEED={seed})"
+                ),
+            }
+        }
+    }
+}
+
+/// Define property tests: `proptest! { #[test] fn f(x in strat) {...} }`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |__proptest_rng| {
+                        $(let $arg = $crate::Strategy::generate(&($strat), __proptest_rng);)+
+                        #[allow(clippy::redundant_closure_call)]
+                        (|| -> $crate::TestCaseResult {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })()
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fail the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Fail the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, $($fmt)*);
+    }};
+}
+
+/// Veto the current case (it is regenerated, not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                concat!("assume failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+/// Glob-import surface matching `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::prop;
+    pub use crate::{any, Arbitrary, Just, Strategy, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vec_strategies_respect_bounds() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(1);
+        let s = collection::vec(0u32..10, 3..7);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((3..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn string_pattern_generates_from_class() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let s = "[a-z0-9]{0,8}".generate(&mut rng);
+            assert!(s.len() <= 8);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_round_trip(x in 0u64..100, (a, b) in (0u32..4, 0u32..4)) {
+            prop_assume!(x < 99);
+            prop_assert!(x < 99);
+            prop_assert_eq!(a / 4, 0);
+            prop_assert_ne!(b, 4);
+        }
+
+        #[test]
+        fn flat_map_preserves_dependency(v in (1usize..8).prop_flat_map(|n| {
+            collection::vec(0u32..4, n).prop_map(move |v| (n, v))
+        })) {
+            let (n, v) = v;
+            prop_assert_eq!(v.len(), n);
+        }
+    }
+}

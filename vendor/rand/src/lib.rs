@@ -1,0 +1,381 @@
+//! Offline stand-in for the `rand` crate (0.9 API subset).
+//!
+//! The build environment has no registry access, so the workspace
+//! vendors the small slice of `rand` it actually uses:
+//!
+//! * [`RngCore`] / [`Rng`] (with the blanket impl, `random` and
+//!   `random_range` over integer and float ranges);
+//! * [`SeedableRng`] with `seed_from_u64` / `from_seed` / `from_rng`;
+//! * [`rngs::SmallRng`], implemented as xoshiro256++ — the same
+//!   algorithm family the real `SmallRng` uses on 64-bit targets.
+//!
+//! Streams are *not* guaranteed to match the upstream crate bit for bit
+//! (the workspace never had upstream streams to preserve); what is
+//! guaranteed is determinism: a given seed always reproduces the same
+//! sequence, across threads and runs.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of randomness (mirror of `rand_core::RngCore`).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dst` with random bytes.
+    fn fill_bytes(&mut self, dst: &mut [u8]) {
+        let mut chunks = dst.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    #[inline]
+    fn fill_bytes(&mut self, dst: &mut [u8]) {
+        (**self).fill_bytes(dst)
+    }
+}
+
+/// A value type samplable uniformly from "all of T" (the role of
+/// `StandardUniform` in rand 0.9).
+pub trait Standard: Sized {
+    /// Sample a value from the standard distribution for `Self`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 != 0
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// A type with uniform sampling over half-open/closed ranges.
+pub trait SampleUniform: Sized {
+    /// Uniform sample from `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Uniform sample from `[low, high]`.
+    fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "cannot sample empty range");
+                let span = (high as i128 - low as i128) as u128;
+                // Widening-multiply range reduction (bias < span·2⁻⁶⁴,
+                // negligible at simulation scale; the workspace's own
+                // SeqSeed uses the same reduction).
+                let r = (u128::from(rng.next_u64()) * span) >> 64;
+                (low as i128 + r as i128) as $t
+            }
+            #[inline]
+            fn sample_range_inclusive<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+            ) -> Self {
+                assert!(low <= high, "cannot sample empty range");
+                let span = (high as i128 - low as i128) as u128 + 1;
+                let r = (u128::from(rng.next_u64()) * span) >> 64;
+                (low as i128 + r as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "cannot sample empty range");
+                let unit = <$t as Standard>::sample_standard(rng);
+                low + unit * (high - low)
+            }
+            #[inline]
+            fn sample_range_inclusive<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+            ) -> Self {
+                assert!(low <= high, "cannot sample empty range");
+                let unit = <$t as Standard>::sample_standard(rng);
+                low + unit * (high - low)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Range argument accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Sample uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_range_inclusive(rng, low, high)
+    }
+}
+
+/// User-facing random number generation, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value from the standard distribution of `T`
+    /// (`[0, 1)` for floats, uniform bits for integers, fair coin for
+    /// `bool`).
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Sample uniformly from a range, e.g. `rng.random_range(0..n)`.
+    ///
+    /// # Panics
+    /// If the range is empty.
+    #[inline]
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// Return `true` with probability `p`.
+    ///
+    /// # Panics
+    /// If `p` is not in `[0, 1]`.
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generators (mirror of `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Construct from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64` by expanding it with a SplitMix64 stream
+    /// (the same convention the real crate uses).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let bytes = splitmix64(state).to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+
+    /// Construct by drawing a seed from another generator.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let mut seed = Self::Seed::default();
+        rng.fill_bytes(seed.as_mut());
+        Self::from_seed(seed)
+    }
+}
+
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator: xoshiro256++.
+    ///
+    /// Matches the algorithm family of the real `SmallRng` on 64-bit
+    /// platforms. Not reproducible against the upstream crate, but fully
+    /// deterministic for a given seed.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        #[inline]
+        fn rotl(x: u64, k: u32) -> u64 {
+            x.rotate_left(k)
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = Self::rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = Self::rotl(self.s[3], 45);
+            result
+        }
+
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+                *word = u64::from_le_bytes(bytes);
+            }
+            // xoshiro must not start from the all-zero state.
+            if s.iter().all(|&w| w == 0) {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0xBF58_476D_1CE4_E5B9,
+                    0x94D0_49BB_1331_11EB,
+                    0x2545_F491_4F6C_DD1D,
+                ];
+            }
+            SmallRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(xs[0], c.next_u64());
+    }
+
+    #[test]
+    fn random_range_covers_and_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            let v = rng.random_range(0..6usize);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+        for _ in 0..1_000 {
+            let v = rng.random_range(3..=5u32);
+            assert!((3..=5).contains(&v));
+        }
+        for _ in 0..1_000 {
+            let v: f64 = rng.random_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn standard_f64_is_unit_uniform() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.random::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn bool_is_fair() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let heads = (0..100_000).filter(|_| rng.random::<bool>()).count();
+        assert!((heads as f64 / 100_000.0 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn dyn_compatible_through_unsized_refs() {
+        fn takes_unsized<R: Rng + ?Sized>(rng: &mut R) -> usize {
+            rng.random_range(0..10)
+        }
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert!(takes_unsized(&mut rng) < 10);
+    }
+
+    #[test]
+    fn fill_bytes_fills_odd_lengths() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}
