@@ -12,6 +12,7 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use rt_bench::report::Experiment;
 use rt_bench::{header, Config};
 use rt_core::process::{FastProcess, FastRule};
 use rt_core::rules::{Abku, Adap};
@@ -124,6 +125,7 @@ fn measure<D: FastRule + Clone + Sync>(
 
 fn main() {
     let cfg = Config::from_env();
+    let mut exp = Experiment::new("ad_adaptive", &cfg);
     header(
         "AD — rule ablation: quality vs. cost vs. recovery (scenario A)",
         "Theorem 1 says the recovery *rate* is rule-independent; the rules differ\n\
@@ -131,6 +133,7 @@ fn main() {
     );
     let n: usize = if cfg.full { 16_384 } else { 4_096 };
     let trials = cfg.trials_or(8);
+    exp.param("n", n).param("trials", trials);
     println!("n = m = {n}\n");
 
     let mut tbl = Table::new([
@@ -166,4 +169,6 @@ fn main() {
          d ≥ 2 collapses the max load at ~d probes each; the adaptive rules buy\n\
          ABKU[2]-or-better load at an adaptive probe budget."
     );
+    exp.table(&tbl);
+    exp.finish();
 }

@@ -9,6 +9,7 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use rt_bench::report::Experiment;
 use rt_bench::{header, Config};
 use rt_core::coupling_a::CouplingA;
 use rt_core::rules::{Abku, Adap};
@@ -83,12 +84,14 @@ fn measure<D: RightOriented + Sync>(
 
 fn main() {
     let cfg = Config::from_env();
+    let mut exp = Experiment::new("c42_contraction_a", &cfg);
     header(
         "C42 — one-step contraction in scenario A (Corollary 4.2)",
         "Claim: E[Δ(v°,u°)] ≤ (1 − 1/m)·Δ on adjacent pairs; Δ never exceeds 1 (Lemma 4.1).",
     );
     let sizes = cfg.sizes(&[16usize, 32, 64, 128], &[16, 32, 64, 128, 256, 512]);
     let steps = cfg.trials_or(120_000);
+    exp.param("sizes", sizes.to_vec()).param("steps", steps);
 
     let mut tbl = Table::new([
         "rule",
@@ -129,4 +132,6 @@ fn main() {
         "Shape check: β̂ tracks 1 − 1/m from below and max Δ' = 1 — the\n\
          exact contraction Corollary 4.2 feeds into the Path Coupling Lemma."
     );
+    exp.table(&tbl);
+    exp.finish();
 }

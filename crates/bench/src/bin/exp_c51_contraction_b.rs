@@ -12,6 +12,7 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use rt_bench::report::Experiment;
 use rt_bench::{header, Config};
 use rt_core::coupling_b::CouplingB;
 use rt_core::rules::Abku;
@@ -95,6 +96,7 @@ fn measure(n: usize, m: u32, want_boundary: bool, steps: usize, seed: u64) -> Ca
 
 fn main() {
     let cfg = Config::from_env();
+    let mut exp = Experiment::new("c51_contraction_b", &cfg);
     header(
         "C51 — one-step behaviour of the §5 coupling (Claims 5.1/5.2)",
         "Claim: post-phase distance ∈ {0,1,2} with E[Δ'] ≤ 1 and Pr[Δ'≠1] = Ω(1/n),\n\
@@ -102,6 +104,7 @@ fn main() {
     );
     let sizes = cfg.sizes(&[8usize, 16, 32, 64], &[8, 16, 32, 64, 128, 256]);
     let steps = cfg.trials_or(60_000);
+    exp.param("sizes", sizes.to_vec()).param("steps", steps);
 
     let mut tbl = Table::new([
         "case",
@@ -158,4 +161,6 @@ fn main() {
          hovers at a constant (α = Θ(1/n)) — exactly the variance floor that\n\
          yields O(n·m²·ln ε⁻¹) via case 2 of the Path Coupling Lemma."
     );
+    exp.table(&tbl);
+    exp.finish();
 }

@@ -9,6 +9,7 @@
 //! exponent lands between 2 and 3, hugging 2 (and scenario B is
 //! dramatically slower than scenario A at the same size).
 
+use rt_bench::report::Experiment;
 use rt_bench::{header, Config};
 use rt_core::coupling_a::CouplingA;
 use rt_core::coupling_b::CouplingB;
@@ -19,6 +20,7 @@ use rt_sim::{coalescence, fit, table, Table};
 
 fn main() {
     let cfg = Config::from_env();
+    let mut exp = Experiment::new("c53_scenario_b", &cfg);
     header(
         "C53 — recovery time in scenario B (Claim 5.3)",
         "Claim: τ(ε) = O(n·m²·ln ε⁻¹), improved O(m² ln·) in the full version;\n\
@@ -29,6 +31,7 @@ fn main() {
         &[8, 12, 16, 24, 32, 48, 64, 96, 128],
     );
     let trials = cfg.trials_or(24);
+    exp.param("sizes", sizes.to_vec()).param("trials", trials);
 
     let mut tbl = Table::new([
         "n=m",
@@ -96,4 +99,8 @@ fn main() {
          bound — far below the O(n·m²) = m³ safety bound, far above scenario A's\n\
          m ln m (see the B/A column blow up)."
     );
+    exp.table(&tbl);
+    exp.fit("m^2", c2, r2_sq);
+    exp.fit("power law (coefficient = slope)", slope, r2_pl);
+    exp.finish();
 }

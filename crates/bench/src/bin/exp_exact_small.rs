@@ -8,6 +8,7 @@
 //! spectral relaxation-time estimate. This grounds every simulation
 //! proxy in ground truth.
 
+use rt_bench::report::Experiment;
 use rt_bench::{header, Config};
 use rt_core::coupling_a::CouplingA;
 use rt_core::coupling_b::CouplingB;
@@ -23,12 +24,14 @@ use rt_sim::{coalescence, table, Table};
 
 fn main() {
     let cfg = Config::from_env();
+    let mut exp = Experiment::new("exact_small", &cfg);
     header(
         "EX — exact mixing times on small instances",
         "Ground truth for the simulation proxies: exact τ(¼) vs. coupling\n\
          coalescence quantiles vs. the paper's bounds.",
     );
     let trials = cfg.trials_or(400);
+    exp.param("trials", trials);
     let pairs: &[(usize, u32)] = cfg.sizes(
         &[(3usize, 3u32), (4, 4), (4, 6), (5, 5), (6, 6), (6, 8)],
         &[
@@ -160,4 +163,6 @@ fn main() {
          quantile tracks the exact mixing time within a small factor (it is an\n\
          upper-bound witness); relaxation time ≈ τ up to the usual log factor."
     );
+    exp.table(&tbl);
+    exp.finish();
 }

@@ -11,6 +11,7 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use rt_bench::report::Experiment;
 use rt_bench::{header, Config};
 use rt_core::removal::{GeneralChain, PowerWeighted};
 use rt_core::rules::Abku;
@@ -20,6 +21,7 @@ use rt_sim::{par_trials, recovery, stats, table, Table};
 
 fn main() {
     let cfg = Config::from_env();
+    let mut exp = Experiment::new("gr_general_removal", &cfg);
     header(
         "GR — generalized removal: Pr[i] ∝ v_i^α (§7 extension)",
         "α = 0 is scenario B (slow), α = 1 is scenario A (fast), larger α drains\n\
@@ -30,6 +32,9 @@ fn main() {
     let n = if cfg.full { 1024usize } else { 256 };
     let m = n as u32;
     let trials = cfg.trials_or(12);
+    exp.param("alphas", alphas.to_vec())
+        .param("n", n)
+        .param("trials", trials);
 
     let mut tbl = Table::new([
         "α",
@@ -74,4 +79,6 @@ fn main() {
          (At extreme α the near-deterministic removal can cost a step of τ back;\n\
          see tests/extensions_integration.rs.)"
     );
+    exp.table(&tbl);
+    exp.finish();
 }

@@ -11,6 +11,7 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use rt_bench::report::Experiment;
 use rt_bench::{header, Config};
 use rt_edge::coupling::EdgeCoupling;
 use rt_edge::metric::profile_distance;
@@ -139,6 +140,7 @@ fn measure_class(
 
 fn main() {
     let cfg = Config::from_env();
+    let mut exp = Experiment::new("l62_contraction_edge", &cfg);
     header(
         "L62 — one-step contraction of the edge-orientation coupling (Lemmas 6.2/6.3)",
         "Claim: E[Δ(x*,y*)] ≤ Δ(x,y) − (n choose 2)⁻¹ on Γ (both Ḡ and S̄_k pairs).",
@@ -147,6 +149,7 @@ fn main() {
     // Each sample costs a Dijkstra evaluation of the §6 metric, so the
     // default is modest; the (n choose 2)⁻¹ drift is still ≫ the SE.
     let samples = cfg.trials_or(8_000);
+    exp.param("sizes", sizes.to_vec()).param("samples", samples);
 
     let mut tbl = Table::new([
         "pair class",
@@ -188,4 +191,6 @@ fn main() {
          for every class — the drift that gives Corollary 6.4's O(n³ ln n) and,\n\
          with the O(ln n)-diameter argument, Theorem 2's O(n² ln² n)."
     );
+    exp.table(&tbl);
+    exp.finish();
 }

@@ -9,6 +9,7 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use rt_bench::report::Experiment;
 use rt_bench::{header, Config};
 use rt_core::process::{FastProcess, FastRule};
 use rt_core::rules::{Abku, Adap};
@@ -42,6 +43,7 @@ fn stationary_max_load<D: FastRule + Clone + Sync>(
 
 fn main() {
     let cfg = Config::from_env();
+    let mut exp = Experiment::new("ml_max_load", &cfg);
     header(
         "ML — stationary maximum load (levels from Azar et al. / Mitzenmacher)",
         "Claim: max load → ln ln n / ln d + O(1) for d ≥ 2; Θ(ln n / ln ln n) for d = 1,\n\
@@ -52,6 +54,7 @@ fn main() {
         &[1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 17],
     );
     let trials = cfg.trials_or(8);
+    exp.param("sizes", sizes.to_vec()).param("trials", trials);
 
     let mut tbl = Table::new([
         "scenario",
@@ -121,4 +124,6 @@ fn main() {
          and shrinks with d like ln ln n/ln d + O(1); the adaptive rule matches or\n\
          beats ABKU[2] — the levels every recovery experiment drives toward."
     );
+    exp.table(&tbl);
+    exp.finish();
 }

@@ -11,6 +11,7 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use rt_bench::report::Experiment;
 use rt_bench::{header, Config};
 use rt_core::observables;
 use rt_core::rules::Abku;
@@ -22,6 +23,7 @@ type Obs = (&'static str, fn(&LoadVector) -> f64);
 
 fn main() {
     let cfg = Config::from_env();
+    let mut exp = Experiment::new("ob_observables", &cfg);
     header(
         "OB — recovery of different observables (scenario A, Id-ABKU[2])",
         "Claim: the mixing-time guarantee covers every observable; all recover on\n\
@@ -29,6 +31,7 @@ fn main() {
     );
     let sizes = cfg.sizes(&[128usize, 256, 512], &[128, 256, 512, 1024, 2048]);
     let trials = cfg.trials_or(16);
+    exp.param("sizes", sizes.to_vec()).param("trials", trials);
 
     let observables: Vec<Obs> = vec![
         ("max load", observables::max_load),
@@ -103,4 +106,6 @@ fn main() {
          every critical measure recovers on the Theorem-1 clock, with the\n\
          observable's sensitivity only moving the constant."
     );
+    exp.table(&tbl);
+    exp.finish();
 }

@@ -13,6 +13,7 @@
 //! mass, with the usual logarithmic dressing) — recovery works even
 //! without a fixed ball count.
 
+use rt_bench::report::Experiment;
 use rt_bench::{header, Config};
 use rt_core::open::{OpenChain, OpenCoupling};
 use rt_core::rules::Abku;
@@ -21,6 +22,7 @@ use rt_sim::{coalescence, fit, table, Table};
 
 fn main() {
     let cfg = Config::from_env();
+    let mut exp = Experiment::new("os_open_system", &cfg);
     header(
         "OS — open systems: varying ball count (§7 extension)",
         "Coupling coalescence from (empty) vs. (4n balls in one bin), insert rate p = 0.45.",
@@ -28,6 +30,9 @@ fn main() {
     let sizes = cfg.sizes(&[16usize, 32, 64, 128], &[16, 32, 64, 128, 256, 512, 1024]);
     let trials = cfg.trials_or(24);
     let p_insert = 0.45;
+    exp.param("sizes", sizes.to_vec())
+        .param("trials", trials)
+        .param("p_insert", p_insert);
 
     let mut tbl = Table::new(["n", "start mass", "mean", "median", "max", "mean/(M ln M)"]);
     let mut masses = Vec::new();
@@ -73,4 +78,7 @@ fn main() {
          dressing visible in the M ln M column) — the open-system coupling\n\
          recovers from an arbitrary backlog, as §7 sketches."
     );
+    exp.table(&tbl);
+    exp.fit("power law in M (coefficient = slope)", slope, r2);
+    exp.finish();
 }

@@ -10,6 +10,7 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use rt_bench::report::Experiment;
 use rt_bench::{header, Config};
 use rt_core::batch::BatchedProcess;
 use rt_core::rules::Abku;
@@ -18,6 +19,7 @@ use rt_sim::{par_trials, recovery, stats, table, Table};
 
 fn main() {
     let cfg = Config::from_env();
+    let mut exp = Experiment::new("pb_parallel_batch", &cfg);
     header(
         "PB — batched (parallel) dispatch: balance vs. batch size",
         "k arrivals per round commit against stale loads. k = 1 is the paper's\n\
@@ -26,6 +28,7 @@ fn main() {
     let n: usize = if cfg.full { 16_384 } else { 4_096 };
     let m = n as u32;
     let trials = cfg.trials_or(8);
+    exp.param("n", n).param("trials", trials);
     println!("n = m = {n}, Id-ABKU[2]\n");
 
     let batches = [1usize, 4, 16, 64, 256, n / 4, n];
@@ -86,4 +89,6 @@ fn main() {
          recovery), while the stationary max load degrades only once k approaches\n\
          n and the snapshot staleness dominates."
     );
+    exp.table(&tbl);
+    exp.finish();
 }

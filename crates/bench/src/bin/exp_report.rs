@@ -1,0 +1,155 @@
+//! `exp_report` — fleet aggregator for the structured JSON reports.
+//!
+//! Reads every `*.json` in the fleet directory (first CLI argument,
+//! else `RT_JSON_DIR`, else `results/json`), validates each file
+//! against the common schema from `rt_bench::report`, and prints a
+//! one-page summary: rows and fits per experiment, wall time, and the
+//! fleet-wide counters that matter (trials run, coalescence failures).
+//!
+//! Exit status 1 if any file fails to parse or validate — this is the
+//! CI gate on the `--json` side channel.
+
+use rt_bench::report::{json_dir, validate};
+use rt_obs::Json;
+use rt_sim::{table, Table};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Loaded {
+    name: String,
+    doc: Json,
+}
+
+fn load(dir: &PathBuf) -> Result<Vec<Loaded>, String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    files.sort();
+    let mut loaded = Vec::new();
+    let mut errors = Vec::new();
+    for path in files {
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                errors.push(format!("{}: {e}", path.display()));
+                continue;
+            }
+        };
+        match Json::parse(&text) {
+            Ok(doc) => {
+                let violations = validate(&doc);
+                if violations.is_empty() {
+                    loaded.push(Loaded { name, doc });
+                } else {
+                    for v in violations {
+                        errors.push(format!("{name}: {v}"));
+                    }
+                }
+            }
+            Err(e) => errors.push(format!("{name}: parse error: {e}")),
+        }
+    }
+    if errors.is_empty() {
+        Ok(loaded)
+    } else {
+        Err(errors.join("\n"))
+    }
+}
+
+/// Best fit (by r²) recorded in a document, as "name (r²=…)".
+fn best_fit(doc: &Json) -> String {
+    let fits = doc.get("fits").and_then(Json::as_arr).unwrap_or(&[]);
+    fits.iter()
+        .filter_map(|f| {
+            let r2 = f.get("r2")?.as_f64()?;
+            let name = f.get("name")?.as_str()?;
+            Some((name, r2))
+        })
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|(name, r2)| format!("{name} (r²={})", table::f(r2, 4)))
+        .unwrap_or_else(|| "-".into())
+}
+
+/// Sum a counter across every document's metrics snapshot.
+fn fleet_counter(docs: &[Loaded], name: &str) -> f64 {
+    docs.iter()
+        .filter_map(|l| l.doc.get("metrics")?.get("counters")?.get(name)?.as_f64())
+        .sum()
+}
+
+fn main() -> ExitCode {
+    let dir = std::env::args()
+        .nth(1)
+        .filter(|a| a != "--json")
+        .map(PathBuf::from)
+        .unwrap_or_else(json_dir);
+    let docs = match load(&dir) {
+        Ok(docs) => docs,
+        Err(errors) => {
+            eprintln!(
+                "exp_report: invalid fleet output in {}:\n{errors}",
+                dir.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    if docs.is_empty() {
+        eprintln!(
+            "exp_report: no .json files in {} (run an experiment with --json first)",
+            dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "Fleet report — {} experiments in {}",
+        docs.len(),
+        dir.display()
+    );
+    println!();
+    let mut tbl = Table::new(["experiment", "rows", "fits", "wall s", "seed", "best fit"]);
+    let mut total_wall = 0.0;
+    for l in &docs {
+        let rows = l
+            .doc
+            .get("rows")
+            .and_then(Json::as_arr)
+            .map_or(0, <[Json]>::len);
+        let fits = l
+            .doc
+            .get("fits")
+            .and_then(Json::as_arr)
+            .map_or(0, <[Json]>::len);
+        let wall = l.doc.get("wall_time").and_then(Json::as_f64).unwrap_or(0.0);
+        total_wall += wall;
+        let seed = l.doc.get("seed").and_then(Json::as_f64).unwrap_or(0.0);
+        tbl.push_row([
+            l.name.clone(),
+            rows.to_string(),
+            fits.to_string(),
+            table::f(wall, 2),
+            table::f(seed, 0),
+            best_fit(&l.doc),
+        ]);
+    }
+    println!("{}", tbl.render());
+
+    let trials = fleet_counter(&docs, "par.trials") + fleet_counter(&docs, "sim.sweep.trials");
+    let coal_trials = fleet_counter(&docs, "sim.coalescence.trials");
+    let coal_failures = fleet_counter(&docs, "sim.coalescence.failures");
+    println!(
+        "totals: {} s wall, {} engine trials, {} coalescence trials ({} failures)",
+        table::f(total_wall, 2),
+        table::f(trials, 0),
+        table::f(coal_trials, 0),
+        table::f(coal_failures, 0)
+    );
+    println!("schema: all {} files valid", docs.len());
+    ExitCode::SUCCESS
+}

@@ -11,6 +11,7 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use rt_bench::report::Experiment;
 use rt_bench::{header, Config};
 use rt_core::relocation::RelocatingChain;
 use rt_core::rules::Abku;
@@ -20,6 +21,7 @@ use rt_sim::{par_trials, recovery, stats, table, Table};
 
 fn main() {
     let cfg = Config::from_env();
+    let mut exp = Experiment::new("rl_relocation", &cfg);
     header(
         "RL — relocation processes (§7 extension)",
         "A relocation daemon re-places one random ball with probability p per\n\
@@ -49,6 +51,9 @@ fn main() {
     let n = if cfg.full { 4096usize } else { 1024 };
     let m = n as u32;
     let trials = cfg.trials_or(12);
+    exp.param("ps", ps.to_vec())
+        .param("n", n)
+        .param("trials", trials);
     let mut means = Vec::new();
     for (i, &p) in ps.iter().enumerate() {
         let times = par_trials(trials, cfg.seed ^ (i as u64) << 16, |_, seed| {
@@ -81,4 +86,6 @@ fn main() {
          recovery shrink monotonically in p — each relocation is a scenario-A\n\
          phase, so the same coupling arguments give strictly more contraction."
     );
+    exp.table(&tbl);
+    exp.finish();
 }

@@ -10,6 +10,7 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use rt_bench::report::Experiment;
 use rt_bench::{header, Config};
 use rt_core::process::{FastProcess, FastRule};
 use rt_core::rules::{Abku, Adap};
@@ -53,6 +54,7 @@ fn trajectory<D: FastRule + Clone + Sync>(
 
 fn main() {
     let cfg = Config::from_env();
+    let mut exp = Experiment::new("rt_trajectory", &cfg);
     header(
         "RT — recovery trajectory from the crash state (the paper's motivating figure)",
         "Max load vs. time from v(0) = m·e₁, n = m; geometric time grid.",
@@ -61,6 +63,7 @@ fn main() {
     let m = n as u32;
     let trials = cfg.trials_or(12);
     let mlnm = (m as f64) * (m as f64).ln();
+    exp.param("n", n).param("trials", trials);
 
     // Geometric grid out to ~4·m ln m.
     let mut grid = vec![0u64];
@@ -154,4 +157,6 @@ fn main() {
          level by t ≈ m ln m (all rules, d = 1 settling higher); scenario B is\n\
          still draining at the same horizon — the m ln m vs. m² separation."
     );
+    exp.table(&tbl);
+    exp.finish();
 }

@@ -10,6 +10,7 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use rt_bench::report::Experiment;
 use rt_bench::{header, Config};
 use rt_core::process::{FastProcess, FastRule};
 use rt_core::rules::{Abku, Adap};
@@ -41,6 +42,7 @@ fn dynamic_level<D: FastRule + Clone + Sync>(rule: D, n: usize, trials: usize, s
 
 fn main() {
     let cfg = Config::from_env();
+    let mut exp = Experiment::new("st_static_baseline", &cfg);
     header(
         "ST — static baseline vs. dynamic stationary level",
         "Claim (Azar et al. / Mitzenmacher): the dynamic process's stationary max\n\
@@ -51,6 +53,7 @@ fn main() {
         &[1 << 10, 1 << 12, 1 << 14, 1 << 16],
     );
     let trials = cfg.trials_or(12);
+    exp.param("sizes", sizes.to_vec()).param("trials", trials);
 
     let mut tbl = Table::new(["rule", "n=m", "static max", "dynamic max", "dyn − stat"]);
     for &n in sizes {
@@ -96,4 +99,6 @@ fn main() {
          and of the rule — the static analysis predicts the level the dynamic\n\
          system recovers to, and the paper's framework predicts how fast."
     );
+    exp.table(&tbl);
+    exp.finish();
 }

@@ -13,6 +13,7 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use rt_bench::report::Experiment;
 use rt_bench::{header, Config};
 use rt_core::process::FastProcess;
 use rt_core::rules::Abku;
@@ -21,6 +22,7 @@ use rt_sim::{fit, par_trials, recovery, stats, table, Table};
 
 fn main() {
     let cfg = Config::from_env();
+    let mut exp = Experiment::new("t1b_lower_bound", &cfg);
     header(
         "T1b — tightness of Theorem 1 (scenario A lower bound)",
         "Claim: recovery from v(0) = m·e₁ needs Ω(m ln m) steps.\n\
@@ -31,6 +33,7 @@ fn main() {
         &[64, 128, 256, 512, 1024, 2048, 4096],
     );
     let trials = cfg.trials_or(24);
+    exp.param("sizes", sizes.to_vec()).param("trials", trials);
 
     let mut tbl = Table::new([
         "n=m",
@@ -103,4 +106,7 @@ fn main() {
         "Shape check: the observable recovery is Θ(m ln m) — matching the\n\
          Theorem-1 upper bound up to a constant, i.e. the bound is tight."
     );
+    exp.table(&tbl);
+    exp.fit("m ln m", c, r2);
+    exp.finish();
 }

@@ -11,6 +11,7 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use rt_bench::report::Experiment;
 use rt_bench::{header, Config};
 use rt_edge::{DiscProfile, GreedySimulation};
 use rt_markov::path_coupling::{corollary64_bound, theorem2_bound};
@@ -18,6 +19,7 @@ use rt_sim::{fit, par_trials, recovery, stats, table, Table};
 
 fn main() {
     let cfg = Config::from_env();
+    let mut exp = Experiment::new("t2_edge_recovery", &cfg);
     header(
         "T2 — recovery time of the edge orientation problem (Theorem 2)",
         "Claim: τ(¼) = O(n² ln² n), improving O(n⁵) [Ajtai et al.]; also τ = Ω(n²).\n\
@@ -28,6 +30,7 @@ fn main() {
         &[32, 48, 64, 96, 128, 192, 256, 384, 512],
     );
     let trials = cfg.trials_or(16);
+    exp.param("sizes", sizes.to_vec()).param("trials", trials);
 
     let mut tbl = Table::new([
         "n",
@@ -107,4 +110,8 @@ fn main() {
         "Shape check: the measured recovery sits between the Ω(n²) floor and the\n\
          O(n² ln² n) ceiling (slope ≈ 2–2.3), orders of magnitude below n³ and n⁵."
     );
+    exp.table(&tbl);
+    exp.fit("n^2 ln^2 n", c, r2);
+    exp.fit("n^2", c2, r2_sq);
+    exp.finish();
 }

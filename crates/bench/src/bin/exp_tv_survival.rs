@@ -8,6 +8,7 @@
 //! survival curve must dominate the exact curve at every t — and the
 //! gap shows how much the coupling bound gives away.
 
+use rt_bench::report::Experiment;
 use rt_bench::{header, Config};
 use rt_core::coupling_a::CouplingA;
 use rt_core::coupling_b::CouplingB;
@@ -19,6 +20,7 @@ use rt_sim::{coalescence, table, Table};
 
 fn main() {
     let cfg = Config::from_env();
+    let mut exp = Experiment::new("tv_survival", &cfg);
     header(
         "TV — exact TV decay vs. coupling survival (the coupling inequality)",
         "On (n,m) = (6,8): exact ‖P^t(crash,·) − π‖ vs. Pr[coupling alive at t].\n\
@@ -26,6 +28,7 @@ fn main() {
     );
     let (n, m) = (6usize, 8u32);
     let trials = cfg.trials_or(4_000);
+    exp.param("n", n).param("m", m).param("trials", trials);
     let crash = LoadVector::all_in_one(n, m);
     let balanced = LoadVector::balanced(n, m);
 
@@ -90,4 +93,7 @@ fn main() {
          (up to Monte Carlo noise) and both decay geometrically — the coupling\n\
          inequality in action, with scenario B's curves stretched ~m/ln m wider."
     );
+    exp.table(&tbl);
+    exp.table(&tbl_b);
+    exp.finish();
 }

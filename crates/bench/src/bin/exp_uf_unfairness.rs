@@ -14,6 +14,7 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use rt_bench::report::Experiment;
 use rt_bench::{header, Config};
 use rt_edge::baseline::{MajorityOrientation, RandomOrientation};
 use rt_edge::{DiscProfile, GreedySimulation};
@@ -21,6 +22,7 @@ use rt_sim::{par_trials, stats, table, Table};
 
 fn main() {
     let cfg = Config::from_env();
+    let mut exp = Experiment::new("uf_unfairness", &cfg);
     header(
         "UF — stationary unfairness: greedy vs. baselines (Ajtai et al.)",
         "Claim: greedy keeps expected unfairness Θ(log log n); discrepancy-blind\n\
@@ -31,6 +33,7 @@ fn main() {
         &[1 << 6, 1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16],
     );
     let trials = cfg.trials_or(8);
+    exp.param("sizes", sizes.to_vec()).param("trials", trials);
 
     let mut tbl = Table::new([
         "n",
@@ -86,4 +89,6 @@ fn main() {
          both discrepancy-blind baselines sit an order of magnitude higher and\n\
          keep growing with the arrival count — fairness needs the greedy rule."
     );
+    exp.table(&tbl);
+    exp.finish();
 }

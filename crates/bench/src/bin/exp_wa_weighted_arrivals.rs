@@ -10,6 +10,7 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use rt_bench::report::Experiment;
 use rt_bench::{header, Config};
 use rt_edge::arrival::{WeightedArrivals, WeightedGreedy};
 use rt_edge::DiscProfile;
@@ -17,6 +18,7 @@ use rt_sim::{par_trials, stats, table, Table};
 
 fn main() {
     let cfg = Config::from_env();
+    let mut exp = Experiment::new("wa_weighted_arrivals", &cfg);
     header(
         "WA — greedy fairness under Zipf(s) arrivals (extension)",
         "The paper assumes uniform arrivals; this measures how the Θ(log log n)\n\
@@ -28,6 +30,9 @@ fn main() {
     );
     let skews = [0.0f64, 0.25, 0.5, 0.75, 1.0];
     let trials = cfg.trials_or(8);
+    exp.param("sizes", sizes.to_vec())
+        .param("skews", skews.to_vec())
+        .param("trials", trials);
 
     let mut tbl = Table::new(["s (skew)", "n", "mean unfairness", "±sd", "ln ln n"]);
     for &s in &skews {
@@ -67,4 +72,6 @@ fn main() {
          rebalanced more often exactly in proportion to their drift, so greedy\n\
          fairness is robust far beyond the uniform model the paper analyzes."
     );
+    exp.table(&tbl);
+    exp.finish();
 }

@@ -10,6 +10,7 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use rt_bench::report::Experiment;
 use rt_bench::{header, Config};
 use rt_core::weighted::WeightedProcess;
 use rt_sim::{par_trials, recovery, stats, table, Table};
@@ -25,6 +26,7 @@ fn weights(kind: &str, m: usize) -> Vec<u32> {
 
 fn main() {
     let cfg = Config::from_env();
+    let mut exp = Experiment::new("wj_weighted_jobs", &cfg);
     header(
         "WJ — weighted jobs (Berenbrink et al. [6]): recovery stays on the m ln m clock",
         "Jobs carry weights; insertion compares weighted loads. The removal\n\
@@ -35,6 +37,7 @@ fn main() {
         &[256, 512, 1024, 2048, 4096, 8192],
     );
     let trials = cfg.trials_or(12);
+    exp.param("sizes", sizes.to_vec()).param("trials", trials);
 
     let mut tbl = Table::new([
         "weights",
@@ -104,4 +107,6 @@ fn main() {
          recovery clock is weight-blind, exactly as the coupling argument\n\
          predicts — while the stationary max scales with the weight profile."
     );
+    exp.table(&tbl);
+    exp.finish();
 }

@@ -17,6 +17,8 @@
 //! * `RT_FULL=1` — run the full-size sweep from EXPERIMENTS.md instead
 //!   of the quick default.
 
+pub mod report;
+
 use std::env;
 
 /// Shared experiment configuration read from the environment.

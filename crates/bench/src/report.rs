@@ -1,0 +1,299 @@
+//! Structured experiment reports — the `--json` side channel of every
+//! `exp_*` binary.
+//!
+//! The ASCII table on stdout stays the human interface; this module
+//! adds a machine one. An [`Experiment`] accumulates the same data the
+//! binary prints — parameters, table rows, model fits — and on
+//! [`Experiment::finish`] writes `results/json/<id>.json` in the fleet
+//! schema:
+//!
+//! ```text
+//! {
+//!   "experiment": "<id>",
+//!   "params":    { name: value, ... },
+//!   "rows":      [ { column: cell, ... }, ... ],
+//!   "fits":      [ { "name", "coefficient", "r2" }, ... ],
+//!   "metrics":   <rt_obs::snapshot()>,
+//!   "seed":      <u64>,
+//!   "wall_time": <seconds>
+//! }
+//! ```
+//!
+//! Emission is opt-in: pass `--json` on the command line or set
+//! `RT_JSON=1`. The output directory defaults to `results/json` and is
+//! overridable via `RT_JSON_DIR`. The `exp_report` aggregator reads the
+//! directory back, [`validate`]s every file against the schema, and
+//! prints the one-page fleet summary.
+
+use crate::Config;
+use rt_obs::Json;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Accumulator for one experiment run's structured report.
+#[derive(Debug)]
+pub struct Experiment {
+    id: String,
+    seed: u64,
+    start: Instant,
+    enabled: bool,
+    params: Json,
+    rows: Vec<Json>,
+    fits: Vec<Json>,
+}
+
+impl Experiment {
+    /// Start a report for the experiment `id` (the binary name without
+    /// the `exp_` prefix; it names the output file). Reads `--json` /
+    /// `RT_JSON` once, here, so every other method is a no-op decision
+    /// made up front.
+    pub fn new(id: &str, cfg: &Config) -> Self {
+        let enabled = std::env::args().any(|a| a == "--json")
+            || std::env::var("RT_JSON").map(|v| v == "1").unwrap_or(false);
+        Experiment {
+            id: id.to_string(),
+            seed: cfg.seed,
+            start: Instant::now(),
+            enabled,
+            params: Json::obj(),
+            rows: Vec::new(),
+            fits: Vec::new(),
+        }
+    }
+
+    /// Record a scalar parameter (sizes, trial counts, flags…).
+    pub fn param(&mut self, name: &str, value: impl Into<Json>) -> &mut Self {
+        self.params.set(name, value.into());
+        self
+    }
+
+    /// Capture a rendered table: each row becomes an object keyed by
+    /// the column headers, with cells that parse as finite numbers
+    /// stored as numbers and everything else kept verbatim. Repeated
+    /// calls concatenate (multi-table binaries).
+    pub fn table(&mut self, table: &rt_sim::Table) -> &mut Self {
+        for row in table.rows() {
+            let mut obj = Json::obj();
+            for (header, cell) in table.headers().iter().zip(row) {
+                obj.set(header, cell_value(cell));
+            }
+            self.rows.push(obj);
+        }
+        self
+    }
+
+    /// Record a model fit `y ≈ coefficient · name(x)` with its r².
+    pub fn fit(&mut self, name: &str, coefficient: f64, r2: f64) -> &mut Self {
+        let mut obj = Json::obj();
+        obj.set("name", name);
+        obj.set("coefficient", coefficient);
+        obj.set("r2", r2);
+        self.fits.push(obj);
+        self
+    }
+
+    /// Assemble the document, snapshot the global metrics registry, and
+    /// (when enabled) write `<dir>/<id>.json`. Call last, after the
+    /// ASCII output — the metrics snapshot should see the whole run.
+    pub fn finish(&self) {
+        if !self.enabled {
+            return;
+        }
+        let doc = self.document();
+        let dir = json_dir();
+        std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("creating {}: {e}", dir.display()));
+        let path = dir.join(format!("{}.json", self.id));
+        std::fs::write(&path, doc.render())
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        eprintln!("[json] wrote {}", path.display());
+    }
+
+    /// The report document in the fleet schema (also used by tests;
+    /// `finish` is just "render this to disk").
+    pub fn document(&self) -> Json {
+        let mut doc = Json::obj();
+        doc.set("experiment", self.id.as_str());
+        doc.set("params", self.params.clone());
+        doc.set("rows", Json::Arr(self.rows.clone()));
+        doc.set("fits", Json::Arr(self.fits.clone()));
+        doc.set("metrics", rt_obs::snapshot());
+        doc.set("seed", self.seed);
+        doc.set("wall_time", self.start.elapsed().as_secs_f64());
+        doc
+    }
+}
+
+/// The fleet JSON directory: `RT_JSON_DIR` or `results/json`.
+pub fn json_dir() -> PathBuf {
+    std::env::var("RT_JSON_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results/json"))
+}
+
+/// Parse a table cell: finite numbers become JSON numbers, everything
+/// else (rule labels, check marks, "-") stays a string.
+fn cell_value(cell: &str) -> Json {
+    match cell.trim().parse::<f64>() {
+        Ok(x) if x.is_finite() => Json::Num(x),
+        _ => Json::Str(cell.to_string()),
+    }
+}
+
+/// Validate a document against the fleet schema. Returns every
+/// violation found (empty = valid); extra keys are allowed.
+pub fn validate(doc: &Json) -> Vec<String> {
+    let mut errors = Vec::new();
+    let Some(top) = doc.as_obj() else {
+        return vec!["document is not an object".into()];
+    };
+    let mut require = |key: &str, check: &dyn Fn(&Json) -> Option<String>| match top
+        .iter()
+        .find(|(k, _)| k == key)
+    {
+        None => errors.push(format!("missing key \"{key}\"")),
+        Some((_, v)) => {
+            if let Some(e) = check(v) {
+                errors.push(format!("\"{key}\": {e}"));
+            }
+        }
+    };
+    require("experiment", &|v| match v.as_str() {
+        Some(s) if !s.is_empty() => None,
+        _ => Some("must be a non-empty string".into()),
+    });
+    require("params", &|v| {
+        if v.as_obj().is_some() {
+            None
+        } else {
+            Some("must be an object".into())
+        }
+    });
+    require("rows", &|v| match v.as_arr() {
+        None => Some("must be an array".into()),
+        Some(rows) => rows
+            .iter()
+            .position(|r| r.as_obj().is_none())
+            .map(|i| format!("row {i} is not an object")),
+    });
+    require("fits", &|v| match v.as_arr() {
+        None => Some("must be an array".into()),
+        Some(fits) => fits.iter().enumerate().find_map(|(i, f)| {
+            let obj = f.as_obj()?;
+            let has = |k: &str, num: bool| {
+                obj.iter().any(|(key, val)| {
+                    key == k
+                        && (if num {
+                            val.as_f64().is_some()
+                        } else {
+                            val.as_str().is_some()
+                        })
+                })
+            };
+            if has("name", false) && has("coefficient", true) && has("r2", true) {
+                None
+            } else {
+                Some(format!(
+                    "fit {i} needs name (string), coefficient, r2 (numbers)"
+                ))
+            }
+        }),
+    });
+    require("metrics", &|v| {
+        if v.as_obj().is_some() {
+            None
+        } else {
+            Some("must be an object".into())
+        }
+    });
+    require("seed", &|v| {
+        if v.as_f64().is_some() {
+            None
+        } else {
+            Some("must be a number".into())
+        }
+    });
+    require("wall_time", &|v| match v.as_f64() {
+        Some(t) if t >= 0.0 => None,
+        _ => Some("must be a non-negative number".into()),
+    });
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Experiment {
+        let cfg = Config {
+            seed: 42,
+            trials: 0,
+            full: false,
+        };
+        let mut exp = Experiment::new("unit_test", &cfg);
+        exp.param("n", 64u64).param("rule", "ABKU[2]");
+        let mut t = rt_sim::Table::new(["n", "mean", "check"]);
+        t.push_row(["64", "228.5", "✓"]);
+        t.push_row(["128", "512", "✗"]);
+        exp.table(&t);
+        exp.fit("m ln m", 1.02, 0.998);
+        exp
+    }
+
+    #[test]
+    fn document_matches_schema() {
+        let doc = sample().document();
+        assert_eq!(validate(&doc), Vec::<String>::new());
+        // Numeric cells became numbers, the check mark stayed a string.
+        let rows = doc.get("rows").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("mean").unwrap().as_f64(), Some(228.5));
+        assert_eq!(rows[0].get("check").unwrap().as_str(), Some("✓"));
+        assert_eq!(doc.get("seed").unwrap().as_f64(), Some(42.0));
+    }
+
+    #[test]
+    fn document_round_trips_through_text() {
+        let doc = sample().document();
+        let parsed = Json::parse(&doc.render()).expect("parses");
+        assert_eq!(validate(&parsed), Vec::<String>::new());
+        assert_eq!(
+            parsed.get("experiment").unwrap().as_str(),
+            Some("unit_test")
+        );
+    }
+
+    #[test]
+    fn validate_reports_missing_and_mistyped_keys() {
+        let mut doc = sample().document();
+        doc.set("rows", Json::Num(3.0));
+        let errs = validate(&doc);
+        assert!(errs.iter().any(|e| e.contains("\"rows\"")), "{errs:?}");
+
+        let empty = Json::obj();
+        let errs = validate(&empty);
+        for key in [
+            "experiment",
+            "params",
+            "rows",
+            "fits",
+            "metrics",
+            "seed",
+            "wall_time",
+        ] {
+            assert!(
+                errs.iter().any(|e| e.contains(key)),
+                "no error for {key}: {errs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_fit_is_rejected() {
+        let mut exp = sample();
+        let mut bad = Json::obj();
+        bad.set("name", "n^2");
+        exp.fits.push(bad); // missing coefficient / r2
+        let errs = validate(&exp.document());
+        assert!(errs.iter().any(|e| e.contains("fit 1")), "{errs:?}");
+    }
+}

@@ -51,6 +51,7 @@ pub mod weighted;
 
 pub use fenwick::{FenwickSampler, SampledLoadVector};
 pub use load_vector::LoadVector;
+pub use process::{CountingRng, FastProcess, FastRule, ProcessCounters};
 pub use right_oriented::{RightOriented, SeqSeed};
 pub use rules::{Abku, Adap, ThresholdSeq};
 pub use scenario::{AllocationChain, Removal};

@@ -9,7 +9,11 @@
 //! * scenario A keeps a [`FenwickSampler`] over the loads → O(log n)
 //!   load-weighted removal in O(n) memory (the former ball table was
 //!   O(1) per removal but O(m) memory and O(m) init — prohibitive for
-//!   heavily loaded systems m ≫ n);
+//!   heavily loaded systems m ≫ n). Removal makes the *same* single
+//!   uniform draw the ball table made and resolves it through the load
+//!   CDF, so fixed-seed trajectories are bit-identical to the seed's
+//!   ball-table implementation in canonical order (tested
+//!   index-for-index below; DESIGN.md §6.1);
 //! * scenario B keeps a dense list of non-empty bins with back-pointers
 //!   → O(1) uniform non-empty-bin removal;
 //! * a load histogram tracks the maximum load in O(1) amortized.
@@ -23,7 +27,93 @@ use crate::fenwick::FenwickSampler;
 use crate::rules::{Abku, Adap, ThresholdSeq};
 use crate::scenario::Removal;
 use crate::LoadVector;
-use rand::Rng;
+use rand::{Rng, RngCore};
+use std::sync::OnceLock;
+
+/// An [`RngCore`] adapter that counts how many raw draws the wrapped
+/// generator serves, without perturbing the stream (pure delegation).
+///
+/// [`FastProcess`] wraps the caller's RNG in one of these around each
+/// insertion so the per-process probe counter reflects exactly the
+/// rule's sampling work (`d` draws for `ABKU[d]`, a variable number for
+/// `ADAP`) — the observability layer's window into the hot loop.
+pub struct CountingRng<'a, R: ?Sized> {
+    inner: &'a mut R,
+    draws: u64,
+}
+
+impl<'a, R: RngCore + ?Sized> CountingRng<'a, R> {
+    /// Wrap `rng`, starting the draw count at zero.
+    pub fn new(inner: &'a mut R) -> Self {
+        CountingRng { inner, draws: 0 }
+    }
+
+    /// Raw draws served so far (each `next_u32`/`next_u64` is one draw;
+    /// `fill_bytes` counts one draw per started 8-byte word).
+    pub fn draws(&self) -> u64 {
+        self.draws
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for CountingRng<'_, R> {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        self.draws += 1;
+        self.inner.next_u32()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.draws += 1;
+        self.inner.next_u64()
+    }
+
+    #[inline]
+    fn fill_bytes(&mut self, dst: &mut [u8]) {
+        self.draws += dst.len().div_ceil(8) as u64;
+        self.inner.fill_bytes(dst);
+    }
+}
+
+/// Cumulative work counters of one [`FastProcess`] instance.
+///
+/// Plain (non-atomic) fields: a process is stepped by one thread, and
+/// the totals are flushed into the `rt-obs` global registry
+/// (`core.fast.steps` / `.removals` / `.insertions` / `.probes`) when
+/// the process is dropped — one batch of atomic adds per trial instead
+/// of contention in the step loop.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProcessCounters {
+    /// Completed phases ([`FastProcess::step`] calls).
+    pub steps: u64,
+    /// Ball removals (including the removal half of each step).
+    pub removals: u64,
+    /// Ball insertions (including the insertion half of each step).
+    pub insertions: u64,
+    /// Raw RNG draws consumed by the insertion rule — the paper's "load
+    /// probes" (`d` per `ABKU[d]` insertion, variable for `ADAP`).
+    pub probes: u64,
+}
+
+fn obs_flush(c: &ProcessCounters) {
+    struct Handles {
+        steps: &'static rt_obs::Counter,
+        removals: &'static rt_obs::Counter,
+        insertions: &'static rt_obs::Counter,
+        probes: &'static rt_obs::Counter,
+    }
+    static H: OnceLock<Handles> = OnceLock::new();
+    let h = H.get_or_init(|| Handles {
+        steps: rt_obs::counter("core.fast.steps"),
+        removals: rt_obs::counter("core.fast.removals"),
+        insertions: rt_obs::counter("core.fast.insertions"),
+        probes: rt_obs::counter("core.fast.probes"),
+    });
+    h.steps.add(c.steps);
+    h.removals.add(c.removals);
+    h.insertions.add(c.insertions);
+    h.probes.add(c.probes);
+}
 
 /// An allocation rule evaluated directly on unsorted loads.
 ///
@@ -99,6 +189,18 @@ pub struct FastProcess<D> {
     /// `hist[l]` = number of bins with load `l`.
     hist: Vec<u32>,
     max_load: u32,
+    counters: ProcessCounters,
+}
+
+impl<D> Drop for FastProcess<D> {
+    /// Flush the per-instance work counters into the `rt-obs` global
+    /// registry, so fleet reports see aggregate step/probe totals
+    /// without any atomics in the step loop.
+    fn drop(&mut self) {
+        if self.counters.steps > 0 || self.counters.removals > 0 || self.counters.insertions > 0 {
+            obs_flush(&self.counters);
+        }
+    }
 }
 
 impl<D: FastRule> FastProcess<D> {
@@ -136,7 +238,15 @@ impl<D: FastRule> FastProcess<D> {
             pos,
             hist,
             max_load,
+            counters: ProcessCounters::default(),
         }
+    }
+
+    /// Cumulative work counters of this instance (flushed to the
+    /// `rt-obs` registry on drop).
+    #[inline]
+    pub fn counters(&self) -> &ProcessCounters {
+        &self.counters
     }
 
     /// Current maximum load.
@@ -243,9 +353,16 @@ impl<D: FastRule> FastProcess<D> {
         assert!(self.total > 0, "a removal needs at least one ball");
         match self.removal {
             Removal::RandomBall => {
-                // One uniform draw over the balls, inverted through the
-                // load CDF — the same bin distribution (loads[b]/total)
-                // as the former uniform draw over a ball table.
+                // The same single draw the O(m) ball-table
+                // implementation makes (`random_range(0..balls.len())`
+                // — `usize` and `u64` ranges of equal span consume the
+                // RNG identically, pinned in tests), inverted through
+                // the load CDF. With the table in canonical bin-sorted
+                // order, ball `r` lives exactly in bin `quantile(r)`,
+                // so trajectories are bit-identical to the table
+                // implementation per seed — see the
+                // `scenario_a_matches_seed_ball_table_bit_for_bit`
+                // test and DESIGN.md §6.1.
                 let r = rng.random_range(0..self.total);
                 let b = self.sampler.quantile(r);
                 self.dec_bin(b);
@@ -256,6 +373,7 @@ impl<D: FastRule> FastProcess<D> {
                 self.dec_bin(b);
             }
         }
+        self.counters.removals += 1;
     }
 
     /// The insertion half of a phase with the destination already
@@ -267,6 +385,7 @@ impl<D: FastRule> FastProcess<D> {
     pub fn insert_into(&mut self, b: usize) {
         assert!(b < self.loads.len(), "bin index out of range");
         self.inc_bin(b);
+        self.counters.insertions += 1;
     }
 
     /// One phase: remove per the scenario, insert per the rule.
@@ -275,8 +394,14 @@ impl<D: FastRule> FastProcess<D> {
     /// If the system has no balls.
     pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
         self.remove_one(rng);
-        let j = self.rule.choose_bin(&self.loads, rng);
+        // Count the rule's raw RNG draws — its load probes — without
+        // perturbing the stream.
+        let mut probe_rng = CountingRng::new(rng);
+        let j = self.rule.choose_bin(&self.loads, &mut probe_rng);
+        self.counters.probes += probe_rng.draws();
         self.inc_bin(j);
+        self.counters.insertions += 1;
+        self.counters.steps += 1;
     }
 
     /// Run `t` phases.
@@ -295,6 +420,137 @@ mod tests {
     use rand::SeedableRng;
     use rt_markov::MarkovChain;
     use std::collections::HashMap;
+
+    /// The seed's scenario-A implementation: an explicit O(m) ball
+    /// table (`table[k]` = bin of ball `k`), kept in canonical
+    /// bin-sorted order — exactly the order the seed built it in
+    /// (`for b { for _ in 0..loads[b] { push(b) } }`). Removal draws a
+    /// uniform table index and deletes order-preservingly; insertion
+    /// files the new ball under its bin. (The seed's `swap_remove` +
+    /// push-at-end bookkeeping scrambled this order as an O(1)-deletion
+    /// artifact; balls are exchangeable, so the canonical order is the
+    /// contract — see DESIGN.md §6.1.)
+    struct BallTableProcess<D> {
+        rule: D,
+        loads: Vec<u32>,
+        table: Vec<u32>,
+    }
+
+    impl<D: FastRule> BallTableProcess<D> {
+        fn new(rule: D, loads: Vec<u32>) -> Self {
+            let mut table = Vec::new();
+            for (b, &l) in loads.iter().enumerate() {
+                for _ in 0..l {
+                    table.push(b as u32);
+                }
+            }
+            BallTableProcess { rule, loads, table }
+        }
+
+        fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            let k = rng.random_range(0..self.table.len());
+            let b = self.table.remove(k) as usize;
+            self.loads[b] -= 1;
+            let j = self.rule.choose_bin(&self.loads, rng);
+            self.loads[j] += 1;
+            let at = self.table.partition_point(|&x| x <= j as u32);
+            self.table.insert(at, j as u32);
+        }
+    }
+
+    #[test]
+    fn scenario_a_matches_seed_ball_table_bit_for_bit() {
+        // The determinism contract of DESIGN.md §6.1: the Fenwick
+        // removal consumes the RNG exactly like the ball table (one
+        // uniform draw over the balls) and picks the same bin, so the
+        // whole trajectory agrees index-for-index at every step.
+        for seed in [3u64, 59, 1009] {
+            let starts: Vec<Vec<u32>> = vec![vec![40, 0, 0, 0, 0, 0, 0], vec![5, 9, 0, 2, 1, 0, 3]];
+            for start in starts {
+                let mut fast = FastProcess::new(Removal::RandomBall, Abku::new(2), start.clone());
+                let mut table = BallTableProcess::new(Abku::new(2), start);
+                let mut rng_fast = SmallRng::seed_from_u64(seed);
+                let mut rng_table = SmallRng::seed_from_u64(seed);
+                for t in 0..5_000 {
+                    fast.step(&mut rng_fast);
+                    table.step(&mut rng_table);
+                    assert_eq!(fast.loads(), &table.loads[..], "seed {seed}, step {t}");
+                }
+                // Both consumed the RNG identically: streams still agree.
+                assert_eq!(rng_fast.random::<u64>(), rng_table.random::<u64>());
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_a_matches_seed_ball_table_under_adap() {
+        // Same contract under a variable-probe rule (ADAP draws a
+        // data-dependent number of samples per insertion).
+        let adap = |_: ()| Adap::new(|l: u32| l + 1);
+        let mut fast = FastProcess::new(Removal::RandomBall, adap(()), vec![12, 0, 4, 0, 0, 1]);
+        let mut table = BallTableProcess::new(adap(()), vec![12, 0, 4, 0, 0, 1]);
+        let mut rng_fast = SmallRng::seed_from_u64(271828);
+        let mut rng_table = SmallRng::seed_from_u64(271828);
+        for t in 0..5_000 {
+            fast.step(&mut rng_fast);
+            table.step(&mut rng_table);
+            assert_eq!(fast.loads(), &table.loads[..], "step {t}");
+        }
+        assert_eq!(rng_fast.random::<u64>(), rng_table.random::<u64>());
+    }
+
+    #[test]
+    fn usize_and_u64_ranges_consume_identically() {
+        // The seed drew `random_range(0..balls.len())` (usize); the
+        // Fenwick path draws `random_range(0..total)` (u64). The
+        // vendored rand reduces every integer range with the same
+        // one-word widening multiply, so equal spans give equal values
+        // and equal stream consumption — the "same ranges" half of the
+        // §6.1 contract.
+        let mut a = SmallRng::seed_from_u64(17);
+        let mut b = SmallRng::seed_from_u64(17);
+        for span in [1u64, 2, 3, 10, 1000, 123_456_789] {
+            let x: u64 = a.random_range(0..span);
+            let y: usize = b.random_range(0..span as usize);
+            assert_eq!(x, y as u64, "span {span}");
+        }
+        assert_eq!(a.random::<u64>(), b.random::<u64>());
+    }
+
+    #[test]
+    fn counters_track_steps_probes_and_phases() {
+        let mut p = FastProcess::new(Removal::RandomBall, Abku::new(3), vec![10, 0, 0, 0]);
+        let mut rng = SmallRng::seed_from_u64(7);
+        p.run(100, &mut rng);
+        let c = *p.counters();
+        assert_eq!(c.steps, 100);
+        assert_eq!(c.removals, 100);
+        assert_eq!(c.insertions, 100);
+        // ABKU[3] makes exactly 3 draws per insertion.
+        assert_eq!(c.probes, 300);
+    }
+
+    #[test]
+    fn counters_flush_to_global_registry_on_drop() {
+        let before = rt_obs::counter("core.fast.steps").get();
+        {
+            let mut p = FastProcess::new(Removal::RandomNonEmptyBin, Abku::new(2), vec![4, 4]);
+            let mut rng = SmallRng::seed_from_u64(11);
+            p.run(50, &mut rng);
+        }
+        assert!(rt_obs::counter("core.fast.steps").get() >= before + 50);
+    }
+
+    #[test]
+    fn counting_rng_is_transparent() {
+        let mut a = SmallRng::seed_from_u64(23);
+        let mut b = SmallRng::seed_from_u64(23);
+        let mut counted = CountingRng::new(&mut a);
+        let xs: Vec<u64> = (0..10).map(|_| counted.random_range(0..1000u64)).collect();
+        assert_eq!(counted.draws(), 10);
+        let ys: Vec<u64> = (0..10).map(|_| b.random_range(0..1000u64)).collect();
+        assert_eq!(xs, ys, "wrapping must not perturb the stream");
+    }
 
     #[test]
     fn invariants_hold_over_long_runs() {

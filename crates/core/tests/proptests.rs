@@ -349,3 +349,82 @@ proptest! {
         prop_assert_eq!(scratch, LoadVector::from_loads(loads));
     }
 }
+
+/// O(n) CDF-scan reference for `FenwickSampler::quantile` over raw
+/// (unsorted, possibly zero) bin loads: the first bin whose inclusive
+/// prefix sum exceeds r.
+fn quantile_by_scan(loads: &[u32], r: u64) -> usize {
+    let mut acc = 0u64;
+    for (i, &w) in loads.iter().enumerate() {
+        acc += u64::from(w);
+        if r < acc {
+            return i;
+        }
+    }
+    panic!("rank {r} out of range (total {acc})");
+}
+
+proptest! {
+    /// Boundary ranks of the Fenwick bit-descent: the first ball
+    /// (r = 0) maps to the first non-empty bin and the last ball
+    /// (r = total − 1) to the last non-empty bin, with zero-load bins
+    /// interleaved anywhere — the descent must never land on them.
+    #[test]
+    fn fenwick_quantile_boundaries_skip_empty_bins(
+        raw in proptest::collection::vec(0u32..6, 1..32),
+    ) {
+        use rt_core::FenwickSampler;
+        prop_assume!(raw.iter().any(|&w| w > 0));
+        let s = FenwickSampler::from_loads(&raw);
+        let total = s.total();
+        let first = raw.iter().position(|&w| w > 0).unwrap();
+        let last = raw.iter().rposition(|&w| w > 0).unwrap();
+        prop_assert_eq!(s.quantile(0), first);
+        prop_assert_eq!(s.quantile(total - 1), last);
+        prop_assert!(raw[s.quantile(total / 2)] > 0);
+    }
+
+    /// Every rank agrees with the O(n) CDF scan on loads with
+    /// interleaved zeros (the sorted-vector proptest above never puts a
+    /// zero *before* a non-zero bin; raw tables do).
+    #[test]
+    fn fenwick_quantile_matches_scan_on_raw_loads(
+        raw in proptest::collection::vec(0u32..6, 1..32),
+    ) {
+        use rt_core::FenwickSampler;
+        prop_assume!(raw.iter().any(|&w| w > 0));
+        let s = FenwickSampler::from_loads(&raw);
+        for r in 0..s.total() {
+            prop_assert_eq!(s.quantile(r), quantile_by_scan(&raw, r), "r = {}", r);
+        }
+    }
+
+    /// inc/dec round-trips: after an arbitrary history of increments
+    /// and (guarded) decrements the tree still inverts the CDF exactly,
+    /// including bins driven down to zero and back up.
+    #[test]
+    fn fenwick_inc_dec_round_trip_matches_scan(
+        raw in proptest::collection::vec(0u32..4, 1..24),
+        ops in proptest::collection::vec((0usize..24, any::<bool>()), 1..96),
+    ) {
+        use rt_core::FenwickSampler;
+        let mut loads = raw;
+        let mut s = FenwickSampler::from_loads(&loads);
+        for (raw_i, grow) in ops {
+            let i = raw_i % loads.len();
+            if grow {
+                loads[i] += 1;
+                s.inc(i);
+            } else if loads[i] > 0 {
+                loads[i] -= 1;
+                s.dec(i);
+            }
+            prop_assert_eq!(s.weight(i), u64::from(loads[i]));
+        }
+        let total: u64 = loads.iter().map(|&w| u64::from(w)).sum();
+        prop_assert_eq!(s.total(), total);
+        for r in 0..total {
+            prop_assert_eq!(s.quantile(r), quantile_by_scan(&loads, r), "r = {}", r);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # rt-obs — observability substrate
+//!
+//! The experiment fleet (22 `exp_*` binaries) is the repo's evaluation;
+//! this crate turns its output from text dumps into structured data.
+//! Three pieces, none of which pull in a dependency:
+//!
+//! * [`metrics`] — lock-free primitives: [`Counter`] (atomic u64),
+//!   [`Histogram`] (fixed power-of-two buckets with atomic min/max/sum),
+//!   and monotonic span timers ([`Histogram::time`] /
+//!   [`Histogram::record_span`]) built on `std::time::Instant`.
+//! * [`registry`] — a process-global named-metric registry. Metric
+//!   *registration* takes a mutex once per name; every *update* after
+//!   that is a handful of relaxed atomic ops on a leaked `&'static`
+//!   handle, so hot loops (`rt-par` chunk claims, `FastProcess` steps)
+//!   never contend. [`snapshot`] freezes the registry into a [`Json`]
+//!   object for experiment reports.
+//! * [`json`] — a hand-rolled JSON value type, emitter, and
+//!   recursive-descent parser (in the style of `bench_report`'s
+//!   emitter, now shared): enough for the experiment schema and the
+//!   `exp_report` aggregator, with no serde.
+//!
+//! The dependency rule: `rt-obs` depends on nothing, everything else
+//! (`rt-par`, `rt-core`, `rt-sim`, `rt-bench`) may depend on `rt-obs`.
+
+pub mod json;
+pub mod metrics;
+pub mod registry;
+
+pub use json::Json;
+pub use metrics::{Counter, Histogram};
+pub use registry::{counter, histogram, snapshot, Registry};

@@ -1,0 +1,331 @@
+//! Lock-free metric primitives: counters, power-of-two-bucket
+//! histograms, and monotonic span timers.
+//!
+//! Everything here is a plain struct of atomics updated with `Relaxed`
+//! ordering: metrics are statistical, not synchronization — the only
+//! guarantee needed is that no update is lost, which `fetch_add` /
+//! compare-exchange loops give regardless of ordering. Snapshots taken
+//! while writers run are internally consistent per field (each field is
+//! one atomic) but not across fields; the experiment harness snapshots
+//! after the measurement joins, where the question does not arise.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A zero counter.
+    pub const fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Add `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one event.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current count.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: bucket `i` holds values whose bit
+/// length is `i`, i.e. bucket 0 is exactly `{0}` and bucket `i ≥ 1`
+/// covers `[2^(i−1), 2^i)`. 65 buckets span the full `u64` range.
+pub const BUCKETS: usize = 65;
+
+/// A fixed-bucket histogram over `u64` samples (typically nanoseconds).
+///
+/// Buckets are powers of two — coarse, but allocation-free, lock-free,
+/// and merge-free: one `fetch_add` per sample plus two bounded
+/// compare-exchange loops for min/max. Exact `count`/`sum`/`min`/`max`
+/// come from dedicated atomics; quantiles are bucket-resolution
+/// estimates clamped to the observed range.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index of a sample: its bit length.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive-exclusive value range `[lo, hi)` of bucket `i`.
+fn bucket_range(i: usize) -> (u64, u64) {
+    if i == 0 {
+        (0, 1)
+    } else {
+        (1u64 << (i - 1), (1u64 << (i - 1)).saturating_mul(2))
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: [ZERO; BUCKETS],
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.min.load(Ordering::Relaxed);
+        while v < cur {
+            match self
+                .min
+                .compare_exchange_weak(cur, v, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        let mut cur = self.max.load(Ordering::Relaxed);
+        while v > cur {
+            match self
+                .max
+                .compare_exchange_weak(cur, v, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Record the elapsed nanoseconds since `start` (a monotonic span:
+    /// `Instant` never goes backwards).
+    #[inline]
+    pub fn record_span(&self, start: Instant) {
+        self.record(span_ns(start));
+    }
+
+    /// Time `f` and record its duration in nanoseconds.
+    #[inline]
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.record_span(t0);
+        out
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest sample (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(self.min.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Largest sample (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(self.max.load(Ordering::Relaxed))
+        }
+    }
+
+    /// Mean sample, 0 when empty.
+    pub fn mean(&self) -> f64 {
+        let c = self.count();
+        if c == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / c as f64
+        }
+    }
+
+    /// Bucket-resolution `q`-quantile estimate: the midpoint of the
+    /// bucket where the cumulative count crosses `q·count`, clamped to
+    /// the exact observed `[min, max]`. `None` when empty.
+    ///
+    /// # Panics
+    /// If `q` is not in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                let (lo, hi) = bucket_range(i);
+                let mid = lo + (hi - lo) / 2;
+                return Some(mid.clamp(self.min().unwrap(), self.max().unwrap()));
+            }
+        }
+        self.max()
+    }
+
+    /// Raw bucket counts (`buckets[i]` = samples of bit length `i`).
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        let mut out = [0u64; BUCKETS];
+        for (o, b) in out.iter_mut().zip(&self.buckets) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+/// Elapsed nanoseconds since `start`, saturating at `u64::MAX`.
+#[inline]
+pub fn span_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn counter_is_safe_under_contention() {
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn histogram_tracks_exact_moments() {
+        let h = Histogram::new();
+        for v in [3u64, 0, 17, 1, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1045);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1024));
+        assert!((h.mean() - 209.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_extremes() {
+        let h = Histogram::new();
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn buckets_partition_by_bit_length() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_range(i);
+            assert!(lo < hi || hi == u64::MAX, "bucket {i}");
+            assert_eq!(bucket_of(lo), i);
+        }
+    }
+
+    #[test]
+    fn quantile_is_bucket_accurate_and_clamped() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record(100); // bucket [64, 128)
+        }
+        for _ in 0..10 {
+            h.record(10_000); // bucket [8192, 16384)
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((64..128).contains(&p50), "p50 = {p50}");
+        assert_eq!(h.quantile(0.0), Some(100), "clamped to observed min");
+        assert_eq!(h.quantile(1.0), Some(10_000), "clamped to observed max");
+    }
+
+    #[test]
+    fn time_records_a_span() {
+        let h = Histogram::new();
+        let out = h.time(|| 42);
+        assert_eq!(out, 42);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn concurrent_records_are_all_counted() {
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..5_000u64 {
+                        h.record(t * 5_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 20_000);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 20_000);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(19_999));
+    }
+}

@@ -1,0 +1,193 @@
+//! Process-global named-metric registry.
+//!
+//! Registration is the cold path: a `Mutex` around a name→handle map,
+//! taken once per metric name per call site (call sites cache the
+//! returned `&'static` handle in a `OnceLock`, see [`counter`] /
+//! [`histogram`] usage across `rt-par` and `rt-sim`). Updates never
+//! touch the registry again — they are relaxed atomic ops on the leaked
+//! handle, so the hot substrate stays lock-free.
+//!
+//! [`snapshot`] freezes every registered metric into one [`Json`]
+//! object: `{"counters": {name: n}, "histograms": {name: {count, sum,
+//! min, max, mean, p50, p90, p99}}}`. Counters and histograms are
+//! cumulative over the process lifetime; experiment reports snapshot at
+//! exit, so the numbers are per-run totals.
+
+use crate::json::Json;
+use crate::metrics::{Counter, Histogram};
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+enum Metric {
+    Counter(&'static Counter),
+    Histogram(&'static Histogram),
+}
+
+/// A named-metric registry. Most code uses the process-global one via
+/// [`counter`] / [`histogram`] / [`snapshot`]; tests build their own.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name`, registering it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a histogram.
+    pub fn counter(&self, name: &str) -> &'static Counter {
+        let mut map = self.inner.lock().expect("registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(leak(Counter::new())))
+        {
+            Metric::Counter(c) => c,
+            Metric::Histogram(_) => panic!("metric '{name}' is a histogram, not a counter"),
+        }
+    }
+
+    /// The histogram named `name`, registering it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a counter.
+    pub fn histogram(&self, name: &str) -> &'static Histogram {
+        let mut map = self.inner.lock().expect("registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(leak(Histogram::new())))
+        {
+            Metric::Histogram(h) => h,
+            Metric::Counter(_) => panic!("metric '{name}' is a counter, not a histogram"),
+        }
+    }
+
+    /// Snapshot every registered metric as a [`Json`] object.
+    pub fn snapshot(&self) -> Json {
+        let map = self.inner.lock().expect("registry poisoned");
+        let mut counters = Json::obj();
+        let mut histograms = Json::obj();
+        for (name, metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    counters.set(name, c.get());
+                }
+                Metric::Histogram(h) => {
+                    let mut o = Json::obj();
+                    o.set("count", h.count())
+                        .set("sum", h.sum())
+                        .set("min", h.min().map_or(Json::Null, Json::from))
+                        .set("max", h.max().map_or(Json::Null, Json::from))
+                        .set("mean", h.mean())
+                        .set("p50", h.quantile(0.5).map_or(Json::Null, Json::from))
+                        .set("p90", h.quantile(0.9).map_or(Json::Null, Json::from))
+                        .set("p99", h.quantile(0.99).map_or(Json::Null, Json::from));
+                    histograms.set(name, o);
+                }
+            }
+        }
+        let mut out = Json::obj();
+        out.set("counters", counters).set("histograms", histograms);
+        out
+    }
+}
+
+/// Leak a metric to get the `&'static` handle that makes updates
+/// registry-free. Deliberate: the metric vocabulary is small and
+/// static, and the leak is what keeps the hot path lock-free.
+fn leak<T>(value: T) -> &'static T {
+    Box::leak(Box::new(value))
+}
+
+fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// The process-global counter named `name` (registered on first use).
+pub fn counter(name: &str) -> &'static Counter {
+    global().counter(name)
+}
+
+/// The process-global histogram named `name` (registered on first use).
+pub fn histogram(name: &str) -> &'static Histogram {
+    global().histogram(name)
+}
+
+/// Snapshot the process-global registry.
+pub fn snapshot() -> Json {
+    global().snapshot()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        assert!(std::ptr::eq(a, b), "same handle for the same name");
+        a.add(3);
+        assert_eq!(b.get(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "is a histogram")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.histogram("m");
+        r.counter("m");
+    }
+
+    #[test]
+    fn snapshot_reports_both_kinds_sorted() {
+        let r = Registry::new();
+        r.counter("b.count").add(7);
+        r.counter("a.count").add(1);
+        r.histogram("t.ns").record(100);
+        let snap = r.snapshot();
+        let counters = snap.get("counters").unwrap().as_obj().unwrap();
+        assert_eq!(counters[0].0, "a.count");
+        assert_eq!(counters[1].0, "b.count");
+        assert_eq!(
+            snap.get("counters")
+                .unwrap()
+                .get("b.count")
+                .unwrap()
+                .as_f64(),
+            Some(7.0)
+        );
+        let h = snap.get("histograms").unwrap().get("t.ns").unwrap();
+        assert_eq!(h.get("count").unwrap().as_f64(), Some(1.0));
+        assert_eq!(h.get("min").unwrap().as_f64(), Some(100.0));
+    }
+
+    #[test]
+    fn empty_histogram_snapshots_nulls() {
+        let r = Registry::new();
+        r.histogram("empty.ns");
+        let snap = r.snapshot();
+        let h = snap.get("histograms").unwrap().get("empty.ns").unwrap();
+        assert_eq!(h.get("min").unwrap(), &Json::Null);
+        assert_eq!(h.get("p50").unwrap(), &Json::Null);
+    }
+
+    #[test]
+    fn global_registry_accumulates() {
+        counter("obs.test.global").add(2);
+        counter("obs.test.global").add(3);
+        assert!(counter("obs.test.global").get() >= 5);
+        let snap = snapshot();
+        assert!(snap
+            .get("counters")
+            .unwrap()
+            .get("obs.test.global")
+            .is_some());
+    }
+}

@@ -29,6 +29,50 @@
 
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Engine metrics, published to the `rt-obs` global registry (handles
+/// cached so the hot path never touches the registry mutex):
+///
+/// * `par.maps` / `par.items` / `par.chunks_claimed` — counters over
+///   every [`par_map`] invocation;
+/// * `par.trials` — counter over [`par_trials`] trials;
+/// * `par.map_wall_ns` — wall time per parallel map;
+/// * `par.worker_busy_ns` — per-worker busy span per map;
+/// * `par.utilization_pct` — `Σ busy / (wall × workers)` per map, in
+///   percent: the scheduling-efficiency figure the fleet reports track;
+/// * `par.trial_ns` — per-trial duration under [`par_trials`].
+mod obs {
+    use std::sync::OnceLock;
+
+    macro_rules! metric {
+        ($fn_name:ident, $kind:ident, $ty:ty, $name:literal) => {
+            pub fn $fn_name() -> &'static $ty {
+                static H: OnceLock<&'static $ty> = OnceLock::new();
+                H.get_or_init(|| rt_obs::$kind($name))
+            }
+        };
+    }
+
+    metric!(maps, counter, rt_obs::Counter, "par.maps");
+    metric!(items, counter, rt_obs::Counter, "par.items");
+    metric!(chunks, counter, rt_obs::Counter, "par.chunks_claimed");
+    metric!(trials, counter, rt_obs::Counter, "par.trials");
+    metric!(map_wall_ns, histogram, rt_obs::Histogram, "par.map_wall_ns");
+    metric!(
+        worker_busy_ns,
+        histogram,
+        rt_obs::Histogram,
+        "par.worker_busy_ns"
+    );
+    metric!(
+        utilization_pct,
+        histogram,
+        rt_obs::Histogram,
+        "par.utilization_pct"
+    );
+    metric!(trial_ns, histogram, rt_obs::Histogram, "par.trial_ns");
+}
 
 /// Number of worker threads used by [`par_map`].
 pub fn num_threads() -> usize {
@@ -72,8 +116,11 @@ where
     F: Fn(usize) -> T + Sync,
 {
     let workers = workers.max(1).min(n.max(1));
+    obs::maps().inc();
+    obs::items().add(n as u64);
     if workers <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        obs::chunks().add(n.min(1) as u64);
+        return obs::map_wall_ns().time(|| (0..n).map(f).collect());
     }
 
     let chunk = chunk_size(n, workers);
@@ -82,6 +129,8 @@ where
     // reserved capacity.
     unsafe { out.set_len(n) };
 
+    let t0 = Instant::now();
+    let busy_total = rt_obs::Counter::new();
     let next = AtomicUsize::new(0);
     let out_ptr = OutPtr(out.as_mut_ptr());
     std::thread::scope(|scope| {
@@ -89,23 +138,41 @@ where
             let next = &next;
             let f = &f;
             let out_ptr = &out_ptr;
-            scope.spawn(move || loop {
-                let start = next.fetch_add(chunk, Ordering::Relaxed);
-                if start >= n {
-                    break;
+            let busy_total = &busy_total;
+            scope.spawn(move || {
+                let worker_t0 = Instant::now();
+                let mut claimed = 0u64;
+                loop {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    claimed += 1;
+                    let end = (start + chunk).min(n);
+                    for i in start..end {
+                        let value = f(i);
+                        // SAFETY: chunk claims are disjoint (each start
+                        // is returned by fetch_add exactly once), so
+                        // index `i` is written by exactly one worker,
+                        // and `out` lives until the scope joins.
+                        unsafe { (*out_ptr.0.add(i)).write(value) };
+                    }
                 }
-                let end = (start + chunk).min(n);
-                for i in start..end {
-                    let value = f(i);
-                    // SAFETY: chunk claims are disjoint (each start is
-                    // returned by fetch_add exactly once), so index `i`
-                    // is written by exactly one worker, and `out` lives
-                    // until the scope joins.
-                    unsafe { (*out_ptr.0.add(i)).write(value) };
-                }
+                // One flush per worker per map keeps the claim loop
+                // free of metric traffic.
+                let busy = rt_obs::metrics::span_ns(worker_t0);
+                obs::chunks().add(claimed);
+                obs::worker_busy_ns().record(busy);
+                busy_total.add(busy);
             });
         }
     });
+    let wall = rt_obs::metrics::span_ns(t0);
+    obs::map_wall_ns().record(wall);
+    if wall > 0 {
+        let util = 100.0 * busy_total.get() as f64 / (wall as f64 * workers as f64);
+        obs::utilization_pct().record(util.round().clamp(0.0, 100.0) as u64);
+    }
     // The scope joined every worker without panicking, so all n slots
     // are initialized: the claim loop only exits once `next >= n`, and
     // each claimed index was written before the claim loop advanced.
@@ -252,7 +319,10 @@ where
     F: Fn(usize, u64) -> T + Sync,
 {
     let seeder = Seeder::new(master_seed);
-    par_map(trials, |i| f(i, seeder.seed_for(i as u64)))
+    obs::trials().add(trials as u64);
+    par_map(trials, |i| {
+        obs::trial_ns().time(|| f(i, seeder.seed_for(i as u64)))
+    })
 }
 
 #[cfg(test)]
@@ -359,6 +429,31 @@ mod tests {
         });
         assert_eq!(out.len(), 500);
         assert_eq!(counter.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn engine_metrics_accumulate() {
+        // Counters are process-global and cumulative; assert deltas.
+        let items0 = rt_obs::counter("par.items").get();
+        let maps0 = rt_obs::counter("par.maps").get();
+        let chunks0 = rt_obs::counter("par.chunks_claimed").get();
+        par_map_with_threads(4, 1000, |i| i);
+        assert!(rt_obs::counter("par.items").get() >= items0 + 1000);
+        assert!(rt_obs::counter("par.maps").get() > maps0);
+        assert!(rt_obs::counter("par.chunks_claimed").get() > chunks0);
+        let trials0 = rt_obs::counter("par.trials").get();
+        let timed0 = rt_obs::histogram("par.trial_ns").count();
+        par_trials(32, 5, |_, seed| seed);
+        assert!(rt_obs::counter("par.trials").get() >= trials0 + 32);
+        assert!(rt_obs::histogram("par.trial_ns").count() >= timed0 + 32);
+    }
+
+    #[test]
+    fn utilization_is_a_percentage() {
+        par_map_with_threads(4, 50_000, |i| i.wrapping_mul(3));
+        let h = rt_obs::histogram("par.utilization_pct");
+        assert!(h.count() >= 1);
+        assert!(h.max().unwrap() <= 100);
     }
 
     #[test]

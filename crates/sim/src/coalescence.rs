@@ -11,6 +11,26 @@ use crate::stats::Summary;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rt_markov::coupling::{coalescence_time, PairCoupling};
+use std::sync::OnceLock;
+
+/// Fleet metrics for coalescence batches (`rt-obs` global registry):
+/// `sim.coalescence.trials` / `.failures` counters and a
+/// `sim.coalescence.meet_steps` histogram of the successful meeting
+/// times. Per-trial wall time lands in `par.trial_ns` via the engine.
+fn obs_trials() -> &'static rt_obs::Counter {
+    static C: OnceLock<&'static rt_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| rt_obs::counter("sim.coalescence.trials"))
+}
+
+fn obs_failures() -> &'static rt_obs::Counter {
+    static C: OnceLock<&'static rt_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| rt_obs::counter("sim.coalescence.failures"))
+}
+
+fn obs_meet_steps() -> &'static rt_obs::Histogram {
+    static H: OnceLock<&'static rt_obs::Histogram> = OnceLock::new();
+    H.get_or_init(|| rt_obs::histogram("sim.coalescence.meet_steps"))
+}
 
 /// Result of a batch of coalescence trials.
 #[derive(Clone, Debug)]
@@ -86,10 +106,15 @@ where
     let mut failures = 0;
     for o in outcomes {
         match o {
-            Some(t) => times.push(t),
+            Some(t) => {
+                obs_meet_steps().record(t);
+                times.push(t);
+            }
             None => failures += 1,
         }
     }
+    obs_trials().add(trials as u64);
+    obs_failures().add(failures as u64);
     CoalescenceReport { times, failures }
 }
 

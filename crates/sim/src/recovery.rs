@@ -34,6 +34,12 @@ pub fn time_to_threshold<S>(
 /// Steps until `observe(state) ≤ target` *and it remains ≤ target* for
 /// the next `hold` steps. Returns the entry time (not the end of the
 /// hold window), or `None` if no sustained entry occurs by `t_max`.
+///
+/// `hold = 0` asks for an empty hold window, which is vacuously
+/// satisfied the moment the band is entered — the function then agrees
+/// with [`time_to_threshold`] on every input (regression-tested below;
+/// an earlier version reset a `hold = 0` entry if the very next step
+/// left the band again).
 pub fn sustained_time_to_threshold<S>(
     state: &mut S,
     mut step: impl FnMut(&mut S),
@@ -45,6 +51,9 @@ pub fn sustained_time_to_threshold<S>(
     let mut entered_at: Option<u64> = None;
     let mut held = 0u64;
     if observe(state) <= target {
+        if hold == 0 {
+            return Some(0);
+        }
         entered_at = Some(0);
     }
     for t in 1..=t_max {
@@ -52,6 +61,9 @@ pub fn sustained_time_to_threshold<S>(
         if observe(state) <= target {
             match entered_at {
                 None => {
+                    if hold == 0 {
+                        return Some(t);
+                    }
                     entered_at = Some(t);
                     held = 0;
                 }
@@ -143,6 +155,61 @@ mod tests {
         let mut x = 0.0f64;
         let t = sustained_time_to_threshold(&mut x, |_| {}, |x| *x, 1.0, 5, 100);
         assert_eq!(t, Some(0));
+    }
+
+    #[test]
+    fn hold_zero_counts_mid_run_entry_followed_by_immediate_exit() {
+        // Observable dips into the band at t = 4 only, for one step.
+        // An empty hold window is vacuously satisfied, so the entry at
+        // t = 4 counts even though t = 5 leaves the band again — and it
+        // must agree with `time_to_threshold`.
+        let obs = |t: &u64| if *t == 4 { 0.0 } else { 10.0 };
+        let mut t_state = 0u64;
+        let sustained = sustained_time_to_threshold(&mut t_state, |t| *t += 1, obs, 0.5, 0, 100);
+        let mut t_state = 0u64;
+        let plain = time_to_threshold(&mut t_state, |t| *t += 1, obs, 0.5, 100);
+        assert_eq!(sustained, Some(4));
+        assert_eq!(sustained, plain);
+    }
+
+    #[test]
+    fn hold_zero_counts_entry_at_time_zero() {
+        // In the band at t = 0, out of it from t = 1 on: hold = 0 must
+        // report 0, exactly like `time_to_threshold`.
+        let obs = |t: &u64| if *t == 0 { 0.0 } else { 10.0 };
+        let mut t_state = 0u64;
+        let sustained = sustained_time_to_threshold(&mut t_state, |t| *t += 1, obs, 0.5, 0, 50);
+        assert_eq!(sustained, Some(0));
+        let mut t_state = 0u64;
+        assert_eq!(
+            time_to_threshold(&mut t_state, |t| *t += 1, obs, 0.5, 50),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn hold_zero_agrees_with_time_to_threshold_on_random_traces() {
+        // Exhaustive agreement over pseudo-random 0/1 traces: with
+        // hold = 0 the two protocols are the same function.
+        for trace_seed in 0u64..200 {
+            let obs = move |t: &u64| {
+                // SplitMix-ish hash of (trace_seed, t) → {0.0, 10.0}.
+                let mut z = trace_seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(t.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+                z ^= z >> 29;
+                if z & 3 == 0 {
+                    0.0
+                } else {
+                    10.0
+                }
+            };
+            let mut a = 0u64;
+            let sustained = sustained_time_to_threshold(&mut a, |t| *t += 1, obs, 0.5, 0, 40);
+            let mut b = 0u64;
+            let plain = time_to_threshold(&mut b, |t| *t += 1, obs, 0.5, 40);
+            assert_eq!(sustained, plain, "trace {trace_seed}");
+        }
     }
 
     #[test]

@@ -11,6 +11,22 @@
 use crate::fit;
 use crate::parallel::par_trials;
 use crate::stats::Summary;
+use std::sync::OnceLock;
+
+/// Fleet metrics for sweeps (`rt-obs` global registry): a
+/// `sim.sweep.size_ns` histogram (wall time per sweep size, the
+/// coarse-grained figure the fleet report tracks) and a
+/// `sim.sweep.trials` counter. Per-trial timing lands in `par.trial_ns`
+/// via the engine.
+fn obs_size_ns() -> &'static rt_obs::Histogram {
+    static H: OnceLock<&'static rt_obs::Histogram> = OnceLock::new();
+    H.get_or_init(|| rt_obs::histogram("sim.sweep.size_ns"))
+}
+
+fn obs_trials() -> &'static rt_obs::Counter {
+    static C: OnceLock<&'static rt_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| rt_obs::counter("sim.sweep.trials"))
+}
 
 /// A size sweep: sizes, trials per size, master seed.
 #[derive(Clone, Debug)]
@@ -71,11 +87,14 @@ impl Sweep {
         self.sizes
             .iter()
             .map(|&size| {
-                let obs = par_trials(
-                    self.trials,
-                    self.seed ^ (size as u64).wrapping_mul(0x9E37_79B9),
-                    |_, seed| f(size, seed),
-                );
+                let obs = obs_size_ns().time(|| {
+                    par_trials(
+                        self.trials,
+                        self.seed ^ (size as u64).wrapping_mul(0x9E37_79B9),
+                        |_, seed| f(size, seed),
+                    )
+                });
+                obs_trials().add(self.trials as u64);
                 SweepRow {
                     size,
                     summary: Summary::of(&obs),

@@ -42,6 +42,16 @@ impl Table {
         self.rows.len()
     }
 
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows (each the same width as [`Table::headers`]).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Render with padded columns and a separator under the header.
     pub fn render(&self) -> String {
         let cols = self.headers.len();
