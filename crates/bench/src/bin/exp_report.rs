@@ -76,6 +76,34 @@ fn best_fit(doc: &Json) -> String {
         .unwrap_or_else(|| "-".into())
 }
 
+/// Conformance violations in a self-verification document: rows whose
+/// `pass` cell is not the check mark. Only documents that declare
+/// `params.conformance` participate (other experiments use ✗ for
+/// theory-consistency marks that are not fleet-fatal).
+fn conformance_violations(l: &Loaded) -> Option<Vec<String>> {
+    let declared = l
+        .doc
+        .get("params")
+        .and_then(|p| p.get("conformance"))
+        .and_then(Json::as_f64)
+        .is_some_and(|v| v != 0.0);
+    if !declared {
+        return None;
+    }
+    let rows = l.doc.get("rows").and_then(Json::as_arr).unwrap_or(&[]);
+    Some(
+        rows.iter()
+            .filter(|r| r.get("pass").and_then(Json::as_str) != Some("✓"))
+            .map(|r| {
+                r.get("check")
+                    .and_then(Json::as_str)
+                    .unwrap_or("<unnamed check>")
+                    .to_string()
+            })
+            .collect(),
+    )
+}
+
 /// Sum a counter across every document's metrics snapshot.
 fn fleet_counter(docs: &[Loaded], name: &str) -> f64 {
     docs.iter()
@@ -151,5 +179,36 @@ fn main() -> ExitCode {
         table::f(coal_failures, 0)
     );
     println!("schema: all {} files valid", docs.len());
+
+    // Conformance gate: any failed check in a self-verification
+    // document fails the fleet.
+    let mut failed = false;
+    for l in &docs {
+        let Some(violations) = conformance_violations(l) else {
+            continue;
+        };
+        let rows = l
+            .doc
+            .get("rows")
+            .and_then(Json::as_arr)
+            .map_or(0, <[Json]>::len);
+        if violations.is_empty() {
+            println!("conformance: {} — all {rows} checks passed", l.name);
+        } else {
+            failed = true;
+            println!(
+                "conformance: {} — {} of {rows} checks FAILED:",
+                l.name,
+                violations.len()
+            );
+            for v in &violations {
+                println!("  ✗ {v}");
+            }
+        }
+    }
+    if failed {
+        eprintln!("exp_report: conformance violations (see above)");
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,122 @@
+//! `exp_selftest` — run the statistical self-verification suite and
+//! report every conformance check as a table row.
+//!
+//! This is the fleet-visible face of `rt-verify`: the same checks as
+//! the tier-2 `cargo test -p rt-verify -- --ignored` gate, at sizes
+//! tuned for an always-on smoke run (`RT_FULL=1` restores tier-2
+//! sample counts). One row per check; the `pass` column is `✓`/`✗`;
+//! the JSON document carries `params.conformance = 1` so `exp_report`
+//! can fail the fleet on any violated check.
+//!
+//! Exit status 1 if any check fails.
+
+use rt_bench::{header, report::Experiment, Config};
+use rt_core::rules::{Abku, Adap};
+use rt_core::{AllocationChain, Removal};
+use rt_sim::{table, Table};
+use rt_verify::{chain, sampler, Report, Suite};
+use std::process::ExitCode;
+
+fn run_suite(cfg: &Config) -> Report {
+    let mut suite = Suite::new(cfg.seed);
+    // Smoke sizes by default; tier-2 sizes under RT_FULL=1.
+    let samples = if cfg.full { 200_000 } else { 50_000 };
+    let trials = cfg.trials_or(if cfg.full { 60_000 } else { 20_000 }) as u64;
+    let sweeps = if cfg.full { 20_000 } else { 5_000 };
+
+    for loads in [
+        &[2u32, 2, 2, 2][..],
+        &[5, 3, 1, 1, 0, 0][..],
+        &[8, 0, 0, 0][..],
+    ] {
+        sampler::check_dist_a(&mut suite, loads, samples);
+        sampler::check_dist_b(&mut suite, loads, samples);
+        sampler::check_fenwick(&mut suite, loads, 64, samples);
+    }
+    sampler::check_abku_probe(&mut suite, 2, &[4, 3, 3, 2, 1, 1, 1, 0], samples);
+    sampler::check_abku_probe(&mut suite, 3, &[4, 3, 3, 2, 1, 1, 1, 0], samples);
+    sampler::check_adap_probe(
+        &mut suite,
+        "linear",
+        |l: u32| l + 1,
+        &[4, 3, 2, 1, 0, 0],
+        samples,
+    );
+    sampler::check_arrival_law(&mut suite, "uniform", &[1.0; 6], samples);
+    sampler::check_arrival_law(&mut suite, "zipf", &[1.0, 0.5, 1.0 / 3.0, 0.25], samples);
+
+    let chain_a = AllocationChain::new(3, 5, Removal::RandomBall, Abku::new(2));
+    chain::check_t_step_distribution(&mut suite, "a_abku2", &chain_a, 4, trials);
+    let chain_b = AllocationChain::new(3, 5, Removal::RandomNonEmptyBin, Abku::new(2));
+    chain::check_t_step_distribution(&mut suite, "b_abku2", &chain_b, 4, trials);
+    let chain_hit = AllocationChain::new(4, 8, Removal::RandomBall, Abku::new(2));
+    chain::check_hitting_time_ks(&mut suite, "a_abku2", &chain_hit, trials.min(4_000));
+
+    chain::check_coupling_contraction(&mut suite, "abku2", &Abku::new(2), 6, 12, sweeps);
+    chain::check_coupling_contraction(
+        &mut suite,
+        "adap_linear",
+        &Adap::new(|l: u32| l + 1),
+        6,
+        12,
+        sweeps,
+    );
+    chain::check_right_oriented(&mut suite, "abku2", &Abku::new(2), 6, 12, sweeps);
+    chain::check_right_oriented(
+        &mut suite,
+        "adap_linear",
+        &Adap::new(|l: u32| l + 1),
+        6,
+        12,
+        sweeps,
+    );
+    suite.finalize()
+}
+
+fn main() -> ExitCode {
+    let cfg = Config::from_env();
+    header(
+        "SELFTEST — statistical conformance of samplers, chains, couplings",
+        "Every sampler against its exact law; empirical chains against \
+         dense power iteration; Lemma 3.3 / Def. 3.4 invariant monitors.",
+    );
+    let mut exp = Experiment::new("selftest", &cfg);
+    exp.param("conformance", 1u64);
+    exp.param("full", u64::from(cfg.full));
+
+    let report = run_suite(&cfg);
+    exp.param("family_alpha", report.family_alpha());
+    exp.param("threshold", report.threshold());
+
+    let mut tbl = Table::new(["family", "check", "statistic", "p", "pass"]);
+    for c in report.checks() {
+        tbl.push_row([
+            c.family.clone(),
+            c.name.clone(),
+            table::f(c.statistic, 4),
+            c.p_value.map_or_else(|| "-".into(), |p| format!("{p:.3e}")),
+            if c.pass { "✓".into() } else { "✗".into() },
+        ]);
+    }
+    println!("{}", tbl.render());
+    println!(
+        "{} checks, family alpha {:.1e}, per-check threshold {:.3e}",
+        report.checks().len(),
+        report.family_alpha(),
+        report.threshold()
+    );
+
+    exp.table(&tbl);
+    exp.finish();
+
+    if report.all_pass() {
+        println!("selftest: all checks passed");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "selftest: CONFORMANCE VIOLATIONS\n{}",
+            report.failure_summary()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -170,10 +170,15 @@ pub fn validate(doc: &Json) -> Vec<String> {
     });
     require("rows", &|v| match v.as_arr() {
         None => Some("must be an array".into()),
-        Some(rows) => rows
-            .iter()
-            .position(|r| r.as_obj().is_none())
-            .map(|i| format!("row {i} is not an object")),
+        Some(rows) => rows.iter().enumerate().find_map(|(i, r)| match r.as_obj() {
+            None => Some(format!("row {i} is not an object")),
+            // The emitter writes non-finite numbers as null, so a null
+            // cell means a NaN/inf metric escaped an experiment.
+            Some(cells) => cells
+                .iter()
+                .find(|(_, cell)| matches!(cell, Json::Null))
+                .map(|(k, _)| format!("row {i} cell \"{k}\" is null (non-finite value)")),
+        }),
     });
     require("fits", &|v| match v.as_arr() {
         None => Some("must be an array".into()),
@@ -183,7 +188,7 @@ pub fn validate(doc: &Json) -> Vec<String> {
                 obj.iter().any(|(key, val)| {
                     key == k
                         && (if num {
-                            val.as_f64().is_some()
+                            val.as_f64().is_some_and(f64::is_finite)
                         } else {
                             val.as_str().is_some()
                         })
@@ -193,7 +198,7 @@ pub fn validate(doc: &Json) -> Vec<String> {
                 None
             } else {
                 Some(format!(
-                    "fit {i} needs name (string), coefficient, r2 (numbers)"
+                    "fit {i} needs name (string), coefficient, r2 (finite numbers)"
                 ))
             }
         }),
@@ -206,15 +211,15 @@ pub fn validate(doc: &Json) -> Vec<String> {
         }
     });
     require("seed", &|v| {
-        if v.as_f64().is_some() {
+        if v.as_f64().is_some_and(f64::is_finite) {
             None
         } else {
-            Some("must be a number".into())
+            Some("must be a finite number".into())
         }
     });
     require("wall_time", &|v| match v.as_f64() {
-        Some(t) if t >= 0.0 => None,
-        _ => Some("must be a non-negative number".into()),
+        Some(t) if t >= 0.0 && t.is_finite() => None,
+        _ => Some("must be a finite non-negative number".into()),
     });
     errors
 }
@@ -285,6 +290,39 @@ mod tests {
                 "no error for {key}: {errs:?}"
             );
         }
+    }
+
+    #[test]
+    fn non_finite_values_are_rejected() {
+        // "1e999" parses to +inf; the emitter writes NaN/inf as null.
+        let mut doc = sample().document();
+        doc.set("wall_time", f64::INFINITY);
+        let errs = validate(&doc);
+        assert!(errs.iter().any(|e| e.contains("wall_time")), "{errs:?}");
+
+        let mut doc = sample().document();
+        doc.set("seed", Json::Null);
+        let errs = validate(&doc);
+        assert!(errs.iter().any(|e| e.contains("seed")), "{errs:?}");
+
+        let mut doc = sample().document();
+        let mut row = Json::obj();
+        row.set("mean", Json::Null);
+        doc.set("rows", Json::Arr(vec![row]));
+        let errs = validate(&doc);
+        assert!(
+            errs.iter().any(|e| e.contains("null (non-finite value)")),
+            "{errs:?}"
+        );
+
+        let mut exp = sample();
+        let mut bad = Json::obj();
+        bad.set("name", "m ln m");
+        bad.set("coefficient", f64::NAN);
+        bad.set("r2", 0.9);
+        exp.fits.push(bad);
+        let errs = validate(&exp.document());
+        assert!(errs.iter().any(|e| e.contains("fit 1")), "{errs:?}");
     }
 
     #[test]

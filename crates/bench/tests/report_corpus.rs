@@ -1,0 +1,160 @@
+//! Regression corpus for `exp_report` schema validation and the
+//! conformance gate.
+//!
+//! Each case writes a fleet directory containing one known-bad JSON
+//! file and asserts that `exp_report` exits 1 *and* names the
+//! violation — so the validator can never silently weaken. A final
+//! pair of cases pins the conformance gate: a self-verification
+//! document with a failed check must fail the fleet; a passing one
+//! must not.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// A minimal document satisfying the fleet schema.
+fn valid_doc() -> String {
+    r#"{
+  "experiment": "corpus_case",
+  "params": {"n": 64},
+  "rows": [{"n": 64, "mean": 228.5}],
+  "fits": [{"name": "m ln m", "coefficient": 1.02, "r2": 0.998}],
+  "metrics": {"counters": {}},
+  "seed": 12345,
+  "wall_time": 0.25
+}"#
+    .to_string()
+}
+
+/// Run `exp_report` on a fresh directory holding `content` as
+/// `case.json`; return (exit success, combined output).
+fn run_case(label: &str, content: &str) -> (bool, String) {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("report_corpus_{label}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create corpus dir");
+    std::fs::write(dir.join("case.json"), content).expect("write corpus file");
+    let out = Command::new(env!("CARGO_BIN_EXE_exp_report"))
+        .arg(&dir)
+        .output()
+        .expect("run exp_report");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+/// Assert the case is rejected with a message naming the violation.
+fn assert_rejected(label: &str, content: &str, needle: &str) {
+    let (ok, text) = run_case(label, content);
+    assert!(!ok, "{label}: exp_report accepted a bad document:\n{text}");
+    assert!(
+        text.contains(needle),
+        "{label}: violation not named (wanted {needle:?}):\n{text}"
+    );
+}
+
+#[test]
+fn valid_document_is_accepted() {
+    let (ok, text) = run_case("valid", &valid_doc());
+    assert!(ok, "valid document rejected:\n{text}");
+    assert!(text.contains("all 1 files valid"), "{text}");
+}
+
+#[test]
+fn missing_fits_is_rejected() {
+    let bad = valid_doc().replace(
+        "\"fits\": [{\"name\": \"m ln m\", \"coefficient\": 1.02, \"r2\": 0.998}],\n",
+        "",
+    );
+    assert_rejected("missing_fits", &bad, "missing key \"fits\"");
+}
+
+#[test]
+fn row_that_is_not_an_object_is_rejected() {
+    let bad = valid_doc().replace(
+        "\"rows\": [{\"n\": 64, \"mean\": 228.5}]",
+        "\"rows\": [[64, 228.5]]",
+    );
+    assert_rejected("row_arity", &bad, "row 0 is not an object");
+}
+
+#[test]
+fn null_metric_cell_is_rejected() {
+    // The emitter writes NaN as null — a null cell is a NaN that
+    // escaped an experiment.
+    let bad = valid_doc().replace(
+        "\"rows\": [{\"n\": 64, \"mean\": 228.5}]",
+        "\"rows\": [{\"n\": 64, \"mean\": null}]",
+    );
+    assert_rejected("nan_metric", &bad, "null (non-finite value)");
+}
+
+#[test]
+fn infinite_fit_coefficient_is_rejected() {
+    // "1e999" overflows to +inf in the parser; the validator must
+    // refuse non-finite fit numbers.
+    let bad = valid_doc().replace("\"coefficient\": 1.02", "\"coefficient\": 1e999");
+    assert_rejected("inf_fit", &bad, "fit 0");
+}
+
+#[test]
+fn infinite_wall_time_is_rejected() {
+    let bad = valid_doc().replace("\"wall_time\": 0.25", "\"wall_time\": 1e999");
+    assert_rejected("inf_wall", &bad, "wall_time");
+}
+
+#[test]
+fn truncated_document_is_rejected() {
+    let full = valid_doc();
+    let bad = &full[..full.len() / 2];
+    assert_rejected("truncated", bad, "parse error");
+}
+
+#[test]
+fn conformance_violation_fails_the_fleet() {
+    let doc = r#"{
+  "experiment": "selftest",
+  "params": {"conformance": 1},
+  "rows": [
+    {"family": "sampler", "check": "dist_a/chi2/n4m8", "pass": "✓"},
+    {"family": "sampler", "check": "fenwick/quantile/n4m8", "pass": "✗"}
+  ],
+  "fits": [],
+  "metrics": {},
+  "seed": 1,
+  "wall_time": 0.1
+}"#;
+    let (ok, text) = run_case("conformance_fail", doc);
+    assert!(!ok, "fleet accepted a conformance violation:\n{text}");
+    assert!(text.contains("fenwick/quantile/n4m8"), "{text}");
+    assert!(text.contains("conformance"), "{text}");
+}
+
+#[test]
+fn passing_conformance_document_is_accepted() {
+    let doc = r#"{
+  "experiment": "selftest",
+  "params": {"conformance": 1},
+  "rows": [{"family": "sampler", "check": "dist_a/chi2/n4m8", "pass": "✓"}],
+  "fits": [],
+  "metrics": {},
+  "seed": 1,
+  "wall_time": 0.1
+}"#;
+    let (ok, text) = run_case("conformance_pass", doc);
+    assert!(ok, "passing conformance document rejected:\n{text}");
+    assert!(text.contains("all 1 checks passed"), "{text}");
+}
+
+#[test]
+fn non_conformance_experiments_may_use_cross_marks() {
+    // Theory-consistency ✗ marks in ordinary experiments are not
+    // fleet-fatal; only declared conformance documents gate.
+    let doc = valid_doc().replace(
+        "\"rows\": [{\"n\": 64, \"mean\": 228.5}]",
+        "\"rows\": [{\"n\": 64, \"consistent\": \"✗\"}]",
+    );
+    let (ok, text) = run_case("plain_cross", &doc);
+    assert!(ok, "ordinary ✗ mark failed the fleet:\n{text}");
+}

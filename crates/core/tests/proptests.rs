@@ -350,6 +350,50 @@ proptest! {
     }
 }
 
+proptest! {
+    /// 𝒜(v) (Def. 3.2) is a probability distribution with support
+    /// exactly the non-empty bins: Σ = 1 within 1e−12 and a bin has
+    /// positive removal mass iff it holds at least one ball.
+    #[test]
+    fn dist_a_pmf_is_exact_on_support(loads in raw_loads(64, 128)) {
+        use rt_core::dist::pmf_ball_weighted;
+        let v = LoadVector::from_loads(loads);
+        prop_assume!(v.total() > 0);
+        let pmf = pmf_ball_weighted(&v);
+        prop_assert_eq!(pmf.len(), v.n());
+        prop_assert!((pmf.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        for (i, &p) in pmf.iter().enumerate() {
+            if v.load(i) == 0 {
+                prop_assert_eq!(p, 0.0, "empty bin {} got 𝒜-mass {}", i, p);
+            } else {
+                // Ball-weighted: exactly load/total, which is positive.
+                let exact = f64::from(v.load(i)) / v.total() as f64;
+                prop_assert!((p - exact).abs() < 1e-15, "bin {}: {} vs {}", i, p, exact);
+            }
+        }
+    }
+
+    /// ℬ(v) (Def. 3.3) is uniform on the non-empty bins and zero
+    /// exactly on the empty ones.
+    #[test]
+    fn dist_b_pmf_is_exact_on_support(loads in raw_loads(64, 128)) {
+        use rt_core::dist::pmf_nonempty;
+        let v = LoadVector::from_loads(loads);
+        prop_assume!(v.total() > 0);
+        let pmf = pmf_nonempty(&v);
+        prop_assert_eq!(pmf.len(), v.n());
+        prop_assert!((pmf.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        let uniform = 1.0 / v.nonempty() as f64;
+        for (i, &p) in pmf.iter().enumerate() {
+            if v.load(i) == 0 {
+                prop_assert_eq!(p, 0.0, "empty bin {} got ℬ-mass {}", i, p);
+            } else {
+                prop_assert!((p - uniform).abs() < 1e-15, "bin {}: {} vs {}", i, p, uniform);
+            }
+        }
+    }
+}
+
 /// O(n) CDF-scan reference for `FenwickSampler::quantile` over raw
 /// (unsorted, possibly zero) bin loads: the first bin whose inclusive
 /// prefix sum exceeds r.

@@ -3,21 +3,73 @@
 //! `‖L(X) − L(Y)‖ = sup_A |Pr[X ∈ A] − Pr[Y ∈ A]| = ½ Σ |p_i − q_i|`
 //! for distributions on a common finite index set.
 
+/// Why a total-variation computation is ill-posed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TvError {
+    /// The two vectors index different state spaces.
+    LengthMismatch {
+        /// Length of the left vector.
+        left: usize,
+        /// Length of the right vector.
+        right: usize,
+    },
+    /// The counts carry no samples, so no distribution exists.
+    ZeroSupport,
+}
+
+impl std::fmt::Display for TvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TvError::LengthMismatch { left, right } => {
+                write!(
+                    f,
+                    "distributions over different spaces ({left} vs {right} states)"
+                )
+            }
+            TvError::ZeroSupport => write!(f, "no samples: empirical distribution undefined"),
+        }
+    }
+}
+
+impl std::error::Error for TvError {}
+
 /// Total-variation distance `½ Σ |p_i − q_i|` between two distributions
 /// given as dense vectors over the same state indexing.
+///
+/// # Errors
+/// [`TvError::LengthMismatch`] if the vectors have different lengths —
+/// there is no meaningful distance between distributions over different
+/// spaces, and truncating to the shorter one would silently understate
+/// the distance.
+pub fn try_tv_distance(p: &[f64], q: &[f64]) -> Result<f64, TvError> {
+    if p.len() != q.len() {
+        return Err(TvError::LengthMismatch {
+            left: p.len(),
+            right: q.len(),
+        });
+    }
+    Ok(0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>())
+}
+
+/// Panicking convenience for [`try_tv_distance`], for the internal
+/// call sites where equal lengths hold by construction.
 ///
 /// # Panics
 /// If the lengths differ.
 pub fn tv_distance(p: &[f64], q: &[f64]) -> f64 {
-    assert_eq!(p.len(), q.len(), "distributions over different spaces");
-    0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>()
+    try_tv_distance(p, q).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Empirical distribution from sample counts.
-pub fn empirical(counts: &[u64]) -> Vec<f64> {
+///
+/// # Errors
+/// [`TvError::ZeroSupport`] if the counts sum to zero.
+pub fn empirical(counts: &[u64]) -> Result<Vec<f64>, TvError> {
     let total: u64 = counts.iter().sum();
-    assert!(total > 0, "no samples");
-    counts.iter().map(|&c| c as f64 / total as f64).collect()
+    if total == 0 {
+        return Err(TvError::ZeroSupport);
+    }
+    Ok(counts.iter().map(|&c| c as f64 / total as f64).collect())
 }
 
 #[cfg(test)]
@@ -47,8 +99,43 @@ mod tests {
     }
 
     #[test]
+    fn length_mismatch_is_an_error_not_a_truncation() {
+        assert_eq!(
+            try_tv_distance(&[0.5, 0.5], &[0.2, 0.3, 0.5]),
+            Err(TvError::LengthMismatch { left: 2, right: 3 })
+        );
+        assert_eq!(
+            try_tv_distance(&[], &[1.0]),
+            Err(TvError::LengthMismatch { left: 0, right: 1 })
+        );
+        // Both empty: a trivially identical pair of empty spaces.
+        assert_eq!(try_tv_distance(&[], &[]), Ok(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "different spaces")]
+    fn panicking_wrapper_still_panics() {
+        tv_distance(&[1.0], &[0.5, 0.5]);
+    }
+
+    #[test]
     fn empirical_normalizes() {
-        let e = empirical(&[1, 3, 0]);
+        let e = empirical(&[1, 3, 0]).unwrap();
         assert_eq!(e, vec![0.25, 0.75, 0.0]);
+    }
+
+    #[test]
+    fn empirical_rejects_zero_support() {
+        assert_eq!(empirical(&[0, 0, 0]), Err(TvError::ZeroSupport));
+        assert_eq!(empirical(&[]), Err(TvError::ZeroSupport));
+        let msg = TvError::ZeroSupport.to_string();
+        assert!(msg.contains("no samples"), "{msg}");
+    }
+
+    #[test]
+    fn single_sample_is_a_point_mass() {
+        let e = empirical(&[0, 1, 0]).unwrap();
+        assert_eq!(e, vec![0.0, 1.0, 0.0]);
+        assert!((tv_distance(&e, &[0.0, 1.0, 0.0])).abs() < 1e-15);
     }
 }

@@ -99,7 +99,7 @@ proptest! {
     #[test]
     fn empirical_is_a_distribution(counts in proptest::collection::vec(0u64..1000, 1..10)) {
         prop_assume!(counts.iter().sum::<u64>() > 0);
-        let e = empirical(&counts);
+        let e = empirical(&counts).expect("positive support");
         prop_assert!((e.iter().sum::<f64>() - 1.0).abs() < 1e-12);
     }
 

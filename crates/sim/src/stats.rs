@@ -334,6 +334,95 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_degenerates_gracefully() {
+        // One observation: mean is the value, spread is defined as 0.
+        let mut acc = OnlineStats::new();
+        acc.push(3.5);
+        assert_eq!(acc.count(), 1);
+        assert_eq!(acc.mean(), 3.5);
+        assert_eq!(acc.variance(), 0.0);
+        assert_eq!(acc.std_dev(), 0.0);
+        assert_eq!(acc.sem(), 0.0);
+
+        // Every quantile of a singleton is the value itself.
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert_eq!(quantile(&[3.5], q), 3.5);
+        }
+
+        let s = Summary::of(&[3.5]);
+        assert_eq!(s.count, 1);
+        assert_eq!(
+            (s.min, s.q25, s.median, s.q75, s.max),
+            (3.5, 3.5, 3.5, 3.5, 3.5)
+        );
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.std_dev, 0.0);
+
+        // Bootstrap resamples of a singleton are all the singleton.
+        let (lo, hi) = bootstrap_mean_ci(&[3.5], 0.95, 100, 7);
+        assert_eq!((lo, hi), (3.5, 3.5));
+    }
+
+    #[test]
+    fn constant_sample_has_zero_spread() {
+        let data = [2.0; 64];
+        let mut acc = OnlineStats::new();
+        for &x in &data {
+            acc.push(x);
+        }
+        assert_eq!(acc.mean(), 2.0);
+        // Welford must not accumulate rounding noise on constant input.
+        assert_eq!(acc.variance(), 0.0);
+        assert_eq!(acc.sem(), 0.0);
+
+        let s = Summary::of(&data);
+        assert_eq!((s.min, s.median, s.max), (2.0, 2.0, 2.0));
+        assert_eq!(s.std_dev, 0.0);
+
+        let (lo, hi) = bootstrap_mean_ci(&data, 0.99, 200, 3);
+        assert_eq!((lo, hi), (2.0, 2.0));
+    }
+
+    #[test]
+    fn empty_accumulator_reports_zeros() {
+        let acc = OnlineStats::new();
+        assert_eq!(acc.count(), 0);
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.variance(), 0.0);
+        assert_eq!(acc.sem(), 0.0);
+        // Merging an empty accumulator is the identity, both ways.
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        a.push(2.0);
+        let before = (a.count(), a.mean(), a.variance());
+        a.merge(&OnlineStats::new());
+        assert_eq!((a.count(), a.mean(), a.variance()), before);
+        let mut e = OnlineStats::new();
+        e.merge(&a);
+        assert_eq!((e.count(), e.mean(), e.variance()), before);
+    }
+
+    #[test]
+    fn two_sample_fixture_hand_computed() {
+        // {1, 2}: mean 1.5, unbiased variance 0.5, sem = √(0.5/2) = 0.5.
+        let mut acc = OnlineStats::new();
+        acc.push(1.0);
+        acc.push(2.0);
+        assert!((acc.mean() - 1.5).abs() < 1e-15);
+        assert!((acc.variance() - 0.5).abs() < 1e-15);
+        assert!((acc.sem() - 0.5).abs() < 1e-15);
+        // Interpolated quartiles: q25 = 1.25, q75 = 1.75.
+        assert!((quantile(&[1.0, 2.0], 0.25) - 1.25).abs() < 1e-15);
+        assert!((quantile(&[1.0, 2.0], 0.75) - 1.75).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile of empty sample")]
+    fn quantile_of_empty_sample_panics() {
+        quantile(&[], 0.5);
+    }
+
+    #[test]
     fn bootstrap_ci_brackets_true_mean() {
         let data: Vec<f64> = (0..200).map(|i| (i % 10) as f64).collect();
         let (lo, hi) = bootstrap_mean_ci(&data, 0.95, 500, 11);

@@ -1,0 +1,266 @@
+//! `ChainConformance` — empirical chains against `rt-markov`'s exact
+//! computations, plus the coupling invariants the paper's proofs
+//! hinge on.
+//!
+//! * [`check_t_step_distribution`] — run an [`AllocationChain`] on a
+//!   small Ω_m many times and χ²-test the empirical t-step
+//!   distribution against the dense power iteration
+//!   ([`ExactChain::distribution_at`]). This is the strongest
+//!   end-to-end identity in the tree: one check covers the removal
+//!   sampler, the insertion rule, normalization, and the transition
+//!   matrix builder at once.
+//! * [`check_hitting_time_ks`] — the Fenwick-sampled and unsampled
+//!   step paths must produce *identically distributed* hitting times
+//!   (they are distinct code paths over the same law); two-sample KS
+//!   on independent streams.
+//! * [`check_coupling_contraction`] — Lemma 3.3: the shared-seed
+//!   coupled insertion never increases `‖v − u‖₁`, for any
+//!   right-oriented rule. Deterministic over a randomized sweep.
+//! * [`check_right_oriented`] — Def. 3.4 with the rule's `Φ_D`: the
+//!   two orientation inequalities hold on every sampled
+//!   `(v, u, rs)` triple.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rt_core::right_oriented::{check_right_oriented_at, coupled_insert};
+use rt_core::{AllocationChain, LoadVector, RightOriented, SampledLoadVector, SeqSeed};
+use rt_markov::chain::MarkovChain;
+use rt_markov::ExactChain;
+
+use crate::gof::{chi_square_test, ks_two_sample};
+use crate::suite::Suite;
+
+const FAMILY: &str = "chain";
+const INVARIANT: &str = "invariant";
+
+/// χ² of the empirical `t`-step distribution of `chain` from the
+/// all-in-one start against the exact power iteration, over the full
+/// enumerated Ω_m.
+pub fn check_t_step_distribution<D: RightOriented>(
+    suite: &mut Suite,
+    label: &str,
+    chain: &AllocationChain<D>,
+    t: u64,
+    trials: u64,
+) {
+    let name = format!("tstep_{label}/chi2/n{}m{}t{t}", chain.n(), chain.m());
+    let mut exact = ExactChain::build(chain);
+    let s0 = LoadVector::all_in_one(chain.n(), chain.m());
+    let target = exact.distribution_at(&s0, t);
+    let mut counts = vec![0u64; exact.n_states()];
+    let mut rng = suite.rng_for(&name);
+    for _ in 0..trials {
+        let mut v = s0.clone();
+        chain.run(&mut v, t, &mut rng);
+        let i = exact
+            .state_index(&v)
+            .unwrap_or_else(|| panic!("{name}: simulation left the enumerated Ω_m at {v:?}"));
+        counts[i] += 1;
+    }
+    let gof =
+        chi_square_test(&counts, &target).unwrap_or_else(|e| panic!("{name}: harness error: {e}"));
+    suite.record_statistical(
+        FAMILY,
+        &name,
+        gof,
+        format!("{trials} trials over |Ω| = {} states", exact.n_states()),
+    );
+}
+
+/// First step `t ≤ t_max` at which `v` reaches `max_load ≤ target`
+/// (as f64; `t_max + 1` when never, so censoring lands in one shared
+/// cell on both sides of the KS test).
+fn hitting_time<D: RightOriented, R: Rng>(
+    chain: &AllocationChain<D>,
+    target: u32,
+    t_max: u64,
+    sampled: bool,
+    rng: &mut R,
+) -> f64 {
+    if sampled {
+        let mut v = SampledLoadVector::new(LoadVector::all_in_one(chain.n(), chain.m()));
+        for t in 1..=t_max {
+            chain.step_sampled_with_seed(&mut v, rng);
+            if v.max_load() <= target {
+                return t as f64;
+            }
+        }
+    } else {
+        let mut v = LoadVector::all_in_one(chain.n(), chain.m());
+        for t in 1..=t_max {
+            chain.step_with_seed(&mut v, rng);
+            if v.max_load() <= target {
+                return t as f64;
+            }
+        }
+    }
+    (t_max + 1) as f64
+}
+
+/// Two-sample KS between hitting times measured through the
+/// Fenwick-sampled step path and the plain (CDF-scan) step path, on
+/// independent derandomized streams. Identical laws by construction;
+/// divergence means one of the two samplers is wrong.
+pub fn check_hitting_time_ks<D: RightOriented>(
+    suite: &mut Suite,
+    label: &str,
+    chain: &AllocationChain<D>,
+    trials: u64,
+) {
+    let name = format!("hit_{label}/ks/n{}m{}", chain.n(), chain.m());
+    // Recovery target: one above the balanced ceiling, reached fast.
+    let target = chain.m().div_ceil(chain.n() as u32) + 1;
+    let t_max = 64 * u64::from(chain.m());
+    let mut rng_plain = suite.rng_for(&format!("{name}/plain"));
+    let mut rng_sampled = suite.rng_for(&format!("{name}/sampled"));
+    let plain: Vec<f64> = (0..trials)
+        .map(|_| hitting_time(chain, target, t_max, false, &mut rng_plain))
+        .collect();
+    let sampled: Vec<f64> = (0..trials)
+        .map(|_| hitting_time(chain, target, t_max, true, &mut rng_sampled))
+        .collect();
+    let gof =
+        ks_two_sample(&plain, &sampled).unwrap_or_else(|e| panic!("{name}: harness error: {e}"));
+    suite.record_statistical(
+        FAMILY,
+        &name,
+        gof,
+        format!("{trials} hitting times per arm, target max load ≤ {target}"),
+    );
+}
+
+/// Draw a random load vector: `m` balls thrown i.u.r. into `n` bins.
+fn random_vector(n: usize, m: u32, rng: &mut SmallRng) -> LoadVector {
+    let mut loads = vec![0u32; n];
+    for _ in 0..m {
+        loads[rng.random_range(0..n)] += 1;
+    }
+    LoadVector::from_loads(loads)
+}
+
+/// Lemma 3.3 monitor: over `trials` random equal-total pairs and
+/// shared seeds, the coupled insertion never increases `‖v − u‖₁`.
+pub fn check_coupling_contraction<D: RightOriented>(
+    suite: &mut Suite,
+    label: &str,
+    rule: &D,
+    n: usize,
+    m: u32,
+    trials: u64,
+) {
+    let name = format!("lemma33_{label}/n{n}m{m}");
+    let mut rng = suite.rng_for(&name);
+    let mut ok = true;
+    let mut detail = format!("{trials} coupled insertions, Δ never grew");
+    for trial in 0..trials {
+        let mut v = random_vector(n, m, &mut rng);
+        let mut u = random_vector(n, m, &mut rng);
+        let before = v.l1(&u);
+        let rs = SeqSeed::sample(&mut rng);
+        coupled_insert(rule, &mut v, &mut u, rs);
+        let after = v.l1(&u);
+        if after > before {
+            ok = false;
+            detail = format!("trial {trial}: ‖v−u‖₁ grew {before} → {after} under rs={rs:?}");
+            break;
+        }
+    }
+    suite.record_deterministic(INVARIANT, &name, ok, detail);
+}
+
+/// Def. 3.4 monitor: the rule's choice map and its seed permutation
+/// `Φ_D` satisfy both right-orientedness inequalities on every sampled
+/// `(v, u, rs)` triple.
+pub fn check_right_oriented<D: RightOriented>(
+    suite: &mut Suite,
+    label: &str,
+    rule: &D,
+    n: usize,
+    m: u32,
+    trials: u64,
+) {
+    let name = format!("def34_{label}/n{n}m{m}");
+    let mut rng = suite.rng_for(&name);
+    let mut ok = true;
+    let mut detail = format!("{trials} triples consistent with right-orientedness");
+    for trial in 0..trials {
+        let v = random_vector(n, m, &mut rng);
+        let u = random_vector(n, m, &mut rng);
+        let rs = SeqSeed::sample(&mut rng);
+        if !check_right_oriented_at(rule, &v, &u, rs) {
+            ok = false;
+            detail = format!("trial {trial}: Def. 3.4 violated for v={v:?} u={u:?} rs={rs:?}");
+            break;
+        }
+    }
+    suite.record_deterministic(INVARIANT, &name, ok, detail);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_core::rules::{Abku, Adap};
+    use rt_core::Removal;
+
+    #[test]
+    fn conforming_chain_passes_a_quick_suite() {
+        let mut suite = Suite::new(999);
+        let chain = AllocationChain::new(3, 4, Removal::RandomBall, Abku::new(2));
+        check_t_step_distribution(&mut suite, "a_abku2", &chain, 3, 8_000);
+        let chain_b = AllocationChain::new(3, 4, Removal::RandomNonEmptyBin, Abku::new(2));
+        check_t_step_distribution(&mut suite, "b_abku2", &chain_b, 3, 8_000);
+        check_hitting_time_ks(&mut suite, "a_abku2", &chain, 400);
+        let report = suite.finalize();
+        assert!(report.all_pass(), "{}", report.failure_summary());
+    }
+
+    #[test]
+    fn coupling_invariants_hold_for_paper_rules() {
+        let mut suite = Suite::new(31);
+        check_coupling_contraction(&mut suite, "abku2", &Abku::new(2), 6, 12, 3_000);
+        check_coupling_contraction(&mut suite, "adap", &Adap::new(|l: u32| l + 1), 6, 12, 3_000);
+        check_right_oriented(&mut suite, "abku2", &Abku::new(2), 6, 12, 3_000);
+        check_right_oriented(&mut suite, "adap", &Adap::new(|l: u32| l + 1), 6, 12, 3_000);
+        let report = suite.finalize();
+        assert!(report.all_pass(), "{}", report.failure_summary());
+        // All four are deterministic invariants, no p-values.
+        assert!(report.checks().iter().all(|c| c.p_value.is_none()));
+    }
+
+    /// A deliberately *wrong* rule: picks between two sampled bins by
+    /// the *parity* of the first bin's load. The choice depends on the
+    /// load values non-monotonically, so the coupled copies can diverge
+    /// in a direction Def. 3.4 forbids — the monitor must notice.
+    struct ParityRule;
+
+    impl RightOriented for ParityRule {
+        fn choose(&self, v: &LoadVector, rs: SeqSeed) -> usize {
+            let a = rs.bin(0, v.n());
+            let b = rs.bin(1, v.n());
+            if v.load(a).is_multiple_of(2) {
+                a
+            } else {
+                b
+            }
+        }
+        fn insertion_pmf(&self, v: &LoadVector) -> Vec<f64> {
+            let n = v.n();
+            let mut p = vec![0.0; n];
+            for a in 0..n {
+                for b in 0..n {
+                    let w = if v.load(a).is_multiple_of(2) { a } else { b };
+                    p[w] += 1.0 / (n * n) as f64;
+                }
+            }
+            p
+        }
+    }
+
+    #[test]
+    fn wrong_rule_fails_the_orientation_monitor() {
+        let mut suite = Suite::new(5);
+        check_right_oriented(&mut suite, "parity", &ParityRule, 6, 12, 3_000);
+        let report = suite.finalize();
+        assert!(!report.all_pass(), "parity rule must be rejected");
+    }
+}

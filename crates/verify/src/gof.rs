@@ -1,0 +1,635 @@
+//! Goodness-of-fit tests for discrete pmfs and hitting-time samples.
+//!
+//! Three tests cover the workspace's distributional claims:
+//!
+//! * **Pearson χ²** ([`chi_square_test`]) — the workhorse for "does
+//!   this sampler realize this pmf". Cells with expected count below
+//!   [`POOL_MIN`] are pooled so the asymptotic χ² tail stays accurate
+//!   at the extreme significance levels the CI gate uses.
+//! * **Exact multinomial** ([`exact_multinomial_test`]) — for tiny
+//!   draw counts where the χ² asymptotics are not trustworthy; the
+//!   p-value is the exact probability, under the null pmf, of every
+//!   outcome at most as likely as the observed one.
+//! * **Two-sample Kolmogorov–Smirnov** ([`ks_two_sample`]) — for
+//!   hitting-time distributions where two implementations of the same
+//!   process must agree in law. Ties (discrete times) only make the
+//!   asymptotic p-value conservative, which is the safe direction for
+//!   a CI gate.
+//!
+//! All p-values flow through [`bonferroni`]-corrected thresholds in
+//! `crate::suite`; nothing here decides pass/fail on its own.
+//!
+//! The special functions (`ln Γ`, regularized incomplete gamma, the
+//! Kolmogorov tail sum) are implemented in-tree because the sanctioned
+//! dependency set has no stats crate. Accuracy is ~1e-10 relative —
+//! orders of magnitude below the 1e-9-ish thresholds they feed.
+
+/// Minimum expected cell count before χ² pooling kicks in. The usual
+/// textbook rule is 5; the CI thresholds probe the far tail of the χ²
+/// distribution, where under-filled cells distort the asymptotics most.
+pub const POOL_MIN: f64 = 5.0;
+
+/// A test outcome: the statistic, its degrees of freedom (0 when the
+/// notion does not apply), and the p-value under the null.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Gof {
+    /// The test statistic (χ², the exact outcome log-probability, or
+    /// the KS distance, depending on the test).
+    pub statistic: f64,
+    /// Degrees of freedom (χ² only; 0 otherwise).
+    pub dof: usize,
+    /// Probability, under the null, of a statistic at least this
+    /// extreme.
+    pub p_value: f64,
+}
+
+/// Why a test could not be run. These are *input* errors — a
+/// conformance check that hits one has a harness bug, not a sampler
+/// bug, so they are surfaced as `Err` rather than as a failing check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GofError {
+    /// The observed counts and the pmf have different lengths.
+    LengthMismatch {
+        /// Number of observed cells.
+        counts: usize,
+        /// Number of pmf cells.
+        pmf: usize,
+    },
+    /// No observations (or an empty sample on either side of a KS
+    /// test).
+    EmptySample,
+    /// The null pmf does not sum to 1, or carries a negative or
+    /// non-finite entry.
+    InvalidPmf,
+    /// The exact multinomial enumeration would exceed its work cap.
+    TooLarge,
+}
+
+impl std::fmt::Display for GofError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GofError::LengthMismatch { counts, pmf } => {
+                write!(f, "counts have {counts} cells but pmf has {pmf}")
+            }
+            GofError::EmptySample => write!(f, "empty sample"),
+            GofError::InvalidPmf => write!(f, "pmf is not a probability distribution"),
+            GofError::TooLarge => write!(f, "exact enumeration exceeds the work cap"),
+        }
+    }
+}
+
+impl std::error::Error for GofError {}
+
+fn validate_pmf(pmf: &[f64]) -> Result<(), GofError> {
+    if pmf.iter().any(|&p| !p.is_finite() || p < 0.0) {
+        return Err(GofError::InvalidPmf);
+    }
+    if (pmf.iter().sum::<f64>() - 1.0).abs() > 1e-9 {
+        return Err(GofError::InvalidPmf);
+    }
+    Ok(())
+}
+
+/// Pearson χ² goodness-of-fit of observed `counts` against the exact
+/// `pmf`, with small-expectation cells pooled (see [`POOL_MIN`]).
+///
+/// Mass observed in a zero-probability cell is impossible under the
+/// null, so it yields `p_value = 0` directly (an infinite χ² would
+/// otherwise be divided by a zero expectation).
+pub fn chi_square_test(counts: &[u64], pmf: &[f64]) -> Result<Gof, GofError> {
+    if counts.len() != pmf.len() {
+        return Err(GofError::LengthMismatch {
+            counts: counts.len(),
+            pmf: pmf.len(),
+        });
+    }
+    validate_pmf(pmf)?;
+    let n: u64 = counts.iter().sum();
+    if n == 0 {
+        return Err(GofError::EmptySample);
+    }
+    let n = n as f64;
+    let mut chi = 0.0;
+    let mut kept = 0usize;
+    let mut pooled_obs = 0.0;
+    let mut pooled_exp = 0.0;
+    for (&c, &p) in counts.iter().zip(pmf) {
+        let expected = p * n;
+        let observed = c as f64;
+        if p == 0.0 {
+            if c > 0 {
+                // Impossible outcome observed: reject outright.
+                return Ok(Gof {
+                    statistic: f64::INFINITY,
+                    dof: 0,
+                    p_value: 0.0,
+                });
+            }
+            continue;
+        }
+        if expected < POOL_MIN {
+            pooled_obs += observed;
+            pooled_exp += expected;
+            continue;
+        }
+        chi += (observed - expected).powi(2) / expected;
+        kept += 1;
+    }
+    if pooled_exp > 0.0 {
+        chi += (pooled_obs - pooled_exp).powi(2) / pooled_exp;
+        kept += 1;
+    }
+    if kept < 2 {
+        // A single (possibly pooled) cell carries all the mass: the
+        // statistic is identically 0 and there is nothing to test.
+        return Ok(Gof {
+            statistic: chi,
+            dof: 0,
+            p_value: 1.0,
+        });
+    }
+    let dof = kept - 1;
+    Ok(Gof {
+        statistic: chi,
+        dof,
+        p_value: chi_square_sf(chi, dof),
+    })
+}
+
+/// Work cap for [`exact_multinomial_test`]: the number of outcome
+/// compositions enumerated must not exceed this.
+pub const MAX_ENUMERATION: u64 = 2_000_000;
+
+/// Exact multinomial goodness-of-fit: the p-value is the total null
+/// probability of every outcome whose probability is at most the
+/// observed outcome's (the standard exact-test ordering).
+///
+/// Enumerates all `C(N + k − 1, k − 1)` compositions of `N` draws over
+/// `k` cells; use only for small pins (the cap is
+/// [`MAX_ENUMERATION`]).
+pub fn exact_multinomial_test(counts: &[u64], pmf: &[f64]) -> Result<Gof, GofError> {
+    if counts.len() != pmf.len() {
+        return Err(GofError::LengthMismatch {
+            counts: counts.len(),
+            pmf: pmf.len(),
+        });
+    }
+    validate_pmf(pmf)?;
+    let n: u64 = counts.iter().sum();
+    if n == 0 {
+        return Err(GofError::EmptySample);
+    }
+    // Impossible cell observed: exact p-value is 0.
+    if counts.iter().zip(pmf).any(|(&c, &p)| c > 0 && p == 0.0) {
+        return Ok(Gof {
+            statistic: f64::NEG_INFINITY,
+            dof: 0,
+            p_value: 0.0,
+        });
+    }
+    let k = counts.len();
+    if compositions(n, k) > MAX_ENUMERATION {
+        return Err(GofError::TooLarge);
+    }
+    let ln_n_fact = ln_gamma(n as f64 + 1.0);
+    let ln_prob = |c: &[u64]| -> f64 {
+        let mut lp = ln_n_fact;
+        for (&ci, &pi) in c.iter().zip(pmf) {
+            if ci > 0 {
+                if pi == 0.0 {
+                    return f64::NEG_INFINITY;
+                }
+                lp += ci as f64 * pi.ln() - ln_gamma(ci as f64 + 1.0);
+            }
+        }
+        lp
+    };
+    let observed_lp = ln_prob(counts);
+    // Tolerance so outcomes tied with the observed one (up to float
+    // noise) count as "at most as likely".
+    let cutoff = observed_lp + 1e-9;
+    let mut p_value = 0.0;
+    let mut outcome = vec![0u64; k];
+    enumerate_compositions(n, 0, &mut outcome, &mut |c| {
+        let lp = ln_prob(c);
+        if lp <= cutoff && lp > f64::NEG_INFINITY {
+            p_value += lp.exp();
+        }
+    });
+    Ok(Gof {
+        statistic: observed_lp,
+        dof: 0,
+        p_value: p_value.min(1.0),
+    })
+}
+
+/// `C(n + k − 1, k − 1)` saturating at `u64::MAX`.
+fn compositions(n: u64, k: usize) -> u64 {
+    let mut result = 1u64;
+    for i in 1..k as u64 {
+        result = result.saturating_mul(n + i);
+        result /= i;
+        if result == u64::MAX {
+            return result;
+        }
+    }
+    result
+}
+
+fn enumerate_compositions(
+    remaining: u64,
+    cell: usize,
+    outcome: &mut [u64],
+    f: &mut impl FnMut(&[u64]),
+) {
+    if cell + 1 == outcome.len() {
+        outcome[cell] = remaining;
+        f(outcome);
+        return;
+    }
+    for c in 0..=remaining {
+        outcome[cell] = c;
+        enumerate_compositions(remaining - c, cell + 1, outcome, f);
+    }
+}
+
+/// Two-sample Kolmogorov–Smirnov test: are `xs` and `ys` drawn from
+/// the same distribution? Statistic is the sup-distance between the
+/// empirical CDFs; the p-value uses the standard asymptotic Kolmogorov
+/// tail with the Stephens small-sample correction.
+pub fn ks_two_sample(xs: &[f64], ys: &[f64]) -> Result<Gof, GofError> {
+    if xs.is_empty() || ys.is_empty() {
+        return Err(GofError::EmptySample);
+    }
+    let sort = |s: &[f64]| -> Result<Vec<f64>, GofError> {
+        if s.iter().any(|x| x.is_nan()) {
+            return Err(GofError::InvalidPmf);
+        }
+        let mut v = s.to_vec();
+        v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Ok(v)
+    };
+    let xs = sort(xs)?;
+    let ys = sort(ys)?;
+    let (n1, n2) = (xs.len(), ys.len());
+    let mut d: f64 = 0.0;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < n1 && j < n2 {
+        let t = xs[i].min(ys[j]);
+        while i < n1 && xs[i] <= t {
+            i += 1;
+        }
+        while j < n2 && ys[j] <= t {
+            j += 1;
+        }
+        d = d.max((i as f64 / n1 as f64 - j as f64 / n2 as f64).abs());
+    }
+    let ne = (n1 as f64 * n2 as f64) / (n1 + n2) as f64;
+    let sqrt_ne = ne.sqrt();
+    let lambda = (sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d;
+    Ok(Gof {
+        statistic: d,
+        dof: 0,
+        p_value: kolmogorov_sf(lambda),
+    })
+}
+
+/// The Kolmogorov distribution's survival function
+/// `Q(λ) = 2 Σ_{j≥1} (−1)^{j−1} exp(−2 j² λ²)`, clamped to `[0, 1]`.
+pub fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    // Below ~0.3 the alternating series needs many terms and the
+    // answer is 1 to double precision anyway.
+    if lambda < 0.3 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for j in 1..=100 {
+        let term = (-2.0 * (j as f64).powi(2) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-18 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// Bonferroni-corrected per-check significance level: a family-wise
+/// false-positive budget `family_alpha` split over `checks` tests.
+pub fn bonferroni(family_alpha: f64, checks: usize) -> f64 {
+    assert!(family_alpha > 0.0 && family_alpha < 1.0);
+    assert!(checks > 0);
+    family_alpha / checks as f64
+}
+
+/// χ² survival function `Pr[X ≥ x]` with `dof` degrees of freedom:
+/// the regularized upper incomplete gamma `Q(dof/2, x/2)`.
+pub fn chi_square_sf(x: f64, dof: usize) -> f64 {
+    assert!(dof > 0, "chi-square needs at least one degree of freedom");
+    if x <= 0.0 {
+        return 1.0;
+    }
+    gamma_q(dof as f64 / 2.0, x / 2.0)
+}
+
+/// `ln Γ(x)` for `x > 0` (Lanczos approximation, ~1e-10 relative).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma needs a positive argument");
+    const COF: [f64; 6] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_9e-2,
+        -0.539_523_938_495_3e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = (x + 0.5) * tmp.ln() - tmp;
+    let mut ser = 1.000_000_000_190_015;
+    for c in COF {
+        y += 1.0;
+        ser += c / y;
+    }
+    tmp + (2.506_628_274_631_000_5 * ser / x).ln()
+}
+
+/// Regularized lower incomplete gamma `P(a, x)`.
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0);
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_p_series(a, x)
+    } else {
+        1.0 - gamma_q_cf(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma `Q(a, x) = 1 − P(a, x)`.
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0);
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_p_series(a, x)
+    } else {
+        gamma_q_cf(a, x)
+    }
+}
+
+/// Series expansion of `P(a, x)`, convergent for `x < a + 1`.
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..500 {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * 1e-16 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Lentz continued fraction for `Q(a, x)`, convergent for `x ≥ a + 1`.
+fn gamma_q_cf(a: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-16 {
+            break;
+        }
+    }
+    (-x + a * x.ln() - ln_gamma(a)).exp() * h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n−1)!
+        let facts = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0];
+        for (n, &f) in facts.iter().enumerate() {
+            let lg = ln_gamma(n as f64 + 1.0);
+            assert!(
+                (lg - f64::ln(f)).abs() < 1e-9,
+                "ln Γ({}) = {lg}, want ln {f}",
+                n + 1
+            );
+        }
+        // Γ(1/2) = √π.
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chi_square_sf_matches_tables() {
+        // Standard critical values: Pr[χ²₁ ≥ 3.841] ≈ 0.05,
+        // Pr[χ²₅ ≥ 11.070] ≈ 0.05, Pr[χ²₁₀ ≥ 23.209] ≈ 0.01.
+        assert!((chi_square_sf(3.841, 1) - 0.05).abs() < 5e-4);
+        assert!((chi_square_sf(11.070, 5) - 0.05).abs() < 5e-4);
+        assert!((chi_square_sf(23.209, 10) - 0.01).abs() < 2e-4);
+        // dof = 2 is exactly exponential: Q(x) = e^(−x/2).
+        for x in [0.5, 1.0, 3.0, 10.0, 40.0] {
+            assert!((chi_square_sf(x, 2) - (-x / 2.0).exp()).abs() < 1e-10);
+        }
+        assert_eq!(chi_square_sf(0.0, 3), 1.0);
+    }
+
+    #[test]
+    fn gamma_p_q_are_complements() {
+        for a in [0.5, 1.0, 2.5, 10.0] {
+            for x in [0.1, 1.0, 5.0, 20.0] {
+                let s = gamma_p(a, x) + gamma_q(a, x);
+                assert!((s - 1.0).abs() < 1e-12, "P+Q = {s} at a={a}, x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn chi_square_test_accepts_matching_counts() {
+        // 10k draws split exactly as the pmf dictates: statistic 0.
+        let pmf = [0.5, 0.3, 0.2];
+        let counts = [5000u64, 3000, 2000];
+        let g = chi_square_test(&counts, &pmf).unwrap();
+        assert!(g.statistic < 1e-9);
+        assert_eq!(g.dof, 2);
+        assert!((g.p_value - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chi_square_test_rejects_gross_mismatch() {
+        let pmf = [0.5, 0.5];
+        let counts = [9000u64, 1000];
+        let g = chi_square_test(&counts, &pmf).unwrap();
+        assert!(g.statistic > 1000.0);
+        assert!(g.p_value < 1e-100);
+    }
+
+    #[test]
+    fn chi_square_test_pools_and_skips_zero_cells() {
+        // Zero-probability cells with zero mass are skipped; observed
+        // mass in one rejects outright.
+        let pmf = [0.7, 0.3, 0.0];
+        let ok = chi_square_test(&[700, 300, 0], &pmf).unwrap();
+        assert_eq!(ok.dof, 1);
+        assert!(ok.p_value > 0.99);
+        let bad = chi_square_test(&[700, 299, 1], &pmf).unwrap();
+        assert_eq!(bad.p_value, 0.0);
+        // Tiny-expectation cell is pooled, not divided by ~0.
+        let pooled = chi_square_test(&[995, 4, 1], &[0.995, 0.004, 0.001]).unwrap();
+        assert!(pooled.statistic.is_finite());
+    }
+
+    #[test]
+    fn chi_square_test_input_errors() {
+        assert_eq!(
+            chi_square_test(&[1, 2], &[0.5, 0.3, 0.2]),
+            Err(GofError::LengthMismatch { counts: 2, pmf: 3 })
+        );
+        assert_eq!(
+            chi_square_test(&[0, 0], &[0.5, 0.5]),
+            Err(GofError::EmptySample)
+        );
+        assert_eq!(
+            chi_square_test(&[1, 1], &[0.9, 0.2]),
+            Err(GofError::InvalidPmf)
+        );
+    }
+
+    #[test]
+    fn exact_multinomial_uniform_coin() {
+        // 10 flips of a fair coin, observed 5–5: every outcome is at
+        // most as likely... only outcomes with prob ≤ prob(5,5) count,
+        // and (5,5) is the single most likely split, so p = 1.
+        let g = exact_multinomial_test(&[5, 5], &[0.5, 0.5]).unwrap();
+        assert!((g.p_value - 1.0).abs() < 1e-9);
+        // 10–0 is the least likely split: p = Pr[{10-0, 0-10}] = 2/1024.
+        let g = exact_multinomial_test(&[10, 0], &[0.5, 0.5]).unwrap();
+        assert!((g.p_value - 2.0 / 1024.0).abs() < 1e-12, "{}", g.p_value);
+    }
+
+    #[test]
+    fn exact_multinomial_three_cells_sums_the_tail() {
+        // Small three-cell case cross-checked by brute force here.
+        let pmf = [0.5, 0.25, 0.25];
+        let counts = [0u64, 4, 0];
+        let g = exact_multinomial_test(&counts, &pmf).unwrap();
+        // Brute force over all compositions of 4 into 3 cells.
+        let ln_prob = |c: [u64; 3]| -> f64 {
+            let mut lp = ln_gamma(5.0);
+            for (ci, pi) in c.iter().zip(pmf) {
+                lp += *ci as f64 * pi.ln() - ln_gamma(*ci as f64 + 1.0);
+            }
+            lp
+        };
+        let obs = ln_prob([0, 4, 0]);
+        let mut expect = 0.0;
+        for a in 0..=4u64 {
+            for b in 0..=(4 - a) {
+                let c = [a, b, 4 - a - b];
+                if ln_prob(c) <= obs + 1e-9 {
+                    expect += ln_prob(c).exp();
+                }
+            }
+        }
+        assert!((g.p_value - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_multinomial_impossible_cell_rejects() {
+        let g = exact_multinomial_test(&[3, 1], &[1.0, 0.0]).unwrap();
+        assert_eq!(g.p_value, 0.0);
+    }
+
+    #[test]
+    fn exact_multinomial_work_cap() {
+        let counts = vec![10u64; 20];
+        let pmf = vec![0.05; 20];
+        assert_eq!(
+            exact_multinomial_test(&counts, &pmf),
+            Err(GofError::TooLarge)
+        );
+    }
+
+    #[test]
+    fn ks_identical_samples_have_zero_distance() {
+        let xs: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let g = ks_two_sample(&xs, &xs).unwrap();
+        assert_eq!(g.statistic, 0.0);
+        assert!((g.p_value - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ks_disjoint_samples_reject() {
+        let xs: Vec<f64> = (0..300).map(|i| i as f64).collect();
+        let ys: Vec<f64> = (0..300).map(|i| 1000.0 + i as f64).collect();
+        let g = ks_two_sample(&xs, &ys).unwrap();
+        assert_eq!(g.statistic, 1.0);
+        assert!(g.p_value < 1e-30);
+    }
+
+    #[test]
+    fn ks_same_law_different_draws_accept() {
+        // Two deterministic interleaved samples from the same grid.
+        let xs: Vec<f64> = (0..500).map(|i| (2 * i) as f64).collect();
+        let ys: Vec<f64> = (0..500).map(|i| (2 * i + 1) as f64).collect();
+        let g = ks_two_sample(&xs, &ys).unwrap();
+        assert!(g.statistic < 0.01);
+        assert!(g.p_value > 0.99);
+    }
+
+    #[test]
+    fn ks_rejects_empty_and_nan() {
+        assert_eq!(ks_two_sample(&[], &[1.0]), Err(GofError::EmptySample));
+        assert!(ks_two_sample(&[f64::NAN], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn kolmogorov_sf_known_values() {
+        // Q(0.828) ≈ 0.5 (the KS median), Q(1.358) ≈ 0.05,
+        // Q(1.949) ≈ 0.001.
+        assert!((kolmogorov_sf(0.8276) - 0.5).abs() < 5e-3);
+        assert!((kolmogorov_sf(1.3581) - 0.05).abs() < 5e-4);
+        assert!((kolmogorov_sf(1.9495) - 0.001).abs() < 5e-5);
+        assert_eq!(kolmogorov_sf(0.0), 1.0);
+        assert!(kolmogorov_sf(10.0) < 1e-80);
+    }
+
+    #[test]
+    fn bonferroni_splits_the_budget() {
+        assert!((bonferroni(1e-6, 20) - 5e-8).abs() < 1e-20);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bonferroni_rejects_zero_checks() {
+        bonferroni(0.01, 0);
+    }
+}

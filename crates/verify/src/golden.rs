@@ -1,0 +1,187 @@
+//! Golden-trajectory snapshots.
+//!
+//! A *golden* check renders a deterministic artifact — a seeded chain
+//! trajectory, an exact distribution — to canonical text and compares
+//! it byte-for-byte against a checked-in snapshot. Any drift in the
+//! samplers, the RNG plumbing, or float formatting shows up as a diff.
+//!
+//! Snapshots regenerate with `RT_BLESS=1`:
+//!
+//! ```text
+//! RT_BLESS=1 cargo test -p rt-verify --test golden_trajectories
+//! ```
+//!
+//! A blessed run rewrites the snapshot files and records the checks as
+//! passing (the new file trivially matches); review the diff before
+//! committing.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rt_core::{AllocationChain, LoadVector, RightOriented};
+use rt_markov::chain::MarkovChain;
+
+use crate::suite::Suite;
+
+const FAMILY: &str = "golden";
+
+/// Is this run blessing (regenerating) snapshots? True iff `RT_BLESS=1`.
+pub fn blessing() -> bool {
+    std::env::var("RT_BLESS").is_ok_and(|v| v == "1")
+}
+
+/// Render a seeded trajectory of `chain` from the all-in-one start:
+/// one line per step, `t <tab> max_load <tab> v_0 v_1 … v_{n-1}`.
+pub fn render_trajectory<D: RightOriented>(
+    chain: &AllocationChain<D>,
+    seed: u64,
+    steps: u64,
+) -> String {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut v = LoadVector::all_in_one(chain.n(), chain.m());
+    let mut out = format!(
+        "# trajectory n={} m={} seed={seed} steps={steps}\n",
+        chain.n(),
+        chain.m()
+    );
+    render_state(&mut out, 0, &v);
+    for t in 1..=steps {
+        chain.step(&mut v, &mut rng);
+        render_state(&mut out, t, &v);
+    }
+    out
+}
+
+fn render_state(out: &mut String, t: u64, v: &LoadVector) {
+    let loads: Vec<String> = v.as_slice().iter().map(|l| l.to_string()).collect();
+    writeln!(out, "{t}\t{}\t{}", v.max_load(), loads.join(" ")).expect("write to String");
+}
+
+/// Render a probability vector with a fixed 12-digit mantissa — enough
+/// to pin the arithmetic, short enough to survive formatting churn.
+pub fn render_distribution(label: &str, p: &[f64]) -> String {
+    let mut out = format!("# distribution {label} len={}\n", p.len());
+    for (i, x) in p.iter().enumerate() {
+        writeln!(out, "{i}\t{x:.12e}").expect("write to String");
+    }
+    out
+}
+
+/// Compare `actual` against the snapshot at `path`, recording a
+/// deterministic check. Under `RT_BLESS=1` the snapshot is rewritten
+/// instead and the check passes.
+pub fn check_golden(suite: &mut Suite, name: &str, path: &Path, actual: &str) {
+    if blessing() {
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)
+                .unwrap_or_else(|e| panic!("{name}: creating {}: {e}", dir.display()));
+        }
+        fs::write(path, actual)
+            .unwrap_or_else(|e| panic!("{name}: blessing {}: {e}", path.display()));
+        suite.record_deterministic(FAMILY, name, true, format!("blessed {}", path.display()));
+        return;
+    }
+    let expected = match fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            suite.record_deterministic(
+                FAMILY,
+                name,
+                false,
+                format!(
+                    "missing snapshot {} ({e}); run with RT_BLESS=1",
+                    path.display()
+                ),
+            );
+            return;
+        }
+    };
+    let (ok, detail) = diff(&expected, actual);
+    suite.record_deterministic(FAMILY, name, ok, detail);
+}
+
+/// First differing line, for a readable failure message.
+fn diff(expected: &str, actual: &str) -> (bool, String) {
+    if expected == actual {
+        return (true, "snapshot matches".to_string());
+    }
+    let (e_lines, a_lines): (Vec<&str>, Vec<&str>) =
+        (expected.lines().collect(), actual.lines().collect());
+    for (i, (e, a)) in e_lines.iter().zip(a_lines.iter()).enumerate() {
+        if e != a {
+            return (false, format!("line {}: expected `{e}`, got `{a}`", i + 1));
+        }
+    }
+    (
+        false,
+        format!(
+            "length differs: snapshot has {} lines, actual has {}",
+            e_lines.len(),
+            a_lines.len()
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_core::{Abku, Removal};
+
+    #[test]
+    fn trajectories_are_deterministic_in_the_seed() {
+        let chain = AllocationChain::new(4, 8, Removal::RandomBall, Abku::new(2));
+        let a = render_trajectory(&chain, 7, 50);
+        let b = render_trajectory(&chain, 7, 50);
+        assert_eq!(a, b);
+        let c = render_trajectory(&chain, 8, 50);
+        assert_ne!(a, c, "distinct seeds should give distinct trajectories");
+        // steps+1 state lines plus the header.
+        assert_eq!(a.lines().count(), 52);
+    }
+
+    #[test]
+    fn distribution_rendering_is_stable() {
+        let r = render_distribution("test", &[0.25, 0.75]);
+        assert_eq!(
+            r,
+            "# distribution test len=2\n0\t2.500000000000e-1\n1\t7.500000000000e-1\n"
+        );
+    }
+
+    #[test]
+    fn diff_pinpoints_first_divergence() {
+        let (ok, _) = diff("a\nb\n", "a\nb\n");
+        assert!(ok);
+        let (ok, d) = diff("a\nb\n", "a\nc\n");
+        assert!(!ok);
+        assert!(d.contains("line 2"), "{d}");
+        let (ok, d) = diff("a\n", "a\nb\n");
+        assert!(!ok);
+        assert!(d.contains("length differs"), "{d}");
+    }
+
+    #[test]
+    fn mismatch_and_missing_snapshot_fail_the_check() {
+        let dir = std::env::temp_dir().join("rt_verify_golden_test");
+        let path = dir.join("snap.txt");
+        let _ = fs::remove_file(&path);
+
+        let mut s = Suite::new(1);
+        check_golden(&mut s, "missing", &path, "x\n");
+        let r = s.finalize();
+        assert!(!r.all_pass(), "missing snapshot must fail outside blessing");
+
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(&path, "x\n").unwrap();
+        let mut s = Suite::new(1);
+        check_golden(&mut s, "match", &path, "x\n");
+        check_golden(&mut s, "mismatch", &path, "y\n");
+        let r = s.finalize();
+        let names: Vec<&str> = r.failures().iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["mismatch"]);
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,53 @@
+//! # rt-verify — statistical self-verification
+//!
+//! Every sampler, chain, and coupling in this tree has an *exact law*
+//! it is supposed to realize: `dist::A`/`dist::B` have closed-form
+//! pmfs, the Fenwick quantile must agree index-for-index with the
+//! linear CDF scan, ABKU\[d\] and ADAP(x) probe distributions have
+//! closed forms, the empirical `AllocationChain` must match the dense
+//! power iteration of [`rt_markov::ExactChain`], and the Section 3
+//! couplings obey exact monotonicity invariants. This crate turns each
+//! of those identities into a *conformance check* — so a regression in
+//! any sampler is caught by statistics, not by eyeball.
+//!
+//! ## Layout
+//!
+//! * [`gof`] — the goodness-of-fit toolbox (χ² with far-tail pooling,
+//!   exact multinomial, two-sample Kolmogorov–Smirnov), built on
+//!   in-tree special functions (Lanczos `ln Γ`, regularized incomplete
+//!   gamma, Kolmogorov tail sum). No external stats dependency.
+//! * [`suite`] — the [`suite::Suite`] accumulator: named checks,
+//!   per-check derandomized seeds, and a Bonferroni-split family-wise
+//!   false-positive budget (default 1e−6 per run) decided at
+//!   [`suite::Suite::finalize`].
+//! * [`sampler`] — `SamplerConformance`: pins every sampler against
+//!   its exact pmf (removal distributions, Fenwick bit-descent,
+//!   ABKU/ADAP probes, the edge-chain arrival law).
+//! * [`chain`] — `ChainConformance`: empirical t-step distributions
+//!   against exact power iteration; hitting-time KS across the two
+//!   step implementations; Lemma 3.3 and Def. 3.4 invariant monitors.
+//! * [`golden`] — byte-exact golden-trajectory snapshots with
+//!   `RT_BLESS=1` regeneration.
+//!
+//! ## Running the tier-2 gate
+//!
+//! The full conformance suite is `#[ignore]`-gated (it simulates
+//! millions of steps):
+//!
+//! ```text
+//! RT_SEED=12345 cargo test -p rt-verify -- --ignored
+//! ```
+//!
+//! The same checks drive the `exp_selftest` binary in `rt-bench`,
+//! which emits the fleet JSON schema with one row per check. See
+//! EXPERIMENTS.md ("Self-verification") and DESIGN.md §7 for the
+//! threshold and false-positive-budget accounting.
+
+pub mod chain;
+pub mod gof;
+pub mod golden;
+pub mod sampler;
+pub mod suite;
+
+pub use gof::{bonferroni, chi_square_test, exact_multinomial_test, ks_two_sample, Gof, GofError};
+pub use suite::{Check, Report, Suite, DEFAULT_FAMILY_ALPHA};

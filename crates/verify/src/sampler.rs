@@ -1,0 +1,299 @@
+//! `SamplerConformance` — pin every sampler in the tree against its
+//! exact law.
+//!
+//! Each function registers one or more checks on a [`Suite`]:
+//!
+//! * [`check_dist_a`] / [`check_dist_b`] — the removal distributions
+//!   𝒜(v) and ℬ(v) (`rt_core::dist`) against their exact pmfs, by χ²,
+//!   plus a small-draw exact multinomial pin where the χ² asymptotics
+//!   would be shaky.
+//! * [`check_fenwick`] — the O(log n) [`FenwickSampler`] against the
+//!   O(n) CDF scan: *index-for-index* quantile agreement over the full
+//!   seed range (deterministic), survival of inc/dec churn, and a χ²
+//!   of its `sample` against the exact pmf.
+//! * [`check_abku_probe`] / [`check_adap_probe`] — the ABKU\[d\] and
+//!   ADAP(x) probe distributions against their closed-form /
+//!   DP-computed `insertion_pmf`.
+//! * [`check_arrival_law`] — the edge-chain arrival sampler
+//!   ([`WeightedArrivals`]) against the closed-form joint law of a
+//!   rejection-sampled undirected edge.
+
+use rand::Rng;
+use rt_core::dist;
+use rt_core::rules::{Abku, Adap};
+use rt_core::{FenwickSampler, LoadVector, RightOriented, SeqSeed};
+use rt_edge::arrival::WeightedArrivals;
+
+use crate::gof::{chi_square_test, exact_multinomial_test};
+use crate::suite::Suite;
+
+const FAMILY: &str = "sampler";
+
+/// χ² of `samples` draws from `draw` against `pmf`, registered under
+/// `name`. The generic engine behind every statistical sampler check.
+pub fn check_empirical_pmf<R: Rng>(
+    suite: &mut Suite,
+    name: &str,
+    pmf: &[f64],
+    samples: u64,
+    rng: &mut R,
+    mut draw: impl FnMut(&mut R) -> usize,
+) {
+    let mut counts = vec![0u64; pmf.len()];
+    for _ in 0..samples {
+        let i = draw(rng);
+        assert!(i < counts.len(), "{name}: draw {i} outside the pmf support");
+        counts[i] += 1;
+    }
+    let gof =
+        chi_square_test(&counts, pmf).unwrap_or_else(|e| panic!("{name}: harness error: {e}"));
+    suite.record_statistical(
+        FAMILY,
+        name,
+        gof,
+        format!("{samples} draws over {} cells", pmf.len()),
+    );
+}
+
+/// 𝒜(v) sampling vs. its exact pmf, plus an exact multinomial pin with
+/// a small draw count on the same vector.
+pub fn check_dist_a(suite: &mut Suite, loads: &[u32], samples: u64) {
+    let v = LoadVector::from_loads(loads.to_vec());
+    let name = format!("dist_a/chi2/n{}m{}", v.n(), v.total());
+    let pmf = dist::pmf_ball_weighted(&v);
+    let mut rng = suite.rng_for(&name);
+    check_empirical_pmf(suite, &name, &pmf, samples, &mut rng, |r| {
+        dist::sample_ball_weighted(&v, r)
+    });
+
+    // Exact pin: few draws, exact multinomial tail (no asymptotics).
+    // The enumeration is C(draws + n − 1, n − 1) compositions, so the
+    // draw count shrinks with the cell count to stay under the cap.
+    let name = format!("dist_a/exact/n{}m{}", v.n(), v.total());
+    let mut rng = suite.rng_for(&name);
+    let draws: u64 = if v.n() <= 6 { 24 } else { 12 };
+    let mut counts = vec![0u64; v.n()];
+    for _ in 0..draws {
+        counts[dist::sample_ball_weighted(&v, &mut rng)] += 1;
+    }
+    let gof = exact_multinomial_test(&counts, &pmf)
+        .unwrap_or_else(|e| panic!("{name}: harness error: {e}"));
+    suite.record_statistical(FAMILY, &name, gof, format!("{draws} draws, exact tail"));
+}
+
+/// ℬ(v) sampling vs. its exact pmf (uniform on the non-empty prefix,
+/// zero elsewhere).
+pub fn check_dist_b(suite: &mut Suite, loads: &[u32], samples: u64) {
+    let v = LoadVector::from_loads(loads.to_vec());
+    let name = format!("dist_b/chi2/n{}m{}", v.n(), v.total());
+    let pmf = dist::pmf_nonempty(&v);
+    let mut rng = suite.rng_for(&name);
+    check_empirical_pmf(suite, &name, &pmf, samples, &mut rng, |r| {
+        dist::sample_nonempty(&v, r)
+    });
+}
+
+/// The Fenwick sampler against the linear CDF scan:
+///
+/// 1. quantile agreement for *every* `r ∈ [0, m)` on the given vector
+///    (deterministic — this is the check an off-by-one in the
+///    bit-descent cannot survive);
+/// 2. the same agreement after a churn of random ±1 updates applied to
+///    both representations;
+/// 3. χ² of `FenwickSampler::sample` against the exact 𝒜(v) pmf.
+pub fn check_fenwick(suite: &mut Suite, loads: &[u32], churn: u32, samples: u64) {
+    let v = LoadVector::from_loads(loads.to_vec());
+    let fresh = FenwickSampler::from_load_vector(&v);
+    let mismatch =
+        (0..v.total()).find(|&r| fresh.quantile(r) != dist::quantile_ball_weighted(&v, r));
+    suite.record_deterministic(
+        FAMILY,
+        &format!("fenwick/quantile/n{}m{}", v.n(), v.total()),
+        mismatch.is_none(),
+        match mismatch {
+            None => format!("all {} quantiles agree with the CDF scan", v.total()),
+            Some(r) => format!(
+                "quantile({r}) = {} but the CDF scan gives {}",
+                fresh.quantile(r),
+                dist::quantile_ball_weighted(&v, r)
+            ),
+        },
+    );
+
+    // Churn: the incrementally-maintained tree must stay equal to a
+    // tree rebuilt from scratch, quantile-for-quantile.
+    let churn_name = format!("fenwick/churn/n{}", v.n());
+    let mut rng = suite.rng_for(&churn_name);
+    let mut shadow = loads.to_vec();
+    let mut tree = FenwickSampler::from_loads(&shadow);
+    let mut churn_ok = true;
+    let mut churn_detail = format!("{churn} random ±1 updates tracked exactly");
+    'outer: for step in 0..churn {
+        let i = rng.random_range(0..shadow.len());
+        if rng.random::<bool>() && shadow[i] > 0 {
+            shadow[i] -= 1;
+            tree.dec(i);
+        } else {
+            shadow[i] += 1;
+            tree.inc(i);
+        }
+        let rebuilt = FenwickSampler::from_loads(&shadow);
+        if tree.total() != rebuilt.total() {
+            churn_ok = false;
+            churn_detail = format!("total diverged after update {step}");
+            break;
+        }
+        for r in 0..tree.total() {
+            if tree.quantile(r) != rebuilt.quantile(r) {
+                churn_ok = false;
+                churn_detail = format!("quantile({r}) diverged after update {step}");
+                break 'outer;
+            }
+        }
+    }
+    suite.record_deterministic(FAMILY, &churn_name, churn_ok, churn_detail);
+
+    // Statistical: sample() realizes the exact 𝒜(v) pmf.
+    let name = format!("fenwick/chi2/n{}m{}", v.n(), v.total());
+    let pmf = dist::pmf_ball_weighted(&v);
+    let sampler = FenwickSampler::from_load_vector(&v);
+    let mut rng = suite.rng_for(&name);
+    check_empirical_pmf(suite, &name, &pmf, samples, &mut rng, |r| sampler.sample(r));
+}
+
+/// ABKU\[d\]'s probe distribution against its closed form
+/// `Pr[D = j] = ((j+1)^d − j^d)/n^d`.
+pub fn check_abku_probe(suite: &mut Suite, d: u32, loads: &[u32], samples: u64) {
+    let v = LoadVector::from_loads(loads.to_vec());
+    let rule = Abku::new(d);
+    let name = format!("abku{d}/chi2/n{}", v.n());
+    let pmf = rule.insertion_pmf(&v);
+    let mut rng = suite.rng_for(&name);
+    check_empirical_pmf(suite, &name, &pmf, samples, &mut rng, |r| {
+        rule.choose(&v, SeqSeed::sample(r))
+    });
+}
+
+/// ADAP(x)'s probe distribution against the running-max DP pmf, for a
+/// named threshold sequence.
+pub fn check_adap_probe(
+    suite: &mut Suite,
+    label: &str,
+    thresholds: impl Fn(u32) -> u32 + Copy,
+    loads: &[u32],
+    samples: u64,
+) {
+    let v = LoadVector::from_loads(loads.to_vec());
+    let rule = Adap::new(thresholds);
+    let name = format!("adap_{label}/chi2/n{}", v.n());
+    let pmf = rule.insertion_pmf(&v);
+    let mut rng = suite.rng_for(&name);
+    check_empirical_pmf(suite, &name, &pmf, samples, &mut rng, |r| {
+        rule.choose(&v, SeqSeed::sample(r))
+    });
+}
+
+/// Exact joint law of a rejection-sampled undirected edge with
+/// endpoint weights `w`: the ordered pair `(a, b)` has probability
+/// `p_a · p_b / (1 − p_a)` for `b ≠ a` (first endpoint unconditioned,
+/// second resampled until distinct), so the unordered edge `{a, b}`
+/// sums both orders.
+pub fn edge_pmf(weights: &[f64]) -> Vec<f64> {
+    let total: f64 = weights.iter().sum();
+    let p: Vec<f64> = weights.iter().map(|w| w / total).collect();
+    let n = weights.len();
+    let mut pmf = Vec::with_capacity(n * (n - 1) / 2);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            pmf.push(p[a] * p[b] / (1.0 - p[a]) + p[b] * p[a] / (1.0 - p[b]));
+        }
+    }
+    pmf
+}
+
+/// Index of the unordered pair `{a, b}` (`a < b`) in the row-major
+/// upper-triangle order [`edge_pmf`] emits.
+pub fn edge_cell(n: usize, a: usize, b: usize) -> usize {
+    let (a, b) = if a < b { (a, b) } else { (b, a) };
+    a * n - a * (a + 1) / 2 + (b - a - 1)
+}
+
+/// The edge-chain arrival law: `WeightedArrivals::sample_edge` against
+/// the closed-form joint pmf over unordered vertex pairs.
+pub fn check_arrival_law(suite: &mut Suite, label: &str, weights: &[f64], samples: u64) {
+    let arrivals = WeightedArrivals::new(weights);
+    let n = weights.len();
+    let name = format!("arrival_{label}/chi2/n{n}");
+    let pmf = edge_pmf(weights);
+    let mut rng = suite.rng_for(&name);
+    check_empirical_pmf(suite, &name, &pmf, samples, &mut rng, |r| {
+        let (a, b) = arrivals.sample_edge(r);
+        edge_cell(n, a, b)
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_pmf_sums_to_one() {
+        for weights in [vec![1.0; 4], vec![8.0, 4.0, 2.0, 1.0], vec![1.0, 9.0]] {
+            let pmf = edge_pmf(&weights);
+            assert!(
+                (pmf.iter().sum::<f64>() - 1.0).abs() < 1e-12,
+                "weights {weights:?}: Σ = {}",
+                pmf.iter().sum::<f64>()
+            );
+        }
+    }
+
+    #[test]
+    fn edge_cell_enumerates_the_upper_triangle() {
+        let n = 5;
+        let mut seen = vec![false; n * (n - 1) / 2];
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let i = edge_cell(n, a, b);
+                assert!(!seen[i], "cell {i} hit twice");
+                seen[i] = true;
+                // Order-insensitive.
+                assert_eq!(edge_cell(n, b, a), i);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn uniform_edge_pmf_is_uniform() {
+        let pmf = edge_pmf(&[1.0; 6]);
+        let expect = 1.0 / pmf.len() as f64;
+        for &p in &pmf {
+            assert!((p - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn conforming_samplers_pass_a_quick_suite() {
+        let mut suite = Suite::new(12345);
+        check_dist_a(&mut suite, &[5, 3, 2, 0], 20_000);
+        check_dist_b(&mut suite, &[5, 3, 2, 0], 20_000);
+        check_fenwick(&mut suite, &[4, 2, 1, 1, 0], 200, 20_000);
+        check_abku_probe(&mut suite, 2, &[3, 3, 2, 2, 1, 1], 20_000);
+        check_adap_probe(&mut suite, "l1", |l| l + 1, &[3, 2, 1, 1, 0], 20_000);
+        check_arrival_law(&mut suite, "zipf", &[4.0, 2.0, 1.0, 1.0], 20_000);
+        let report = suite.finalize();
+        assert!(report.all_pass(), "{}", report.failure_summary());
+    }
+
+    #[test]
+    fn biased_draw_fails_the_chi2_engine() {
+        // A sampler that ignores its pmf must be caught.
+        let mut suite = Suite::new(1);
+        let pmf = [0.5, 0.5];
+        let mut rng = suite.rng_for("biased");
+        check_empirical_pmf(&mut suite, "biased", &pmf, 10_000, &mut rng, |_| 0);
+        let report = suite.finalize();
+        assert!(!report.all_pass());
+    }
+}

@@ -1,0 +1,120 @@
+//! Tier-2 conformance gate.
+//!
+//! These tests simulate millions of steps, so they are `#[ignore]`-gated;
+//! run them with
+//!
+//! ```text
+//! RT_SEED=12345 cargo test -p rt-verify -- --ignored
+//! ```
+//!
+//! The master seed comes from `RT_SEED` (default 12345). Every check
+//! derives its own stream from the master seed and its name, so a
+//! failure reproduces in isolation under the same seed. With the
+//! default family budget of 1e−6, a conforming tree fails a run with
+//! probability ≤ 1e−6 — safe under rotating seeds (DESIGN.md §7).
+
+use rt_core::rules::Abku;
+use rt_core::{AllocationChain, Removal};
+use rt_verify::{chain, sampler, Suite};
+
+fn master_seed() -> u64 {
+    std::env::var("RT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12345)
+}
+
+/// Load shapes exercising the pmf edge structure: balanced, skewed,
+/// all-in-one, and with empty bins (where 𝒜/ℬ must place zero mass).
+const SHAPES: &[&[u32]] = &[
+    &[2, 2, 2, 2],
+    &[5, 3, 1, 1, 0, 0],
+    &[8, 0, 0, 0],
+    &[4, 3, 3, 2, 1, 1, 1, 0],
+    &[1, 1, 1, 1, 1, 1, 1, 1],
+];
+
+#[test]
+#[ignore = "tier-2: ~1e6 draws per sampler"]
+fn samplers_conform_to_their_exact_laws() {
+    let mut suite = Suite::new(master_seed());
+    for loads in SHAPES {
+        sampler::check_dist_a(&mut suite, loads, 200_000);
+        sampler::check_dist_b(&mut suite, loads, 200_000);
+        sampler::check_fenwick(&mut suite, loads, 64, 200_000);
+    }
+    for d in [1, 2, 3] {
+        sampler::check_abku_probe(&mut suite, d, &[4, 3, 3, 2, 1, 1, 1, 0], 200_000);
+    }
+    sampler::check_adap_probe(
+        &mut suite,
+        "linear",
+        |l: u32| l + 1,
+        &[4, 3, 2, 1, 0, 0],
+        200_000,
+    );
+    sampler::check_adap_probe(
+        &mut suite,
+        "const2",
+        |_l: u32| 2,
+        &[5, 3, 1, 1, 0, 0],
+        200_000,
+    );
+    sampler::check_arrival_law(&mut suite, "uniform", &[1.0; 6], 200_000);
+    sampler::check_arrival_law(
+        &mut suite,
+        "zipf",
+        &[1.0, 0.5, 1.0 / 3.0, 0.25, 0.2, 1.0 / 6.0],
+        200_000,
+    );
+    let report = suite.finalize();
+    eprintln!(
+        "sampler conformance: {} checks, threshold {:.3e}",
+        report.checks().len(),
+        report.threshold()
+    );
+    assert!(report.all_pass(), "\n{}", report.failure_summary());
+}
+
+#[test]
+#[ignore = "tier-2: full t-step distribution + hitting-time comparison"]
+fn chains_match_exact_power_iteration() {
+    let mut suite = Suite::new(master_seed());
+    for (label, removal) in [
+        ("a", Removal::RandomBall),
+        ("b", Removal::RandomNonEmptyBin),
+    ] {
+        let chain2 = AllocationChain::new(3, 5, removal, Abku::new(2));
+        chain::check_t_step_distribution(&mut suite, &format!("{label}_abku2"), &chain2, 4, 60_000);
+        let chain3 = AllocationChain::new(4, 4, removal, Abku::new(3));
+        chain::check_t_step_distribution(&mut suite, &format!("{label}_abku3"), &chain3, 3, 60_000);
+    }
+    let chain_hit = AllocationChain::new(4, 8, Removal::RandomBall, Abku::new(2));
+    chain::check_hitting_time_ks(&mut suite, "a_abku2", &chain_hit, 4_000);
+    let report = suite.finalize();
+    eprintln!(
+        "chain conformance: {} checks, threshold {:.3e}",
+        report.checks().len(),
+        report.threshold()
+    );
+    assert!(report.all_pass(), "\n{}", report.failure_summary());
+}
+
+#[test]
+#[ignore = "tier-2: exhaustive coupling-invariant sweep"]
+fn coupling_invariants_never_violated() {
+    let mut suite = Suite::new(master_seed());
+    for (n, m) in [(4usize, 8u32), (8, 16), (6, 30)] {
+        chain::check_coupling_contraction(&mut suite, "abku2", &Abku::new(2), n, m, 20_000);
+        chain::check_right_oriented(&mut suite, "abku2", &Abku::new(2), n, m, 20_000);
+    }
+    let adap = rt_core::rules::Adap::new(|l: u32| l + 1);
+    chain::check_coupling_contraction(&mut suite, "adap_linear", &adap, 6, 12, 20_000);
+    chain::check_right_oriented(&mut suite, "adap_linear", &adap, 6, 12, 20_000);
+    let report = suite.finalize();
+    assert!(report.all_pass(), "\n{}", report.failure_summary());
+    assert!(
+        report.checks().iter().all(|c| c.p_value.is_none()),
+        "invariant monitors must be deterministic"
+    );
+}

@@ -1,0 +1,88 @@
+//! Golden-trajectory snapshots (tier-1: cheap, deterministic, always on).
+//!
+//! Each test renders a seeded artifact and compares it byte-for-byte
+//! against `tests/golden/*.txt`. Regenerate with
+//!
+//! ```text
+//! RT_BLESS=1 cargo test -p rt-verify --test golden_trajectories
+//! ```
+//!
+//! and review the diff before committing. Golden seeds are fixed
+//! constants — they pin the SplitMix64 plumbing itself, so they must
+//! NOT follow `RT_SEED`.
+
+use std::path::PathBuf;
+
+use rt_core::rules::{Abku, Adap};
+use rt_core::{AllocationChain, LoadVector, Removal};
+use rt_markov::ExactChain;
+use rt_verify::golden::{check_golden, render_distribution, render_trajectory};
+use rt_verify::Suite;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn assert_report(suite: Suite) {
+    let report = suite.finalize();
+    assert!(report.all_pass(), "\n{}", report.failure_summary());
+}
+
+#[test]
+fn golden_trajectory_scenario_a_abku2() {
+    let chain = AllocationChain::new(4, 8, Removal::RandomBall, Abku::new(2));
+    let mut suite = Suite::new(0);
+    check_golden(
+        &mut suite,
+        "traj_a_abku2",
+        &golden_path("traj_a_abku2.txt"),
+        &render_trajectory(&chain, 0xC0FFEE, 64),
+    );
+    assert_report(suite);
+}
+
+#[test]
+fn golden_trajectory_scenario_b_adap() {
+    let chain = AllocationChain::new(5, 10, Removal::RandomNonEmptyBin, Adap::new(|l: u32| l + 1));
+    let mut suite = Suite::new(0);
+    check_golden(
+        &mut suite,
+        "traj_b_adap",
+        &golden_path("traj_b_adap.txt"),
+        &render_trajectory(&chain, 0xBEEF, 64),
+    );
+    assert_report(suite);
+}
+
+#[test]
+fn golden_stationary_distribution_small_omega() {
+    let chain = AllocationChain::new(3, 4, Removal::RandomBall, Abku::new(2));
+    let exact = ExactChain::build(&chain);
+    let pi = exact.stationary(1e-14, 100_000);
+    let mut suite = Suite::new(0);
+    check_golden(
+        &mut suite,
+        "stationary_a_abku2",
+        &golden_path("stationary_a_abku2.txt"),
+        &render_distribution("stationary a/abku2 n3 m4", &pi),
+    );
+    assert_report(suite);
+}
+
+#[test]
+fn golden_t_step_distribution_small_omega() {
+    let chain = AllocationChain::new(3, 4, Removal::RandomNonEmptyBin, Abku::new(2));
+    let mut exact = ExactChain::build(&chain);
+    let s0 = LoadVector::all_in_one(3, 4);
+    let p5 = exact.distribution_at(&s0, 5);
+    let mut suite = Suite::new(0);
+    check_golden(
+        &mut suite,
+        "tstep5_b_abku2",
+        &golden_path("tstep5_b_abku2.txt"),
+        &render_distribution("t=5 from all-in-one b/abku2 n3 m4", &p5),
+    );
+    assert_report(suite);
+}
