@@ -55,6 +55,21 @@ fn load(dir: &PathBuf) -> Result<Vec<Loaded>, String> {
             Err(e) => errors.push(format!("{name}: parse error: {e}")),
         }
     }
+    // Duplicate experiment ids would silently shadow each other in the
+    // fleet tables; fail loudly, naming both offending files.
+    let mut seen: Vec<(&str, &str)> = Vec::new();
+    for l in &loaded {
+        if let Some(id) = l.doc.get("experiment").and_then(Json::as_str) {
+            if let Some((_, first)) = seen.iter().find(|(i, _)| *i == id) {
+                errors.push(format!(
+                    "duplicate experiment id `{id}`: {first}.json and {}.json",
+                    l.name
+                ));
+            } else {
+                seen.push((id, &l.name));
+            }
+        }
+    }
     if errors.is_empty() {
         Ok(loaded)
     } else {

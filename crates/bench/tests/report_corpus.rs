@@ -54,6 +54,25 @@ fn assert_rejected(label: &str, content: &str, needle: &str) {
     );
 }
 
+/// Like [`run_case`] but with two files in the fleet directory.
+fn run_pair(label: &str, a: &str, b: &str) -> (bool, String) {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(format!("report_corpus_{label}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create corpus dir");
+    std::fs::write(dir.join("first.json"), a).expect("write first file");
+    std::fs::write(dir.join("second.json"), b).expect("write second file");
+    let out = Command::new(env!("CARGO_BIN_EXE_exp_report"))
+        .arg(&dir)
+        .output()
+        .expect("run exp_report");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
 #[test]
 fn valid_document_is_accepted() {
     let (ok, text) = run_case("valid", &valid_doc());
@@ -145,6 +164,30 @@ fn passing_conformance_document_is_accepted() {
     let (ok, text) = run_case("conformance_pass", doc);
     assert!(ok, "passing conformance document rejected:\n{text}");
     assert!(text.contains("all 1 checks passed"), "{text}");
+}
+
+#[test]
+fn duplicate_experiment_ids_are_rejected_naming_both_files() {
+    // Two files claiming the same experiment id would silently shadow
+    // each other in the fleet tables.
+    let (ok, text) = run_pair("dup_id", &valid_doc(), &valid_doc());
+    assert!(!ok, "fleet accepted duplicate experiment ids:\n{text}");
+    assert!(
+        text.contains("duplicate experiment id `corpus_case`"),
+        "violation not named:\n{text}"
+    );
+    assert!(
+        text.contains("first.json") && text.contains("second.json"),
+        "both offending files must be named:\n{text}"
+    );
+}
+
+#[test]
+fn distinct_experiment_ids_coexist() {
+    let other = valid_doc().replace("\"corpus_case\"", "\"corpus_case_b\"");
+    let (ok, text) = run_pair("distinct_ids", &valid_doc(), &other);
+    assert!(ok, "distinct ids should be accepted:\n{text}");
+    assert!(text.contains("all 2 files valid"), "{text}");
 }
 
 #[test]

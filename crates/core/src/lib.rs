@@ -31,22 +31,39 @@
 //! In a normalized vector a *larger* index means a *smaller-or-equal*
 //! load.
 
+/// Batched (parallel) arrivals — the parallel-allocation setting.
 pub mod batch;
+/// The scenario-A path coupling of paper §4.
 pub mod coupling_a;
+/// The scenario-B path coupling of paper §5.
 pub mod coupling_b;
+/// Removal distributions 𝒜(v) and ℬ(v) (paper Defs. 3.2 and 3.3).
 pub mod dist;
+/// O(log n) weighted sampling for 𝒜(v) via a Fenwick tree.
 pub mod fenwick;
+/// Normalized load vectors (paper §3.1).
 pub mod load_vector;
+/// Observables on load vectors — max load, overfull mass, gaps.
 pub mod observables;
+/// Open systems (paper §7): the number of balls varies over time.
 pub mod open;
+/// Enumeration of the state space Ω_m (paper §3.1).
 pub mod partitions;
+/// Fast unsorted simulation of dynamic allocation processes.
 pub mod process;
+/// Relocation processes (paper §7, Conclusions).
 pub mod relocation;
+/// Generalized removal distributions (paper §7, Conclusions).
 pub mod removal;
+/// Right-oriented random functions (paper §3.2, Def. 3.4).
 pub mod right_oriented;
+/// Concrete allocation rules: ABKU\[d\] and ADAP(x).
 pub mod rules;
+/// The dynamic allocation chains of scenarios A and B (paper §2, §3.3).
 pub mod scenario;
+/// Static (one-shot) allocation — the original Azar et al. setting.
 pub mod static_alloc;
+/// Weighted jobs — the heterogeneous-task extension.
 pub mod weighted;
 
 pub use fenwick::{FenwickSampler, SampledLoadVector};

@@ -117,7 +117,7 @@ impl LoadVector {
     /// Minimum load.
     #[inline]
     pub fn min_load(&self) -> u32 {
-        *self.loads.last().unwrap()
+        *self.loads.last().expect("load vectors have n >= 1 bins")
     }
 
     /// Number of non-empty bins, i.e. `s = max{i : v_i > 0}` of Def. 3.3
@@ -253,7 +253,9 @@ impl LoadVector {
         let mut lambda = None;
         let mut delta = None;
         for (i, (&a, &b)) in self.loads.iter().zip(&other.loads).enumerate() {
-            match i32::try_from(a).unwrap() - i32::try_from(b).unwrap() {
+            let a = i32::try_from(a).expect("bin loads stay far below i32::MAX");
+            let b = i32::try_from(b).expect("bin loads stay far below i32::MAX");
+            match a - b {
                 0 => {}
                 1 if lambda.is_none() => lambda = Some(i),
                 -1 if delta.is_none() => delta = Some(i),

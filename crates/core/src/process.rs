@@ -209,7 +209,11 @@ impl<D: FastRule> FastProcess<D> {
         assert!(!loads.is_empty());
         let n = loads.len();
         let total: u64 = loads.iter().map(|&l| u64::from(l)).sum();
-        let max_load = loads.iter().copied().max().unwrap();
+        let max_load = loads
+            .iter()
+            .copied()
+            .max()
+            .expect("loads is non-empty (asserted above)");
         let mut hist = vec![0u32; max_load as usize + 1];
         for &l in &loads {
             hist[l as usize] += 1;
@@ -329,7 +333,10 @@ impl<D: FastRule> FastProcess<D> {
         if self.removal == Removal::RandomNonEmptyBin && l == 1 {
             // Bin just became empty: swap-remove it from the dense list.
             let p = self.pos[b] as usize;
-            let last = *self.nonempty.last().unwrap();
+            let last = *self
+                .nonempty
+                .last()
+                .expect("bin b was non-empty, so the non-empty list is too");
             self.nonempty[p] = last;
             self.pos[last as usize] = p as u32;
             self.nonempty.pop();

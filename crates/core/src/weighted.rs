@@ -68,7 +68,12 @@ impl WeightedProcess {
             ball.bin = (k % n) as u32;
             p.loads[k % n] += u64::from(ball.weight);
         }
-        p.max_load = p.loads.iter().copied().max().unwrap();
+        p.max_load = p
+            .loads
+            .iter()
+            .copied()
+            .max()
+            .expect("weighted processes have n >= 1 bins");
         p
     }
 
@@ -91,7 +96,12 @@ impl WeightedProcess {
     /// step in which the previous maximum bin lost weight).
     pub fn max_load(&mut self) -> u64 {
         if self.max_dirty {
-            self.max_load = self.loads.iter().copied().max().unwrap();
+            self.max_load = self
+                .loads
+                .iter()
+                .copied()
+                .max()
+                .expect("weighted processes have n >= 1 bins");
             self.max_dirty = false;
         }
         self.max_load

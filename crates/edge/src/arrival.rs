@@ -61,7 +61,10 @@ impl WeightedArrivals {
 
     /// Sample one endpoint.
     fn endpoint<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let total = *self.cumulative.last().unwrap();
+        let total = *self
+            .cumulative
+            .last()
+            .expect("arrival distributions have n >= 1 endpoints");
         let r = rng.random::<f64>() * total;
         self.cumulative
             .partition_point(|&c| c <= r)

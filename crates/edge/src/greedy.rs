@@ -29,14 +29,21 @@ struct ValueHist {
 
 impl ValueHist {
     fn new(values: &[i32]) -> Self {
-        let lo = values.iter().copied().min().unwrap() - 1;
-        let hi = values.iter().copied().max().unwrap() + 1;
+        let min = values
+            .iter()
+            .copied()
+            .min()
+            .expect("discrepancy profiles cover n >= 1 nodes");
+        let max = values
+            .iter()
+            .copied()
+            .max()
+            .expect("discrepancy profiles cover n >= 1 nodes");
+        let (lo, hi) = (min - 1, max + 1);
         let mut counts = vec![0u64; (hi - lo) as usize + 1];
         for &v in values {
             counts[(v - lo) as usize] += 1;
         }
-        let max = values.iter().copied().max().unwrap();
-        let min = values.iter().copied().min().unwrap();
         ValueHist {
             counts,
             offset: lo,

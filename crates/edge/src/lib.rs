@@ -24,13 +24,21 @@
 //! * [`coupling`] — the §6 path coupling, including the `b*` bit flip
 //!   of case (7).
 
+/// Non-uniform edge arrivals — an extension of the §6 model.
 pub mod arrival;
+/// Baseline orientation strategies for comparison.
 pub mod baseline;
+/// The lazified edge-orientation Markov chain of paper §6.
 pub mod chain;
+/// The §6 path coupling for the edge-orientation chain.
 pub mod coupling;
+/// Fast simulation of the greedy edge-orientation protocol (paper §2).
 pub mod greedy;
+/// The path metric of paper Definitions 6.1–6.3.
 pub mod metric;
+/// Explicit oriented multigraph — the full §2 object.
 pub mod multigraph;
+/// Discrepancy profiles — the state of the edge orientation problem.
 pub mod state;
 
 pub use chain::EdgeChain;

@@ -128,7 +128,7 @@ pub fn profile_distance(a: &DiscProfile, b: &DiscProfile, cap: u64) -> Option<u6
         .chain(b.as_slice())
         .copied()
         .min()
-        .unwrap()
+        .expect("profiles cover n >= 1 nodes")
         - pad;
     let hi = a
         .as_slice()
@@ -136,7 +136,7 @@ pub fn profile_distance(a: &DiscProfile, b: &DiscProfile, cap: u64) -> Option<u6
         .chain(b.as_slice())
         .copied()
         .max()
-        .unwrap()
+        .expect("profiles cover n >= 1 nodes")
         + pad;
     distance(&a.to_buckets(lo, hi), &b.to_buckets(lo, hi), cap)
 }

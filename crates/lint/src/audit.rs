@@ -1,0 +1,100 @@
+//! Parser for the atomic-ordering audit tables under
+//! `crates/lint/audits/`.
+//!
+//! One markdown file per audited crate (`rt-par.md` covers `rt-par`),
+//! holding a table whose rows name a crate-relative file, an `Ordering`
+//! variant used there, and the reviewed justification:
+//!
+//! ```text
+//! | file       | ordering | justification        |
+//! |------------|----------|-----------------------|
+//! | src/lib.rs | Relaxed  | one paragraph of why… |
+//! ```
+//!
+//! The C1 rule fails any `Ordering::X` in an audited crate that has no
+//! matching row, and the driver flags rows that no longer match any
+//! source occurrence (stale audits are lies waiting to happen).
+
+use crate::rules::AuditRow;
+use std::path::Path;
+
+/// Parse one audit file; `crate_name` comes from the file stem.
+pub fn parse_audit(crate_name: &str, text: &str) -> Vec<AuditRow> {
+    let mut rows = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if !line.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = line.trim_matches('|').split('|').map(str::trim).collect();
+        if cells.len() < 3 {
+            continue;
+        }
+        // Skip the header and the separator row.
+        if cells[0].eq_ignore_ascii_case("file") || cells[0].chars().all(|c| c == '-' || c == ':') {
+            continue;
+        }
+        rows.push(AuditRow {
+            crate_name: crate_name.to_string(),
+            file: cells[0].to_string(),
+            ordering: cells[1].to_string(),
+            line: (idx + 1) as u32,
+        });
+    }
+    rows
+}
+
+/// Load every `*.md` audit table in `dir` (sorted for determinism).
+/// A missing directory is an empty corpus, not an error — the driver
+/// then reports uncovered orderings instead.
+pub fn load_audits(dir: &Path) -> Vec<AuditRow> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut files: Vec<_> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "md"))
+        .collect();
+    files.sort();
+    let mut rows = Vec::new();
+    for path in files {
+        let Some(stem) = path.file_stem().map(|s| s.to_string_lossy().into_owned()) else {
+            continue;
+        };
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        rows.extend(parse_audit(&stem, &text));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_rows_and_skips_headers() {
+        let text = "# audit\n\n| file | ordering | justification |\n|---|---|---|\n| src/lib.rs | Relaxed | counters are statistical |\n| src/lib.rs | AcqRel | publish protocol |\n";
+        let rows = parse_audit("rt-obs", text);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].crate_name, "rt-obs");
+        assert_eq!(rows[0].file, "src/lib.rs");
+        assert_eq!(rows[0].ordering, "Relaxed");
+        assert_eq!(rows[0].line, 5);
+        assert_eq!(rows[1].ordering, "AcqRel");
+    }
+
+    #[test]
+    fn ignores_prose_and_malformed_lines() {
+        let text = "prose | with | pipes is skipped (no leading |)\n| too-few |\n| a | b | c |\n";
+        let rows = parse_audit("x", text);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].file, "a");
+    }
+
+    #[test]
+    fn missing_dir_is_empty() {
+        assert!(load_audits(Path::new("/nonexistent/audits")).is_empty());
+    }
+}

@@ -1,0 +1,267 @@
+//! Workspace walking and orchestration: find the files, classify each
+//! into a [`FileCtx`], run the rules, and cross-check the audit tables
+//! for staleness.
+
+use crate::audit::load_audits;
+use crate::rules::{AuditRow, Diagnostic, FileCtx, FileKind, Rule, AUDITED_CRATES};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// Directories never walked: generated, foreign, or deliberately
+/// violating (the fixture corpus exists to fail).
+const SKIP_DIRS: [&str; 6] = ["target", "vendor", ".git", "fixtures", "golden", "results"];
+
+/// The aggregate of one lint run.
+#[derive(Debug, Default)]
+pub struct RunReport {
+    /// Files actually linted.
+    pub files: usize,
+    /// Every surviving diagnostic, with the file it came from.
+    pub diagnostics: Vec<(PathBuf, Diagnostic)>,
+    /// Diagnostics suppressed by pragmas (reported so suppression is
+    /// visible in the fleet JSON, not silent).
+    pub suppressed: usize,
+    /// Number of pragma comments seen.
+    pub pragmas: usize,
+}
+
+impl RunReport {
+    /// Diagnostic count for one rule.
+    pub fn count(&self, rule: Rule) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|(_, d)| d.rule == rule)
+            .count()
+    }
+}
+
+/// Ascend from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Classify a path (relative to the workspace root) into crate +
+/// target kind. Files the analyzer has no business reading return
+/// `None`. Loose paths outside the workspace layout — notably the
+/// fixture corpus — get the strictest context (`rt-core` library), so
+/// every rule is live on them.
+pub fn classify(rel: &Path) -> Option<FileCtx> {
+    let parts: Vec<String> = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    if parts.iter().any(|p| p == "vendor" || p == "target") {
+        return None;
+    }
+    // Fixture files are linted as strict library code on request.
+    if parts.iter().any(|p| p == "fixtures") {
+        let name = parts.last().cloned().unwrap_or_default();
+        return Some(FileCtx {
+            crate_name: "rt-core".into(),
+            kind: FileKind::Lib,
+            rel_path: format!("src/{name}"),
+        });
+    }
+    let (crate_name, crate_rel): (String, &[String]) =
+        if parts.first().map(String::as_str) == Some("crates") {
+            if parts.len() < 3 {
+                return None;
+            }
+            (format!("rt-{}", parts[1]), &parts[2..])
+        } else {
+            ("recovery-time".into(), &parts[..])
+        };
+    let kind = match crate_rel.first().map(String::as_str) {
+        Some("src") if crate_rel.get(1).map(String::as_str) == Some("bin") => FileKind::Bin,
+        Some("src") if crate_rel.get(1).map(String::as_str) == Some("main.rs") => FileKind::Bin,
+        Some("src") => FileKind::Lib,
+        Some("tests") => FileKind::Test,
+        Some("benches") => FileKind::Bench,
+        Some("examples") => FileKind::Example,
+        _ => return None,
+    };
+    Some(FileCtx {
+        crate_name,
+        kind,
+        rel_path: crate_rel.join("/"),
+    })
+}
+
+/// Recursively collect every `.rs` file under `root`, skipping
+/// [`SKIP_DIRS`], sorted for deterministic output.
+pub fn collect_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.filter_map(Result::ok) {
+            let path = entry.path();
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_str()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if path.extension().is_some_and(|x| x == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Lint the given files (workspace-relative contexts derived from
+/// `root`); `audits` is the parsed table corpus.
+pub fn run(root: &Path, files: &[PathBuf], audits: &[AuditRow]) -> RunReport {
+    let mut report = RunReport::default();
+    // (crate, file, ordering) triples seen in audited source, to flag
+    // stale audit rows afterwards.
+    let mut seen_orderings: BTreeSet<(String, String, String)> = BTreeSet::new();
+    for path in files {
+        let rel = path.strip_prefix(root).unwrap_or(path);
+        let Some(ctx) = classify(rel) else {
+            continue;
+        };
+        let Ok(src) = std::fs::read_to_string(path) else {
+            report.diagnostics.push((
+                path.clone(),
+                Diagnostic {
+                    rule: Rule::A1,
+                    line: 1,
+                    col: 1,
+                    message: "unreadable source file".into(),
+                },
+            ));
+            continue;
+        };
+        report.files += 1;
+        let analysis = crate::rules::Analysis::new(&src);
+        if ctx.kind == FileKind::Lib && AUDITED_CRATES.contains(&ctx.crate_name.as_str()) {
+            for variant in analysis.lib_ordering_variants() {
+                seen_orderings.insert((ctx.crate_name.clone(), ctx.rel_path.clone(), variant));
+            }
+        }
+        report.pragmas += analysis.pragma_count;
+        let (diags, suppressed) = analysis.check(&ctx, audits);
+        report.suppressed += suppressed;
+        report
+            .diagnostics
+            .extend(diags.into_iter().map(|d| (path.clone(), d)));
+    }
+    // Stale audit rows: a reviewed justification for code that no
+    // longer exists is worse than none — it claims review happened.
+    for row in audits {
+        let key = (
+            row.crate_name.clone(),
+            row.file.clone(),
+            row.ordering.clone(),
+        );
+        if AUDITED_CRATES.contains(&row.crate_name.as_str()) && !seen_orderings.contains(&key) {
+            report.diagnostics.push((
+                audit_dir(root).join(format!("{}.md", row.crate_name)),
+                Diagnostic {
+                    rule: Rule::C1,
+                    line: row.line,
+                    col: 1,
+                    message: format!(
+                        "stale audit row: no `Ordering::{}` remains in {}/{} — remove or \
+                         update the row",
+                        row.ordering, row.crate_name, row.file
+                    ),
+                },
+            ));
+        }
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.0, a.1.line, a.1.col).cmp(&(&b.0, b.1.line, b.1.col)));
+    report
+}
+
+/// The audit-table directory for a workspace root.
+pub fn audit_dir(root: &Path) -> PathBuf {
+    root.join("crates").join("lint").join("audits")
+}
+
+/// Full workspace check: collect, load audits, run.
+pub fn check_workspace(root: &Path) -> RunReport {
+    let files = collect_files(root);
+    let audits = load_audits(&audit_dir(root));
+    run(root, &files, &audits)
+}
+
+/// Check an explicit set of paths. Stale-audit findings are dropped —
+/// a partial view of the workspace cannot prove a row stale.
+pub fn check_paths(root: &Path, paths: &[PathBuf]) -> RunReport {
+    let audits = load_audits(&audit_dir(root));
+    let mut report = run(root, paths, &audits);
+    report
+        .diagnostics
+        .retain(|(_, d)| !(d.rule == Rule::C1 && d.message.contains("stale audit row")));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(p: &str) -> Option<FileCtx> {
+        classify(Path::new(p))
+    }
+
+    #[test]
+    fn classifies_workspace_layout() {
+        let c = ctx("crates/core/src/fenwick.rs").unwrap();
+        assert_eq!(c.crate_name, "rt-core");
+        assert_eq!(c.kind, FileKind::Lib);
+        assert_eq!(c.rel_path, "src/fenwick.rs");
+
+        let b = ctx("crates/bench/src/bin/exp_report.rs").unwrap();
+        assert_eq!(b.crate_name, "rt-bench");
+        assert_eq!(b.kind, FileKind::Bin);
+
+        let m = ctx("crates/lint/src/main.rs").unwrap();
+        assert_eq!(m.kind, FileKind::Bin);
+
+        let t = ctx("crates/par/tests/proptests.rs").unwrap();
+        assert_eq!(t.kind, FileKind::Test);
+
+        let root_lib = ctx("src/lib.rs").unwrap();
+        assert_eq!(root_lib.crate_name, "recovery-time");
+        assert_eq!(root_lib.kind, FileKind::Lib);
+
+        let root_test = ctx("tests/end_to_end.rs").unwrap();
+        assert_eq!(root_test.kind, FileKind::Test);
+
+        let bench = ctx("crates/bench/benches/hotpaths.rs").unwrap();
+        assert_eq!(bench.kind, FileKind::Bench);
+    }
+
+    #[test]
+    fn vendor_and_unknown_paths_are_skipped() {
+        assert!(ctx("vendor/rand/src/lib.rs").is_none());
+        assert!(ctx("crates/core/Cargo.toml").is_none());
+        assert!(ctx("README.md").is_none());
+    }
+
+    #[test]
+    fn fixtures_get_the_strictest_context() {
+        let c = ctx("crates/lint/tests/fixtures/d1_bad.rs").unwrap();
+        assert_eq!(c.crate_name, "rt-core");
+        assert_eq!(c.kind, FileKind::Lib);
+    }
+}

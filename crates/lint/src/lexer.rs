@@ -1,0 +1,553 @@
+//! Hand-rolled Rust lexer: line/column-accurate tokens, aware of every
+//! string flavor, nested block comments, raw identifiers, and the
+//! lifetime/char-literal ambiguity — without pulling in `syn`.
+//!
+//! The lexer is deliberately forgiving: it must never panic or loop on
+//! arbitrary input (a proptest pins this), so malformed source degrades
+//! into `Unknown` tokens or literals that run to end of file rather
+//! than into errors. Rules only need token kinds, text, and positions;
+//! they never need the input to be valid Rust.
+
+/// What a token is, at the granularity the rules care about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw `r#ident`, text kept verbatim).
+    Ident,
+    /// Lifetime such as `'a` (text includes the quote).
+    Lifetime,
+    /// Integer literal, any base, with suffix if present.
+    Int,
+    /// Float literal, with suffix if present.
+    Float,
+    /// Any string-like literal: `"…"`, `r#"…"#`, `b"…"`, `br"…"`, `c"…"`.
+    Str,
+    /// Character or byte literal: `'x'`, `b'\n'`.
+    Char,
+    /// `// …` comment, including doc (`///`, `//!`) forms.
+    LineComment,
+    /// `/* … */` comment (nesting-aware), including `/** … */` docs.
+    BlockComment,
+    /// A single punctuation character.
+    Punct,
+    /// Anything the lexer could not classify (consumed one char).
+    Unknown,
+}
+
+/// One token: kind plus byte span and 1-based line/column of its start.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte in the source.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within `src`.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+
+    /// Whether this token is a comment (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// Whether this token is a doc comment (`///`, `//!`, `/**`, `/*!`).
+    pub fn is_doc_comment(&self, src: &str) -> bool {
+        let t = self.text(src);
+        match self.kind {
+            // `////…` is a plain comment by convention, like rustdoc.
+            TokenKind::LineComment => {
+                (t.starts_with("///") && !t.starts_with("////")) || t.starts_with("//!")
+            }
+            TokenKind::BlockComment => {
+                (t.starts_with("/**") && !t.starts_with("/***") && t != "/**/")
+                    || t.starts_with("/*!")
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Cursor over the source characters with line/column tracking.
+struct Cursor<'a> {
+    src: &'a str,
+    /// Byte offset of the next unread character.
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src,
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    /// Character `n` positions ahead of the cursor (0 = `peek`).
+    fn peek_at(&self, n: usize) -> Option<char> {
+        self.src[self.pos..].chars().nth(n)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    /// Consume characters while `pred` holds.
+    fn eat_while(&mut self, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek() {
+            if !pred(c) {
+                break;
+            }
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Tokenize `src` completely. Total: every byte of input lands in
+/// exactly one token or in inter-token whitespace.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut tokens = Vec::new();
+    while let Some(c) = cur.peek() {
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let (start, line, col) = (cur.pos, cur.line, cur.col);
+        let kind = scan_token(&mut cur, c);
+        debug_assert!(cur.pos > start, "lexer must make progress");
+        tokens.push(Token {
+            kind,
+            start,
+            end: cur.pos,
+            line,
+            col,
+        });
+    }
+    tokens
+}
+
+/// Scan one token starting at `c`; the cursor is advanced past it.
+fn scan_token(cur: &mut Cursor, c: char) -> TokenKind {
+    match c {
+        '/' => match cur.peek_at(1) {
+            Some('/') => {
+                cur.eat_while(|c| c != '\n');
+                TokenKind::LineComment
+            }
+            Some('*') => {
+                scan_block_comment(cur);
+                TokenKind::BlockComment
+            }
+            _ => {
+                cur.bump();
+                TokenKind::Punct
+            }
+        },
+        '"' => {
+            scan_string(cur);
+            TokenKind::Str
+        }
+        '\'' => scan_quote(cur),
+        'r' | 'b' | 'c' => scan_prefixed(cur),
+        _ if c.is_ascii_digit() => scan_number(cur),
+        _ if is_ident_start(c) => {
+            cur.eat_while(is_ident_continue);
+            TokenKind::Ident
+        }
+        _ => {
+            cur.bump();
+            if c.is_ascii_punctuation() {
+                TokenKind::Punct
+            } else {
+                TokenKind::Unknown
+            }
+        }
+    }
+}
+
+/// `/* … */` with arbitrary nesting; unterminated runs to EOF.
+fn scan_block_comment(cur: &mut Cursor) {
+    cur.bump(); // '/'
+    cur.bump(); // '*'
+    let mut depth = 1u32;
+    while depth > 0 {
+        match (cur.peek(), cur.peek_at(1)) {
+            (Some('/'), Some('*')) => {
+                cur.bump();
+                cur.bump();
+                depth += 1;
+            }
+            (Some('*'), Some('/')) => {
+                cur.bump();
+                cur.bump();
+                depth -= 1;
+            }
+            (Some(_), _) => {
+                cur.bump();
+            }
+            (None, _) => break,
+        }
+    }
+}
+
+/// `"…"` with backslash escapes; unterminated runs to EOF.
+fn scan_string(cur: &mut Cursor) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump(); // the escaped character, whatever it is
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// `r"…"`, `r#…#"…"#…#`: `hashes` already counted, cursor on `"`.
+/// Unterminated runs to EOF.
+fn scan_raw_string(cur: &mut Cursor, hashes: usize) {
+    cur.bump(); // opening quote
+    'outer: while let Some(c) = cur.bump() {
+        if c == '"' {
+            for n in 0..hashes {
+                if cur.peek() != Some('#') {
+                    // Not a real terminator; the consumed hashes (if
+                    // any) were string content. `n` hashes were eaten.
+                    let _ = n;
+                    continue 'outer;
+                }
+                cur.bump();
+            }
+            break;
+        }
+    }
+}
+
+/// Everything after `'`: a lifetime (`'a`), a char literal (`'x'`,
+/// `'\n'`), or a lone quote (`Unknown`).
+fn scan_quote(cur: &mut Cursor) -> TokenKind {
+    cur.bump(); // the quote
+    match cur.peek() {
+        Some('\\') => {
+            // Escaped char literal: consume escape then scan for close.
+            cur.bump();
+            cur.bump(); // char after backslash
+            finish_char_literal(cur);
+            TokenKind::Char
+        }
+        Some(c) if is_ident_start(c) => {
+            // `'a'` is a char; `'a` (no closing quote after the ident)
+            // is a lifetime. Scan the identifier, then look for `'`.
+            cur.eat_while(is_ident_continue);
+            if cur.peek() == Some('\'') {
+                cur.bump();
+                TokenKind::Char
+            } else {
+                TokenKind::Lifetime
+            }
+        }
+        Some('\'') | None => TokenKind::Unknown, // `''` or trailing quote
+        Some(_) => {
+            // `'+'`, `'1'`, `'"'`: one char then the closing quote.
+            cur.bump();
+            finish_char_literal(cur);
+            TokenKind::Char
+        }
+    }
+}
+
+/// Consume remaining chars of a char literal up to `'` (handles
+/// `'\u{1F600}'`); bounded so garbage cannot swallow the whole file.
+fn finish_char_literal(cur: &mut Cursor) {
+    for _ in 0..16 {
+        match cur.peek() {
+            Some('\'') => {
+                cur.bump();
+                return;
+            }
+            Some('\n') | None => return,
+            Some('\\') => {
+                cur.bump();
+                cur.bump();
+            }
+            Some(_) => {
+                cur.bump();
+            }
+        }
+    }
+}
+
+/// Tokens starting with `r`, `b`, or `c`: raw strings, byte strings,
+/// byte chars, raw identifiers — or a plain identifier.
+fn scan_prefixed(cur: &mut Cursor) -> TokenKind {
+    let c = cur.peek().unwrap_or('r');
+    // Count the shape without consuming: prefix letters, then hashes,
+    // then a quote → string. `r#ident` → raw identifier.
+    let mut n = 1usize; // chars of prefix beyond the first
+    let two = cur.peek_at(1);
+    if c == 'b' && two == Some('\'') {
+        // Byte char `b'x'`.
+        cur.bump(); // b
+        let k = scan_quote(cur);
+        return if k == TokenKind::Lifetime {
+            // `b'ident` is not valid Rust; treat like the lexed shape.
+            TokenKind::Lifetime
+        } else {
+            TokenKind::Char
+        };
+    }
+    if (c == 'b' || c == 'c') && two == Some('r') {
+        n += 1;
+    }
+    let mut hashes = 0usize;
+    while cur.peek_at(n + hashes) == Some('#') {
+        hashes += 1;
+    }
+    match cur.peek_at(n + hashes) {
+        Some('"') if c == 'r' || n == 2 || (n == 1 && hashes == 0) => {
+            // `b"`, `c"`, `r"`, `r#"`, `br#"`, `cr"` … a string.
+            for _ in 0..(n + hashes) {
+                cur.bump();
+            }
+            if hashes == 0 && !(c == 'r' || n == 2) {
+                scan_string(cur);
+            } else {
+                scan_raw_string(cur, hashes);
+            }
+            TokenKind::Str
+        }
+        _ if c == 'r' && hashes == 1 && cur.peek_at(2).is_some_and(is_ident_start) => {
+            // Raw identifier `r#ident`.
+            cur.bump(); // r
+            cur.bump(); // #
+            cur.eat_while(is_ident_continue);
+            TokenKind::Ident
+        }
+        _ => {
+            cur.eat_while(is_ident_continue);
+            TokenKind::Ident
+        }
+    }
+}
+
+/// Numbers: ints in any base, floats with exponents, suffixes. Range
+/// punctuation (`1..n`) is not consumed.
+fn scan_number(cur: &mut Cursor) -> TokenKind {
+    let mut kind = TokenKind::Int;
+    if cur.peek() == Some('0')
+        && matches!(
+            cur.peek_at(1),
+            Some('x') | Some('X') | Some('o') | Some('O') | Some('b') | Some('B')
+        )
+    {
+        cur.bump();
+        cur.bump();
+        cur.eat_while(|c| c.is_ascii_hexdigit() || c == '_');
+    } else {
+        cur.eat_while(|c| c.is_ascii_digit() || c == '_');
+        // A fractional part only if `.` is followed by a digit —
+        // `1..4` and `1.max(2)` keep their dots.
+        if cur.peek() == Some('.') && cur.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+            kind = TokenKind::Float;
+            cur.bump();
+            cur.eat_while(|c| c.is_ascii_digit() || c == '_');
+        }
+        if matches!(cur.peek(), Some('e') | Some('E')) {
+            let sign = matches!(cur.peek_at(1), Some('+') | Some('-'));
+            let digit_at = if sign { 2 } else { 1 };
+            if cur.peek_at(digit_at).is_some_and(|c| c.is_ascii_digit()) {
+                kind = TokenKind::Float;
+                cur.bump(); // e
+                if sign {
+                    cur.bump();
+                }
+                cur.eat_while(|c| c.is_ascii_digit() || c == '_');
+            }
+        }
+    }
+    // Type suffix (`u64`, `f32`, `usize`) — also catches `1f64`.
+    if cur.peek().is_some_and(is_ident_start) {
+        let float_suffix = cur.peek() == Some('f');
+        cur.eat_while(is_ident_continue);
+        if float_suffix {
+            kind = TokenKind::Float;
+        }
+    }
+    kind
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("fn main() { let x = y; }");
+        assert_eq!(toks[0], (TokenKind::Ident, "fn".into()));
+        assert_eq!(toks[1], (TokenKind::Ident, "main".into()));
+        assert_eq!(toks[2], (TokenKind::Punct, "(".into()));
+        assert!(toks.iter().any(|t| t.1 == ";"));
+    }
+
+    #[test]
+    fn line_and_column_are_one_based_and_accurate() {
+        let src = "a\n  bb\n\tccc";
+        let toks = lex(src);
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+        // Tab counts as one column character.
+        assert_eq!((toks[2].line, toks[2].col), (3, 2));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r###"let s = r#"quote " inside"#; x"###;
+        let toks = kinds(src);
+        let s = toks.iter().find(|t| t.0 == TokenKind::Str).unwrap();
+        assert_eq!(s.1, r###"r#"quote " inside"#"###);
+        assert_eq!(toks.last().unwrap().1, "x");
+    }
+
+    #[test]
+    fn raw_string_hash_mismatch_keeps_scanning() {
+        // The `"#` inside terminates only at two hashes.
+        let src = r####"r##"a "# b"## done"####;
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[0].1, r####"r##"a "# b"##"####);
+        assert_eq!(toks[1].1, "done");
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let toks = kinds(r##"b"bytes" br#"raw"# c"cstr" b'x'"##);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[1].0, TokenKind::Str);
+        assert_eq!(toks[2].0, TokenKind::Str);
+        assert_eq!(toks[3].0, TokenKind::Char);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ code";
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert_eq!(toks[1], (TokenKind::Ident, "code".into()));
+    }
+
+    #[test]
+    fn unterminated_block_comment_reaches_eof() {
+        let toks = kinds("/* never closed\nmore");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("let r#fn = r#match;");
+        assert_eq!(toks[1], (TokenKind::Ident, "r#fn".into()));
+        assert_eq!(toks[3], (TokenKind::Ident, "r#match".into()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("&'a str; 'x'; '\\''; '\\n'; 'static");
+        assert_eq!(toks[1], (TokenKind::Lifetime, "'a".into()));
+        let chars: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Char).collect();
+        assert_eq!(chars.len(), 3);
+        assert_eq!(chars[0].1, "'x'");
+        assert_eq!(chars[1].1, "'\\''");
+        assert_eq!(chars[2].1, "'\\n'");
+        assert_eq!(toks.last().unwrap().0, TokenKind::Lifetime);
+        assert_eq!(toks.last().unwrap().1, "'static");
+    }
+
+    #[test]
+    fn unicode_escape_char_literal() {
+        let toks = kinds(r"'\u{1F600}' x");
+        assert_eq!(toks[0].0, TokenKind::Char);
+        assert_eq!(toks[1].1, "x");
+    }
+
+    #[test]
+    fn strings_with_escapes_and_comment_markers() {
+        let toks = kinds(r#"let s = "not a // comment \" still";"#);
+        let s = toks.iter().find(|t| t.0 == TokenKind::Str).unwrap();
+        assert!(s.1.contains("//"));
+        assert!(!toks.iter().any(|t| t.0 == TokenKind::LineComment));
+    }
+
+    #[test]
+    fn numbers_with_ranges_and_suffixes() {
+        let toks = kinds("0..n 1.5 0xFF_u32 1e9 1f64 2.max(3)");
+        assert_eq!(toks[0].0, TokenKind::Int); // 0
+        assert_eq!(toks[1].1, "."); // range dots stay puncts
+        assert_eq!(toks[2].1, ".");
+        let floats: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Float).collect();
+        assert_eq!(
+            floats.iter().map(|t| t.1.as_str()).collect::<Vec<_>>(),
+            ["1.5", "1e9", "1f64"]
+        );
+        assert!(toks.iter().any(|t| t.1 == "0xFF_u32"));
+        // `2.max(3)` keeps the method call intact.
+        assert!(toks.iter().any(|t| t.1 == "max"));
+    }
+
+    #[test]
+    fn doc_comments_are_detected() {
+        let src = "/// doc\n//! inner\n// plain\n//// not doc\n/** block */\n/*! inner */";
+        let toks = lex(src);
+        let docness: Vec<bool> = toks.iter().map(|t| t.is_doc_comment(src)).collect();
+        assert_eq!(docness, [true, true, false, false, true, true]);
+    }
+
+    #[test]
+    fn every_byte_is_covered_in_order() {
+        let src = "fn f(){\"s\"+'c'//e\n}";
+        let toks = lex(src);
+        for w in toks.windows(2) {
+            assert!(w[0].end <= w[1].start);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! `rt-lint` — the workspace invariant analyzer.
+//!
+//! The paper's guarantees transfer to simulation only if every
+//! trajectory is a pure function of the seed, and the lock-free layers
+//! (`rt-par`, `rt-obs`) are sound only under their reviewed memory
+//! orderings. Those contracts are written down (DESIGN.md §6/§8); this
+//! crate enforces them *by construction* at the diff, with a hand-rolled
+//! lexer and a token-level rule engine — zero dependencies, `cargo run
+//! -p rt-lint -- check` from the workspace root.
+//!
+//! Rules (see [`rules::Rule`] and DESIGN.md §8 for the policy):
+//!
+//! * **D1** — no wall clocks in library crates;
+//! * **D2** — no `HashMap`/`HashSet` in the sampling/aggregation crates;
+//! * **D3** — no ambient RNG anywhere;
+//! * **C1** — atomic orderings literal at the call site and covered by
+//!   the audit tables under `crates/lint/audits/`;
+//! * **C2** — every `unsafe` carries a `// SAFETY:` comment;
+//! * **A1** — public items documented, no `.unwrap()` on library paths.
+//!
+//! Escape hatch: `// rt-lint: allow(<rule>): <reason>` on or above the
+//! offending line, or `// rt-lint: allow-file(<rule>): <reason>` once
+//! per file. Suppression counts are reported, never silent.
+
+/// Parser for the atomic-ordering audit tables.
+pub mod audit;
+/// Workspace walking, file classification, and orchestration.
+pub mod driver;
+/// Hand-rolled line/column-accurate Rust lexer.
+pub mod lexer;
+/// The token-level rule engine (D1–D3, C1–C2, A1).
+pub mod rules;
+
+pub use driver::{check_paths, check_workspace, workspace_root, RunReport};
+pub use rules::{Diagnostic, FileCtx, FileKind, Rule, ALL_RULES};

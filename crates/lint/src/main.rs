@@ -1,0 +1,197 @@
+//! `rt-lint` CLI.
+//!
+//! ```text
+//! cargo run -p rt-lint -- check                # whole workspace
+//! cargo run -p rt-lint -- check path/to/a.rs   # explicit files
+//! cargo run -p rt-lint -- check --json         # + fleet JSON report
+//! cargo run -p rt-lint -- rules                # list the rules
+//! ```
+//!
+//! Exit status: 0 clean, 1 diagnostics found, 2 usage error. With
+//! `--json` (or `RT_JSON=1`) a fleet-schema document is written to
+//! `$RT_JSON_DIR/lint.json` (default `results/json/lint.json`) with
+//! `params.conformance = 1`, so `exp_report` gates on lint findings
+//! exactly like on statistical conformance checks.
+
+use rt_lint::rules::ALL_RULES;
+use rt_lint::{check_paths, check_workspace, workspace_root, Rule, RunReport};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = std::env::var("RT_JSON").map(|v| v == "1").unwrap_or(false);
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut command: Option<&str> = None;
+    for arg in &args {
+        match arg.as_str() {
+            "--json" => json = true,
+            "check" | "rules" if command.is_none() => command = Some(arg),
+            _ if command == Some("check") && !arg.starts_with('-') => {
+                paths.push(PathBuf::from(arg));
+            }
+            _ => {
+                eprintln!("rt-lint: unknown argument `{arg}`");
+                return usage();
+            }
+        }
+    }
+    match command {
+        Some("rules") => {
+            for rule in ALL_RULES {
+                println!("{rule}: {}", rule_summary(rule));
+            }
+            ExitCode::SUCCESS
+        }
+        Some("check") => check(paths, json),
+        _ => usage(),
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: rt-lint check [FILES…] [--json] | rt-lint rules");
+    ExitCode::from(2)
+}
+
+fn rule_summary(rule: Rule) -> &'static str {
+    match rule {
+        Rule::D1 => "no wall clocks (SystemTime/Instant) in library crates",
+        Rule::D2 => "no HashMap/HashSet in rt-core/rt-sim/rt-markov library paths",
+        Rule::D3 => "no ambient RNG (thread_rng/from_entropy/rand::random/OsRng)",
+        Rule::C1 => "atomic orderings literal at the call site and audit-covered",
+        Rule::C2 => "every unsafe block/impl carries a // SAFETY: comment",
+        Rule::A1 => "public items documented; no .unwrap() on library paths",
+    }
+}
+
+fn check(paths: Vec<PathBuf>, json: bool) -> ExitCode {
+    let t0 = Instant::now();
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("rt-lint: cannot read current directory: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(root) = workspace_root(&cwd) else {
+        eprintln!("rt-lint: no workspace root (Cargo.toml with [workspace]) above {cwd:?}");
+        return ExitCode::from(2);
+    };
+    let report = if paths.is_empty() {
+        check_workspace(&root)
+    } else {
+        check_paths(&root, &paths)
+    };
+    for (path, d) in &report.diagnostics {
+        println!(
+            "{}:{}:{}: {}: {}",
+            path.display(),
+            d.line,
+            d.col,
+            d.rule,
+            d.message
+        );
+    }
+    let by_rule: Vec<String> = ALL_RULES
+        .iter()
+        .filter(|&&r| report.count(r) > 0)
+        .map(|&r| format!("{r}×{}", report.count(r)))
+        .collect();
+    println!(
+        "rt-lint: {} files, {} violations{}{}",
+        report.files,
+        report.diagnostics.len(),
+        if by_rule.is_empty() {
+            String::new()
+        } else {
+            format!(" ({})", by_rule.join(", "))
+        },
+        if report.suppressed > 0 {
+            format!(", {} suppressed by pragmas", report.suppressed)
+        } else {
+            String::new()
+        }
+    );
+    if json {
+        let doc = json_document(&report, t0.elapsed().as_secs_f64());
+        let dir = std::env::var("RT_JSON_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("results/json"));
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("rt-lint: creating {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+        let path = dir.join("lint.json");
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("rt-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("[json] wrote {}", path.display());
+    }
+    if report.diagnostics.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Render the fleet-schema document: one conformance row per rule plus
+/// a row per diagnostic, so `exp_report` fails the fleet on any
+/// violation and the artifact names each finding.
+fn json_document(report: &RunReport, wall: f64) -> String {
+    let mut diag_rows: Vec<String> = Vec::new();
+    for (path, d) in &report.diagnostics {
+        diag_rows.push(format!(
+            "    {{\"family\": \"diagnostic\", \"check\": \"{}:{}:{}\", \"pass\": \"✗\", \
+             \"rule\": \"{}\", \"message\": \"{}\"}}",
+            escape(&path.display().to_string()),
+            d.line,
+            d.col,
+            d.rule,
+            escape(&d.message)
+        ));
+    }
+    let mut all_rows: Vec<String> = ALL_RULES
+        .iter()
+        .map(|&rule| {
+            let n = report.count(rule);
+            format!(
+                "    {{\"family\": \"lint\", \"check\": \"rule/{rule}\", \"pass\": \"{}\", \
+                 \"violations\": {n}}}",
+                if n == 0 { "✓" } else { "✗" }
+            )
+        })
+        .collect();
+    all_rows.extend(diag_rows);
+    format!(
+        "{{\n  \"experiment\": \"lint\",\n  \"params\": {{\"conformance\": 1, \"files\": {}, \
+         \"pragmas\": {}, \"suppressed\": {}}},\n  \"rows\": [\n{}\n  ],\n  \"fits\": [],\n  \
+         \"metrics\": {{\"counters\": {{\"lint.files\": {}, \"lint.violations\": {}}}}},\n  \
+         \"seed\": 0,\n  \"wall_time\": {:.6}\n}}\n",
+        report.files,
+        report.pragmas,
+        report.suppressed,
+        all_rows.join(",\n"),
+        report.files,
+        report.diagnostics.len(),
+        wall
+    )
+}
+
+/// Minimal JSON string escaping (paths and messages are ASCII-ish, but
+/// quotes and backslashes must not break the document).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,943 @@
+//! The rule engine: walks a lexed file and emits diagnostics for every
+//! violation of the determinism (D1–D3), concurrency (C1–C2), and API
+//! hygiene (A1) contracts, honoring `// rt-lint: allow(<rule>)`
+//! pragmas.
+//!
+//! Every rule is derived from a written contract — see DESIGN.md §8 for
+//! the policy, the rationale per rule, and how to add one.
+
+use crate::lexer::{lex, Token, TokenKind};
+use std::fmt;
+
+/// The rule identifiers. Stable: they appear in pragmas, diagnostics,
+/// audit tables, and the `--json` report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// No wall-clock (`SystemTime`/`Instant`) in library crates:
+    /// trajectories must be pure functions of the seed. `rt-obs` is the
+    /// time authority (file-level allow); bench binaries are exempt.
+    D1,
+    /// No `HashMap`/`HashSet` in the sampling/aggregation crates
+    /// (`rt-core`, `rt-sim`, `rt-markov`): iteration order would break
+    /// bit-identical trajectories. Use `BTreeMap` or indexed vectors.
+    D2,
+    /// No ambient RNG (`thread_rng`, `from_entropy`, `rand::random`,
+    /// `OsRng`): all randomness flows from the seeded SplitMix64
+    /// plumbing.
+    D3,
+    /// Atomic RMW operations name a literal `Ordering` at the call
+    /// site, and every ordering used in `rt-par`/`rt-obs` appears in a
+    /// reviewed audit table under `crates/lint/audits/`.
+    C1,
+    /// Every `unsafe` block or impl carries a `// SAFETY:` comment.
+    C2,
+    /// Public items in library crates carry doc comments, and library
+    /// paths never call `.unwrap()` (use `Result` or a documented
+    /// `expect`).
+    A1,
+}
+
+/// All rules, in report order.
+pub const ALL_RULES: [Rule; 6] = [Rule::D1, Rule::D2, Rule::D3, Rule::C1, Rule::C2, Rule::A1];
+
+impl Rule {
+    /// The rule's stable name as used in pragmas and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::D1 => "D1",
+            Rule::D2 => "D2",
+            Rule::D3 => "D3",
+            Rule::C1 => "C1",
+            Rule::C2 => "C2",
+            Rule::A1 => "A1",
+        }
+    }
+
+    /// Parse a rule name (as written in a pragma), case-sensitively.
+    pub fn parse(s: &str) -> Option<Rule> {
+        ALL_RULES.iter().copied().find(|r| r.name() == s)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which compilation target a file belongs to — rules scope on this.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileKind {
+    /// A library target (`src/**`, excluding `src/bin/**`).
+    Lib,
+    /// A binary target (`src/bin/**`) — CLI shells around the library.
+    Bin,
+    /// Integration tests (`tests/**`).
+    Test,
+    /// Benchmarks (`benches/**`).
+    Bench,
+    /// Examples (`examples/**`).
+    Example,
+}
+
+/// Where a file sits in the workspace: crate plus target kind.
+#[derive(Clone, Debug)]
+pub struct FileCtx {
+    /// Package name, e.g. `rt-core`; `recovery-time` for the root.
+    pub crate_name: String,
+    /// Target kind; decides which rules apply.
+    pub kind: FileKind,
+    /// Path relative to the crate root, e.g. `src/lib.rs` — the key
+    /// audit tables use.
+    pub rel_path: String,
+}
+
+/// One finding: rule, position, and a human-actionable message.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// The violated rule.
+    pub rule: Rule,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+/// An entry from an atomic-ordering audit table: `(crate, file, ordering)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuditRow {
+    /// Package the audit file is named after (`rt-par.md` → `rt-par`).
+    pub crate_name: String,
+    /// Crate-relative file the row covers, e.g. `src/lib.rs`.
+    pub file: String,
+    /// Ordering variant, e.g. `Relaxed`.
+    pub ordering: String,
+    /// Line in the audit file (for stale-row diagnostics).
+    pub line: u32,
+}
+
+/// Crates whose atomic orderings must be covered by an audit table.
+pub const AUDITED_CRATES: [&str; 2] = ["rt-par", "rt-obs"];
+
+/// Crates where `HashMap`/`HashSet` are forbidden outside tests (D2).
+pub const ORDERED_ITERATION_CRATES: [&str; 3] = ["rt-core", "rt-sim", "rt-markov"];
+
+/// The experiment-harness crate: exempt from D1 (benches time things)
+/// and from A1 in its binaries.
+pub const BENCH_CRATE: &str = "rt-bench";
+
+/// Atomic read-modify-write method names that must name a literal
+/// `Ordering` among their arguments. `.load`/`.store` are deliberately
+/// absent: `LoadVector::load` is a hot non-atomic accessor in
+/// `rt-core`, and atomic load/store cannot compile without an ordering
+/// anyway — the audit coverage check (C1b) still sees their orderings.
+const ATOMIC_RMW: [&str; 11] = [
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_min",
+    "fetch_max",
+    "fetch_update",
+    "fetch_nand",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// Memory-ordering variants recognized in source and audit tables.
+const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Identifiers banned by D3 wherever they appear (even tests must be
+/// seeded for reproducibility).
+const AMBIENT_RNG: [&str; 7] = [
+    "thread_rng",
+    "ThreadRng",
+    "from_entropy",
+    "from_os_rng",
+    "try_from_os_rng",
+    "OsRng",
+    "getrandom",
+];
+
+/// Item keywords that can follow `pub` and require a doc comment.
+const DOC_ITEM_KWS: [&str; 11] = [
+    "fn", "struct", "enum", "trait", "type", "const", "static", "mod", "union", "unsafe", "async",
+];
+
+/// A lexed file plus the derived masks the rules need.
+pub struct Analysis<'a> {
+    src: &'a str,
+    tokens: Vec<Token>,
+    /// `code[i]` — index into `tokens` of the i-th non-comment token.
+    code: Vec<usize>,
+    /// Token ranges inside `#[cfg(test)] mod … { … }`.
+    test_spans: Vec<(usize, usize)>,
+    /// Token ranges inside `macro_rules! … { … }` (items there are
+    /// templates, not declarations).
+    macro_spans: Vec<(usize, usize)>,
+    /// `(rule, line)` pairs suppressed by line pragmas.
+    line_allows: Vec<(Rule, u32)>,
+    /// Rules suppressed for the whole file by `allow-file` pragmas.
+    file_allows: Vec<Rule>,
+    /// Number of pragma comments seen (reported, so silent suppression
+    /// shows up in the fleet JSON).
+    pub pragma_count: usize,
+}
+
+impl<'a> Analysis<'a> {
+    /// Lex `src` and precompute spans and pragmas.
+    pub fn new(src: &'a str) -> Self {
+        let tokens = lex(src);
+        let code: Vec<usize> = (0..tokens.len())
+            .filter(|&i| !tokens[i].is_comment())
+            .collect();
+        let mut a = Analysis {
+            src,
+            tokens,
+            code,
+            test_spans: Vec::new(),
+            macro_spans: Vec::new(),
+            line_allows: Vec::new(),
+            file_allows: Vec::new(),
+            pragma_count: 0,
+        };
+        a.find_cfg_test_spans();
+        a.find_macro_rules_spans();
+        a.find_pragmas();
+        a
+    }
+
+    /// The lexed tokens (for callers layering extra analyses).
+    pub fn tokens(&self) -> &[Token] {
+        &self.tokens
+    }
+
+    fn text(&self, i: usize) -> &str {
+        self.tokens[i].text(self.src)
+    }
+
+    /// The token at code position `ci` (comments filtered out).
+    fn code_tok(&self, ci: usize) -> Option<&Token> {
+        self.code.get(ci).map(|&i| &self.tokens[i])
+    }
+
+    fn code_text(&self, ci: usize) -> &str {
+        self.code.get(ci).map_or("", |&i| self.text(i))
+    }
+
+    fn is_punct(&self, ci: usize, p: char) -> bool {
+        self.code_tok(ci)
+            .is_some_and(|t| t.kind == TokenKind::Punct && t.text(self.src) == p.to_string())
+    }
+
+    /// Mark the token span of every `#[cfg(test)] mod … { … }`.
+    fn find_cfg_test_spans(&mut self) {
+        let mut ci = 0;
+        while ci < self.code.len() {
+            if self.is_punct(ci, '#')
+                && self.is_punct(ci + 1, '[')
+                && self.code_text(ci + 2) == "cfg"
+                && self.is_punct(ci + 3, '(')
+                && self.code_text(ci + 4) == "test"
+                && self.is_punct(ci + 5, ')')
+                && self.is_punct(ci + 6, ']')
+            {
+                // Skip any further attributes between cfg and the item.
+                let mut j = ci + 7;
+                while self.is_punct(ci, '#') && self.is_punct(j, '#') && self.is_punct(j + 1, '[') {
+                    let mut depth = 0i32;
+                    while j < self.code.len() {
+                        if self.is_punct(j, '[') {
+                            depth += 1;
+                        } else if self.is_punct(j, ']') {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                }
+                if self.code_text(j) == "mod" {
+                    // Find the opening brace, then its match.
+                    let mut k = j;
+                    while k < self.code.len() && !self.is_punct(k, '{') && !self.is_punct(k, ';') {
+                        k += 1;
+                    }
+                    if self.is_punct(k, '{') {
+                        let end = self.matching_brace(k);
+                        self.test_spans.push((self.code[ci], self.code[end]));
+                        ci = end + 1;
+                        continue;
+                    }
+                }
+            }
+            ci += 1;
+        }
+    }
+
+    /// Mark the token span of every `macro_rules! name { … }`.
+    fn find_macro_rules_spans(&mut self) {
+        let mut ci = 0;
+        while ci < self.code.len() {
+            if self.code_text(ci) == "macro_rules" && self.is_punct(ci + 1, '!') {
+                let mut k = ci + 2;
+                while k < self.code.len() && !self.is_punct(k, '{') {
+                    k += 1;
+                }
+                if k < self.code.len() {
+                    let end = self.matching_brace(k);
+                    self.macro_spans.push((self.code[ci], self.code[end]));
+                    ci = end + 1;
+                    continue;
+                }
+            }
+            ci += 1;
+        }
+    }
+
+    /// Code index of the `}` matching the `{` at code index `open`
+    /// (or the last token on unbalanced input).
+    fn matching_brace(&self, open: usize) -> usize {
+        let mut depth = 0i64;
+        let mut k = open;
+        while k < self.code.len() {
+            if self.is_punct(k, '{') {
+                depth += 1;
+            } else if self.is_punct(k, '}') {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+            k += 1;
+        }
+        self.code.len().saturating_sub(1)
+    }
+
+    /// Parse `rt-lint: allow(R1, R2)` and `rt-lint: allow-file(R)`
+    /// pragmas out of comments. A pragma trailing code applies to its
+    /// own line; a pragma on a line of its own applies to the line of
+    /// the next code token.
+    fn find_pragmas(&mut self) {
+        for (i, tok) in self.tokens.iter().enumerate() {
+            if !tok.is_comment() {
+                continue;
+            }
+            let text = tok.text(self.src);
+            let Some(pos) = text.find("rt-lint:") else {
+                continue;
+            };
+            let rest = &text[pos + "rt-lint:".len()..];
+            let rest = rest.trim_start();
+            let (file_level, rest) = if let Some(r) = rest.strip_prefix("allow-file") {
+                (true, r)
+            } else if let Some(r) = rest.strip_prefix("allow") {
+                (false, r)
+            } else {
+                continue;
+            };
+            let Some(open) = rest.find('(') else { continue };
+            let Some(close) = rest[open..].find(')') else {
+                continue;
+            };
+            let rules: Vec<Rule> = rest[open + 1..open + close]
+                .split(',')
+                .filter_map(|s| Rule::parse(s.trim()))
+                .collect();
+            if rules.is_empty() {
+                continue;
+            }
+            self.pragma_count += 1;
+            if file_level {
+                self.file_allows.extend(rules);
+                continue;
+            }
+            // Trailing pragma: a code token earlier on the same line.
+            let trailing = self.tokens[..i]
+                .iter()
+                .rev()
+                .take_while(|t| t.line == tok.line)
+                .any(|t| !t.is_comment());
+            let target_line = if trailing {
+                tok.line
+            } else {
+                self.tokens[i..]
+                    .iter()
+                    .find(|t| !t.is_comment())
+                    .map_or(tok.line, |t| t.line)
+            };
+            for r in rules {
+                self.line_allows.push((r, target_line));
+            }
+        }
+    }
+
+    /// Distinct `Ordering::<variant>` variants named in non-test code —
+    /// the driver cross-checks these against the audit tables to flag
+    /// stale rows.
+    pub fn lib_ordering_variants(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for (ci, &i) in self.code.iter().enumerate() {
+            let t = &self.tokens[i];
+            if t.kind == TokenKind::Ident
+                && t.text(self.src) == "Ordering"
+                && !self.in_test_span(i)
+                && self.is_punct(ci + 1, ':')
+                && self.is_punct(ci + 2, ':')
+            {
+                let variant = self.code_text(ci + 3).to_string();
+                if ORDERINGS.contains(&variant.as_str()) && !out.contains(&variant) {
+                    out.push(variant);
+                }
+            }
+        }
+        out
+    }
+
+    /// Is the raw-token index inside a `#[cfg(test)]` module?
+    pub fn in_test_span(&self, tok_idx: usize) -> bool {
+        self.test_spans
+            .iter()
+            .any(|&(s, e)| s <= tok_idx && tok_idx <= e)
+    }
+
+    fn in_macro_span(&self, tok_idx: usize) -> bool {
+        self.macro_spans
+            .iter()
+            .any(|&(s, e)| s <= tok_idx && tok_idx <= e)
+    }
+
+    fn allowed(&self, rule: Rule, line: u32) -> bool {
+        self.file_allows.contains(&rule)
+            || self
+                .line_allows
+                .iter()
+                .any(|&(r, l)| r == rule && l == line)
+    }
+
+    /// Run every applicable rule. `audit` is the parsed audit-table
+    /// corpus (empty slice disables C1b — used when linting loose
+    /// files). Returns surviving diagnostics and the number suppressed
+    /// by pragmas.
+    pub fn check(&self, ctx: &FileCtx, audit: &[AuditRow]) -> (Vec<Diagnostic>, usize) {
+        let mut all = Vec::new();
+        self.rule_d1(ctx, &mut all);
+        self.rule_d2(ctx, &mut all);
+        self.rule_d3(ctx, &mut all);
+        self.rule_c1(ctx, audit, &mut all);
+        self.rule_c2(ctx, &mut all);
+        self.rule_a1(ctx, &mut all);
+        let before = all.len();
+        let kept: Vec<Diagnostic> = all
+            .into_iter()
+            .filter(|d| !self.allowed(d.rule, d.line))
+            .collect();
+        let suppressed = before - kept.len();
+        (kept, suppressed)
+    }
+
+    fn push(diags: &mut Vec<Diagnostic>, rule: Rule, tok: &Token, message: String) {
+        diags.push(Diagnostic {
+            rule,
+            line: tok.line,
+            col: tok.col,
+            message,
+        });
+    }
+
+    /// D1 — wall clocks in library code.
+    fn rule_d1(&self, ctx: &FileCtx, diags: &mut Vec<Diagnostic>) {
+        if ctx.kind != FileKind::Lib || ctx.crate_name == BENCH_CRATE {
+            return;
+        }
+        for &i in &self.code {
+            let t = &self.tokens[i];
+            if t.kind != TokenKind::Ident || self.in_test_span(i) {
+                continue;
+            }
+            let text = t.text(self.src);
+            if text == "SystemTime" || text == "Instant" || text == "UNIX_EPOCH" {
+                Self::push(
+                    diags,
+                    Rule::D1,
+                    t,
+                    format!(
+                        "wall-clock `{text}` in library code: trajectories must be pure \
+                         functions of the seed (DESIGN.md §6); route timing through the \
+                         rt-obs span API or move it to a bench binary"
+                    ),
+                );
+            }
+        }
+    }
+
+    /// D2 — unordered containers in the sampling/aggregation crates.
+    fn rule_d2(&self, ctx: &FileCtx, diags: &mut Vec<Diagnostic>) {
+        if ctx.kind != FileKind::Lib || !ORDERED_ITERATION_CRATES.contains(&ctx.crate_name.as_str())
+        {
+            return;
+        }
+        for &i in &self.code {
+            let t = &self.tokens[i];
+            if t.kind != TokenKind::Ident || self.in_test_span(i) {
+                continue;
+            }
+            let text = t.text(self.src);
+            if text == "HashMap" || text == "HashSet" {
+                Self::push(
+                    diags,
+                    Rule::D2,
+                    t,
+                    format!(
+                        "`{text}` in {}: iteration order is nondeterministic and breaks \
+                         bit-identical trajectories — use `BTreeMap`/`BTreeSet` or an \
+                         indexed Vec (DESIGN.md §6)",
+                        ctx.crate_name
+                    ),
+                );
+            }
+        }
+    }
+
+    /// D3 — ambient (OS/thread-local) RNG anywhere.
+    fn rule_d3(&self, ctx: &FileCtx, diags: &mut Vec<Diagnostic>) {
+        let _ = ctx; // applies to every crate and target kind
+        for (ci, &i) in self.code.iter().enumerate() {
+            let t = &self.tokens[i];
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            let text = t.text(self.src);
+            let banned = AMBIENT_RNG.contains(&text)
+                || (text == "random"
+                    && ci >= 2
+                    && self.code_text(ci - 1) == ":"
+                    && self.code_text(ci - 2) == ":"
+                    && ci >= 3
+                    && self.code_text(ci - 3) == "rand");
+            if banned {
+                Self::push(
+                    diags,
+                    Rule::D3,
+                    t,
+                    format!(
+                        "ambient RNG `{text}`: all randomness must flow from the seeded \
+                         SplitMix64 plumbing (`SmallRng::seed_from_u64` / `Seeder`), even \
+                         in tests (DESIGN.md §6/§7)"
+                    ),
+                );
+            }
+        }
+    }
+
+    /// C1 — atomic orderings: literal at RMW call sites (a), audited in
+    /// `rt-par`/`rt-obs` (b).
+    fn rule_c1(&self, ctx: &FileCtx, audit: &[AuditRow], diags: &mut Vec<Diagnostic>) {
+        // (a) every atomic RMW call names `Ordering` literally.
+        for (ci, &i) in self.code.iter().enumerate() {
+            let t = &self.tokens[i];
+            if t.kind != TokenKind::Ident || !ATOMIC_RMW.contains(&t.text(self.src)) {
+                continue;
+            }
+            // Must be a method call: `.name(`.
+            if ci == 0 || !self.is_punct(ci - 1, '.') || !self.is_punct(ci + 1, '(') {
+                continue;
+            }
+            let mut depth = 0i64;
+            let mut k = ci + 1;
+            let mut found = false;
+            while k < self.code.len() {
+                if self.is_punct(k, '(') {
+                    depth += 1;
+                } else if self.is_punct(k, ')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if self.code_text(k) == "Ordering" {
+                    found = true;
+                }
+                k += 1;
+            }
+            if !found {
+                Self::push(
+                    diags,
+                    Rule::C1,
+                    t,
+                    format!(
+                        "atomic `{}` without a literal `Ordering::…` at the call site: \
+                         orderings must be visible where they act, not behind a variable",
+                        t.text(self.src)
+                    ),
+                );
+            }
+        }
+        // (b) audit coverage for the lock-free crates.
+        if ctx.kind != FileKind::Lib || !AUDITED_CRATES.contains(&ctx.crate_name.as_str()) {
+            return;
+        }
+        for (ci, &i) in self.code.iter().enumerate() {
+            let t = &self.tokens[i];
+            if t.kind != TokenKind::Ident || t.text(self.src) != "Ordering" || self.in_test_span(i)
+            {
+                continue;
+            }
+            if !(self.is_punct(ci + 1, ':') && self.is_punct(ci + 2, ':')) {
+                continue;
+            }
+            let variant = self.code_text(ci + 3).to_string();
+            if !ORDERINGS.contains(&variant.as_str()) {
+                continue;
+            }
+            let covered = audit.iter().any(|row| {
+                row.crate_name == ctx.crate_name
+                    && row.file == ctx.rel_path
+                    && row.ordering == variant
+            });
+            if !covered {
+                Self::push(
+                    diags,
+                    Rule::C1,
+                    t,
+                    format!(
+                        "`Ordering::{variant}` in {}/{} has no row in the audit table \
+                         (crates/lint/audits/{}.md) — add the ordering with a reviewed \
+                         justification",
+                        ctx.crate_name, ctx.rel_path, ctx.crate_name
+                    ),
+                );
+            }
+        }
+    }
+
+    /// C2 — `unsafe` requires an adjacent `// SAFETY:` comment.
+    fn rule_c2(&self, ctx: &FileCtx, diags: &mut Vec<Diagnostic>) {
+        let _ = ctx; // applies everywhere, tests included
+        for (ci, &i) in self.code.iter().enumerate() {
+            let t = &self.tokens[i];
+            if t.kind != TokenKind::Ident || t.text(self.src) != "unsafe" {
+                continue;
+            }
+            // `unsafe fn`/`unsafe trait` declarations state an
+            // obligation for callers/implementors — the SAFETY comment
+            // belongs at the use sites (blocks and impls).
+            let next = self.code_text(ci + 1);
+            if next == "fn" || next == "trait" || next == "extern" {
+                continue;
+            }
+            if !self.has_safety_comment(i) {
+                Self::push(
+                    diags,
+                    Rule::C2,
+                    t,
+                    "`unsafe` without a `// SAFETY:` comment: state the invariant that \
+                     makes this sound, adjacent to the block"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
+    /// A comment containing `SAFETY:` on the `unsafe` line itself, on
+    /// the line right below (first thing inside the block), or in the
+    /// contiguous run of comment-only lines directly above.
+    fn has_safety_comment(&self, tok_idx: usize) -> bool {
+        let line = self.tokens[tok_idx].line;
+        let safety_on = |l: u32| {
+            self.tokens
+                .iter()
+                .any(|t| t.line == l && t.is_comment() && t.text(self.src).contains("SAFETY:"))
+        };
+        let pure_comment_line = |l: u32| {
+            let mut has_comment = false;
+            for t in &self.tokens {
+                if t.line == l {
+                    if t.is_comment() {
+                        has_comment = true;
+                    } else {
+                        return false;
+                    }
+                }
+            }
+            has_comment
+        };
+        if safety_on(line) || safety_on(line + 1) {
+            return true;
+        }
+        let mut l = line;
+        while l > 1 && pure_comment_line(l - 1) {
+            l -= 1;
+            if safety_on(l) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// A1 — public items documented; no `.unwrap()` on library paths.
+    fn rule_a1(&self, ctx: &FileCtx, diags: &mut Vec<Diagnostic>) {
+        if ctx.kind != FileKind::Lib {
+            return;
+        }
+        // (a) `.unwrap()` ban.
+        for (ci, &i) in self.code.iter().enumerate() {
+            let t = &self.tokens[i];
+            if t.kind == TokenKind::Ident
+                && t.text(self.src) == "unwrap"
+                && ci > 0
+                && self.is_punct(ci - 1, '.')
+                && self.is_punct(ci + 1, '(')
+                && !self.in_test_span(i)
+                && !self.in_macro_span(i)
+            {
+                Self::push(
+                    diags,
+                    Rule::A1,
+                    t,
+                    "`.unwrap()` on a library path: return a `Result` or use \
+                     `.expect(\"<why this cannot fail>\")` so the invariant is documented"
+                        .to_string(),
+                );
+            }
+        }
+        // (b) public items need doc comments.
+        for (ci, &i) in self.code.iter().enumerate() {
+            let t = &self.tokens[i];
+            if t.kind != TokenKind::Ident
+                || t.text(self.src) != "pub"
+                || self.in_test_span(i)
+                || self.in_macro_span(i)
+            {
+                continue;
+            }
+            // `pub(crate)` / `pub(super)` / `pub(in …)` are not public API.
+            if self.is_punct(ci + 1, '(') {
+                continue;
+            }
+            let next = self.code_text(ci + 1);
+            if !DOC_ITEM_KWS.contains(&next) || next == "use" {
+                continue;
+            }
+            // `pub unsafe`/`pub async`/`pub const` must still introduce
+            // an item (`pub const N: usize` also qualifies).
+            if !self.is_documented(ci) {
+                let item = self.code_text(ci + 1).to_string();
+                Self::push(
+                    diags,
+                    Rule::A1,
+                    t,
+                    format!(
+                        "public `{item}` without a doc comment: every exported item \
+                         documents its contract (add `///`)"
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Walk backwards from the `pub` at code index `ci`, skipping
+    /// attribute groups, to find a doc comment.
+    fn is_documented(&self, ci: usize) -> bool {
+        let mut k = ci;
+        while k > 0 && self.is_punct(k - 1, ']') {
+            // Skip the attribute group `#[ … ]` backwards.
+            let mut depth = 0i64;
+            let mut j = k - 1;
+            loop {
+                if self.is_punct(j, ']') {
+                    depth += 1;
+                } else if self.is_punct(j, '[') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if j == 0 {
+                    return false;
+                }
+                j -= 1;
+            }
+            // Expect `#` before the `[`.
+            if j == 0 || !self.is_punct(j - 1, '#') {
+                return false;
+            }
+            k = j - 1;
+        }
+        // `k` is the code index of the item head; look at the raw token
+        // stream immediately before it for a doc comment.
+        let raw = self.code[k];
+        self.tokens[..raw]
+            .iter()
+            .rev()
+            .take_while(|t| t.is_comment())
+            .any(|t| t.is_doc_comment(self.src))
+    }
+}
+
+/// Lint one source text under `ctx`. Returns `(diagnostics, suppressed,
+/// pragma_count)`.
+pub fn lint_source(
+    src: &str,
+    ctx: &FileCtx,
+    audit: &[AuditRow],
+) -> (Vec<Diagnostic>, usize, usize) {
+    let analysis = Analysis::new(src);
+    let pragmas = analysis.pragma_count;
+    let (diags, suppressed) = analysis.check(ctx, audit);
+    (diags, suppressed, pragmas)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_ctx(krate: &str) -> FileCtx {
+        FileCtx {
+            crate_name: krate.to_string(),
+            kind: FileKind::Lib,
+            rel_path: "src/lib.rs".to_string(),
+        }
+    }
+
+    fn rules_of(src: &str, ctx: &FileCtx) -> Vec<Rule> {
+        lint_source(src, ctx, &[])
+            .0
+            .iter()
+            .map(|d| d.rule)
+            .collect()
+    }
+
+    #[test]
+    fn d1_flags_instant_in_library_but_not_bench() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); }\n";
+        assert_eq!(rules_of(src, &lib_ctx("rt-core")), [Rule::D1, Rule::D1]);
+        assert!(rules_of(src, &lib_ctx("rt-bench")).is_empty());
+        let bin = FileCtx {
+            kind: FileKind::Bin,
+            ..lib_ctx("rt-core")
+        };
+        assert!(rules_of(src, &bin).is_empty());
+    }
+
+    #[test]
+    fn d2_scopes_to_sampling_crates() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(rules_of(src, &lib_ctx("rt-core")), [Rule::D2]);
+        assert_eq!(rules_of(src, &lib_ctx("rt-markov")), [Rule::D2]);
+        assert!(rules_of(src, &lib_ctx("rt-edge")).is_empty());
+    }
+
+    #[test]
+    fn d3_flags_ambient_rng_even_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n fn f() { let r = thread_rng(); }\n}\n";
+        assert_eq!(rules_of(src, &lib_ctx("rt-edge")), [Rule::D3]);
+        let qualified = "fn f() -> f64 { rand::random() }\n";
+        assert_eq!(rules_of(qualified, &lib_ctx("rt-edge")), [Rule::D3]);
+        // `random` as an ordinary seeded method is fine.
+        let seeded = "fn f(rng: &mut R) -> f64 { rng.random() }\n";
+        assert!(rules_of(seeded, &lib_ctx("rt-edge")).is_empty());
+    }
+
+    #[test]
+    fn c1_requires_literal_ordering_at_rmw_site() {
+        let bad = "fn f(a: &A, o: Ordering) { a.fetch_add(1, o); }\n";
+        // The parameter type names Ordering, but the call does not.
+        assert_eq!(rules_of(bad, &lib_ctx("rt-edge")), [Rule::C1]);
+        let good = "fn f(a: &A) { a.fetch_add(1, Ordering::Relaxed); }\n";
+        assert!(rules_of(good, &lib_ctx("rt-edge")).is_empty());
+    }
+
+    #[test]
+    fn c1_audit_coverage_for_lock_free_crates() {
+        let src = "fn f(a: &A) { a.fetch_add(1, Ordering::Relaxed); }\n";
+        let ctx = lib_ctx("rt-par");
+        assert_eq!(rules_of(src, &ctx), [Rule::C1]);
+        let audit = [AuditRow {
+            crate_name: "rt-par".into(),
+            file: "src/lib.rs".into(),
+            ordering: "Relaxed".into(),
+            line: 5,
+        }];
+        assert!(lint_source(src, &ctx, &audit).0.is_empty());
+    }
+
+    #[test]
+    fn c2_accepts_adjacent_safety_comments_only() {
+        let bad = "fn f(p: *mut u8) { unsafe { *p = 0 }; }\n";
+        assert_eq!(rules_of(bad, &lib_ctx("rt-edge")), [Rule::C2]);
+        for good in [
+            "// SAFETY: p is valid.\nfn g(p: *mut u8) { unsafe { *p = 0 } }\n",
+            "fn g(p: *mut u8) {\n    // SAFETY: p is valid.\n    unsafe { *p = 0 }\n}\n",
+            "fn g(p: *mut u8) { unsafe { *p = 0 } // SAFETY: p is valid.\n}\n",
+        ] {
+            assert!(rules_of(good, &lib_ctx("rt-edge")).is_empty(), "{good}");
+        }
+        // unsafe fn declarations carry obligations, not proofs.
+        let decl = "/// Doc.\n///\n/// # Safety\n/// Caller checks p.\npub unsafe fn f() {}\n";
+        assert!(rules_of(decl, &lib_ctx("rt-edge")).is_empty());
+    }
+
+    #[test]
+    fn a1_unwrap_and_docs() {
+        let src = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let found = rules_of(src, &lib_ctx("rt-edge"));
+        // Undocumented pub fn + unwrap.
+        assert_eq!(found, [Rule::A1, Rule::A1]);
+        let good =
+            "/// Extracts.\npub fn f(x: Option<u8>) -> u8 { x.expect(\"caller checked\") }\n";
+        assert!(rules_of(good, &lib_ctx("rt-edge")).is_empty());
+        // Attributes between doc and item are fine; pub(crate) exempt.
+        let attr = "/// Doc.\n#[inline]\npub fn f() {}\npub(crate) fn g() {}\n";
+        assert!(rules_of(attr, &lib_ctx("rt-edge")).is_empty());
+    }
+
+    #[test]
+    fn pragmas_suppress_and_are_counted() {
+        let src = "use std::collections::HashMap; // rt-lint: allow(D2): lookup-only\n";
+        let (diags, suppressed, pragmas) = lint_source(src, &lib_ctx("rt-core"), &[]);
+        assert!(diags.is_empty());
+        assert_eq!((suppressed, pragmas), (1, 1));
+        // Pragma on its own line covers the next code line.
+        let above = "// rt-lint: allow(D2)\nuse std::collections::HashMap;\n";
+        assert!(rules_of(above, &lib_ctx("rt-core")).is_empty());
+        // File-level allow.
+        let file = "//! rt-lint: allow-file(D2): audited container use.\nuse std::collections::HashMap;\nfn f(m: &HashMap<u8, u8>) {}\n";
+        assert!(rules_of(file, &lib_ctx("rt-core")).is_empty());
+        // A pragma for one rule does not silence another.
+        let cross = "use std::collections::HashMap; // rt-lint: allow(D1)\n";
+        assert_eq!(rules_of(cross, &lib_ctx("rt-core")), [Rule::D2]);
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt_from_lib_rules() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    fn f(x: Option<u8>) -> u8 { x.unwrap() }\n}\n";
+        assert!(rules_of(src, &lib_ctx("rt-core")).is_empty());
+    }
+
+    #[test]
+    fn macro_rules_bodies_are_not_items() {
+        let src =
+            "macro_rules! m {\n    ($n:ident) => {\n        pub fn $n() { x.unwrap() }\n    };\n}\n";
+        assert!(rules_of(src, &lib_ctx("rt-core")).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_trigger_rules() {
+        let src = "fn f() -> &'static str { \"thread_rng HashMap Instant unwrap()\" }\n// thread_rng in prose\n";
+        assert!(rules_of(src, &lib_ctx("rt-core")).is_empty());
+    }
+
+    #[test]
+    fn diagnostics_carry_position() {
+        let src = "\n\n  use std::collections::HashMap;\n";
+        let (diags, _, _) = lint_source(src, &lib_ctx("rt-core"), &[]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 3);
+        assert!(diags[0].col > 1);
+    }
+}

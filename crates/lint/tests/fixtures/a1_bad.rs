@@ -1,0 +1,6 @@
+//! Fixture: A1 violations — undocumented public item and a library
+//! `.unwrap()`.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

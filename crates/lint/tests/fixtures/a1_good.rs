@@ -1,0 +1,9 @@
+//! Fixture: A1 clean — documented public item, documented expect.
+
+/// First element of `xs`.
+///
+/// # Panics
+/// If `xs` is empty.
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().expect("caller passes a non-empty slice")
+}

@@ -1,0 +1,8 @@
+//! Fixture: C1 violation — atomic RMW with the ordering hidden behind
+//! a variable instead of a literal `Ordering::…` at the call site.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bump(c: &AtomicU64, ord: Ordering) -> u64 {
+    c.fetch_add(1, ord)
+}

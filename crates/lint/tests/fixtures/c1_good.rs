@@ -1,0 +1,7 @@
+//! Fixture: C1 clean — the ordering is literal where it acts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bump(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,6 @@
+//! Fixture: C2 violation — an `unsafe` block with no SAFETY comment.
+
+fn first(xs: &[u32]) -> u32 {
+    assert!(!xs.is_empty());
+    unsafe { *xs.as_ptr() }
+}

@@ -1,0 +1,8 @@
+//! Fixture: C2 clean — the invariant is stated next to the block.
+
+fn first(xs: &[u32]) -> u32 {
+    assert!(!xs.is_empty());
+    // SAFETY: the assert above guarantees xs has at least one element,
+    // so the pointer read is in bounds.
+    unsafe { *xs.as_ptr() }
+}

@@ -1,0 +1,8 @@
+//! Fixture: D1 violation — a wall clock on a library path.
+
+use std::time::Instant;
+
+fn elapsed_ns() -> u64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,17 @@
+//! Fixture: D1 clean — wall clocks appear only inside `#[cfg(test)]`.
+
+/// Pure phase counter: no clock anywhere on the library path.
+pub fn next_phase(t: u64) -> u64 {
+    t.saturating_add(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn timing_is_allowed_in_tests() {
+        let t0 = Instant::now();
+        let _ = t0.elapsed();
+    }
+}

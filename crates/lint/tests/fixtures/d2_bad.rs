@@ -1,0 +1,11 @@
+//! Fixture: D2 violation — `HashMap` in an ordered-iteration crate.
+
+use std::collections::HashMap;
+
+fn histogram(xs: &[u32]) -> HashMap<u32, u64> {
+    let mut h = HashMap::new();
+    for &x in xs {
+        *h.entry(x).or_default() += 1;
+    }
+    h
+}

@@ -1,0 +1,11 @@
+//! Fixture: D2 clean — `BTreeMap` keeps iteration deterministic.
+
+use std::collections::BTreeMap;
+
+fn histogram(xs: &[u32]) -> BTreeMap<u32, u64> {
+    let mut h = BTreeMap::new();
+    for &x in xs {
+        *h.entry(x).or_default() += 1;
+    }
+    h
+}

@@ -1,0 +1,6 @@
+//! Fixture: D3 violation — ambient RNG instead of seeded plumbing.
+
+fn ambient_draw() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.random()
+}

@@ -1,0 +1,9 @@
+//! Fixture: D3 clean — randomness flows from an explicit seed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn seeded_draw(seed: u64) -> u64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    rng.random()
+}

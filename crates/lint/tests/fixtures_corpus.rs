@@ -1,0 +1,168 @@
+//! Fixture-corpus conformance: every rule fires on its `<rule>_bad.rs`
+//! fixture and stays silent on `<rule>_good.rs`, through both the
+//! library API and the CLI (exit codes, `file:line:col` diagnostics,
+//! and the `--json` fleet artifact).
+//!
+//! Fixture files are excluded from the workspace walk and linted under
+//! the strictest context (`rt-core` library) when named explicitly —
+//! see `driver::classify`.
+
+use rt_lint::{check_paths, workspace_root, Rule, ALL_RULES};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn root() -> PathBuf {
+    workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root above crate dir")
+}
+
+fn cli(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_rt-lint"))
+        .args(args)
+        .current_dir(root())
+        .output()
+        .expect("spawn rt-lint")
+}
+
+#[test]
+fn every_bad_fixture_fires_exactly_its_rule() {
+    for rule in ALL_RULES {
+        let name = format!("{}_bad.rs", rule.name().to_lowercase());
+        let report = check_paths(&root(), &[fixture(&name)]);
+        assert!(
+            report.count(rule) > 0,
+            "{name} should violate {rule}, got: {:?}",
+            report.diagnostics
+        );
+        for other in ALL_RULES {
+            if other != rule {
+                assert_eq!(
+                    report.count(other),
+                    0,
+                    "{name} should violate only {rule}, also got {other}: {:?}",
+                    report.diagnostics
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_good_fixture_is_clean() {
+    for rule in ALL_RULES {
+        let name = format!("{}_good.rs", rule.name().to_lowercase());
+        let report = check_paths(&root(), &[fixture(&name)]);
+        assert!(
+            report.diagnostics.is_empty(),
+            "{name} should be clean, got: {:?}",
+            report.diagnostics
+        );
+    }
+}
+
+#[test]
+fn cli_exits_1_with_file_line_column_on_bad_fixtures() {
+    for rule in ALL_RULES {
+        let name = format!("{}_bad.rs", rule.name().to_lowercase());
+        let path = fixture(&name);
+        let out = cli(&["check", path.to_str().expect("utf-8 path")]);
+        assert_eq!(out.status.code(), Some(1), "{name} must fail the lint");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        // Every diagnostic line is `path:line:col: RULE: message`.
+        let diag = stdout
+            .lines()
+            .find(|l| l.contains(&name))
+            .unwrap_or_else(|| panic!("{name}: no diagnostic line in {stdout}"));
+        let tail = diag
+            .split(&format!("{name}:"))
+            .nth(1)
+            .unwrap_or_else(|| panic!("{name}: malformed diagnostic {diag}"));
+        let mut parts = tail.splitn(3, ':');
+        let line: u32 = parts.next().and_then(|s| s.parse().ok()).expect("line no");
+        let col: u32 = parts.next().and_then(|s| s.parse().ok()).expect("col no");
+        assert!(line >= 1 && col >= 1, "1-based positions in {diag}");
+        assert!(
+            parts.next().is_some_and(|m| m.contains(rule.name())),
+            "{name}: diagnostic should name {rule}: {diag}"
+        );
+    }
+}
+
+#[test]
+fn cli_exits_0_on_good_fixtures() {
+    for rule in ALL_RULES {
+        let name = format!("{}_good.rs", rule.name().to_lowercase());
+        let path = fixture(&name);
+        let out = cli(&["check", path.to_str().expect("utf-8 path")]);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{name} must pass: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+}
+
+#[test]
+fn cli_rules_subcommand_lists_every_rule() {
+    let out = cli(&["rules"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in ALL_RULES {
+        assert!(stdout.contains(rule.name()), "missing {rule} in: {stdout}");
+    }
+}
+
+#[test]
+fn cli_json_artifact_follows_the_fleet_schema() {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint_json");
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+    let bad = fixture("d3_bad.rs");
+    let out = Command::new(env!("CARGO_BIN_EXE_rt-lint"))
+        .args(["check", bad.to_str().expect("utf-8 path"), "--json"])
+        .env("RT_JSON_DIR", &dir)
+        .current_dir(root())
+        .output()
+        .expect("spawn rt-lint");
+    assert_eq!(out.status.code(), Some(1));
+    let text = std::fs::read_to_string(dir.join("lint.json")).expect("lint.json written");
+    let doc = rt_obs::Json::parse(&text).expect("artifact parses as JSON");
+    assert_eq!(doc.get("experiment").and_then(|v| v.as_str()), Some("lint"));
+    let conformance = doc
+        .get("params")
+        .and_then(|p| p.get("conformance"))
+        .and_then(|v| v.as_f64());
+    assert_eq!(conformance, Some(1.0), "lint must opt into the gate");
+    let rows = doc
+        .get("rows")
+        .and_then(|v| v.as_arr())
+        .expect("rows array");
+    // One summary row per rule, plus one per diagnostic.
+    assert!(rows.len() > ALL_RULES.len());
+    let d3 = rows
+        .iter()
+        .find(|r| r.get("check").and_then(|v| v.as_str()) == Some("rule/D3"))
+        .expect("rule/D3 summary row");
+    assert_eq!(d3.get("pass").and_then(|v| v.as_str()), Some("✗"));
+    let d1 = rows
+        .iter()
+        .find(|r| r.get("check").and_then(|v| v.as_str()) == Some("rule/D1"))
+        .expect("rule/D1 summary row");
+    assert_eq!(d1.get("pass").and_then(|v| v.as_str()), Some("✓"));
+}
+
+#[test]
+fn pragma_suppression_is_visible_not_silent() {
+    // The workspace itself relies on pragmas (e.g. rt-obs's clock
+    // authority); a full run must report them.
+    let rule = Rule::D1;
+    let src = fixture("d1_bad.rs");
+    let report = check_paths(&root(), &[src]);
+    assert!(report.count(rule) > 0);
+    assert_eq!(report.suppressed, 0, "no pragmas in d1_bad.rs");
+}

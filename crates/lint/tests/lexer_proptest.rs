@@ -1,0 +1,48 @@
+//! Property tests: the lexer is total. Whatever bytes arrive — half-open
+//! strings, stray raw-string hashes, unterminated block comments — it
+//! must never panic, always make progress, and report in-bounds,
+//! monotonic spans.
+
+use proptest::prelude::*;
+use rt_lint::lexer::lex;
+
+/// Character soup chosen adversarially: every string/comment/raw
+/// delimiter, the prefix letters (`r`, `b`, `c`), escapes, newlines,
+/// and a non-ASCII letter to stress byte-offset bookkeeping.
+const SOUP: &str = "[\"'#/*rbc\\\\ \n{}()!_0x9eλ.]{0,80}";
+
+proptest! {
+    #[test]
+    fn lexing_never_panics_and_spans_are_monotonic(s in SOUP) {
+        let toks = lex(&s);
+        let mut prev_end = 0usize;
+        for t in &toks {
+            prop_assert!(t.start >= prev_end, "overlapping tokens in {s:?}");
+            prop_assert!(t.start < t.end, "empty token in {s:?}");
+            prop_assert!(t.end <= s.len(), "token past EOF in {s:?}");
+            prop_assert!(s.is_char_boundary(t.start) && s.is_char_boundary(t.end));
+            prev_end = t.end;
+        }
+    }
+
+    #[test]
+    fn lexing_is_deterministic(s in SOUP) {
+        prop_assert_eq!(lex(&s), lex(&s));
+    }
+
+    #[test]
+    fn line_and_column_match_the_span(s in SOUP) {
+        for t in lex(&s) {
+            let before = &s[..t.start];
+            let line = 1 + before.matches('\n').count() as u32;
+            let col = 1 + before
+                .rsplit('\n')
+                .next()
+                .unwrap_or("")
+                .chars()
+                .count() as u32;
+            prop_assert_eq!(t.line, line, "line of {:?} in {:?}", &s[t.start..t.end], s);
+            prop_assert_eq!(t.col, col, "col of {:?} in {:?}", &s[t.start..t.end], s);
+        }
+    }
+}

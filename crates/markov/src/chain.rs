@@ -6,7 +6,6 @@
 //! analysis in [`crate::exact`].
 
 use rand::Rng;
-use std::hash::Hash;
 
 /// A discrete-time Markov chain 𝔐 on some state type (paper §3).
 ///
@@ -31,7 +30,7 @@ pub trait MarkovChain {
 /// transition probabilities.
 pub trait EnumerableChain: MarkovChain
 where
-    Self::State: Eq + Hash + Ord,
+    Self::State: Ord,
 {
     /// All states reachable by the chain (the state space used for exact
     /// analysis). Must contain every state reachable from any element of

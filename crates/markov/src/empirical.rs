@@ -8,27 +8,31 @@
 //! wherever they overlap.
 
 use crate::tv::tv_distance;
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
 
 /// An empirical distribution over states, built from observed samples.
+///
+/// States are kept in a `BTreeMap` (not a hash map) so that iteration
+/// order — and therefore any output derived from it — is a pure
+/// function of the recorded multiset, per the determinism contract
+/// (DESIGN.md §6).
 #[derive(Clone, Debug)]
 pub struct EmpiricalDist<S> {
-    counts: HashMap<S, u64>,
+    counts: BTreeMap<S, u64>,
     total: u64,
 }
 
-impl<S: Clone + Eq + Hash> Default for EmpiricalDist<S> {
+impl<S: Clone + Ord> Default for EmpiricalDist<S> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<S: Clone + Eq + Hash> EmpiricalDist<S> {
+impl<S: Clone + Ord> EmpiricalDist<S> {
     /// New, empty distribution.
     pub fn new() -> Self {
         EmpiricalDist {
-            counts: HashMap::new(),
+            counts: BTreeMap::new(),
             total: 0,
         }
     }

@@ -15,8 +15,7 @@
 use crate::chain::EnumerableChain;
 use crate::dense::DenseMatrix;
 use crate::tv::tv_distance;
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
 
 /// A fully materialized finite chain: indexed state list plus dense
 /// transition matrix, with a cache of repeated squarings.
@@ -45,13 +44,15 @@ use std::hash::Hash;
 /// ```
 pub struct ExactChain<S> {
     states: Vec<S>,
-    index: HashMap<S, usize>,
+    /// State → index lookup; a `BTreeMap` so the structure (like the
+    /// chain itself) is fully deterministic (DESIGN.md §6).
+    index: BTreeMap<S, usize>,
     p: DenseMatrix,
     /// `powers[k] = P^(2^k)`; grown on demand.
     powers: Vec<DenseMatrix>,
 }
 
-impl<S: Clone + Eq + Hash + Ord> ExactChain<S> {
+impl<S: Clone + Ord> ExactChain<S> {
     /// Materialize the transition matrix of `chain`.
     ///
     /// # Panics
@@ -63,7 +64,7 @@ impl<S: Clone + Eq + Hash + Ord> ExactChain<S> {
     {
         let states = chain.states();
         assert!(!states.is_empty(), "empty state space");
-        let index: HashMap<S, usize> = states
+        let index: BTreeMap<S, usize> = states
             .iter()
             .cloned()
             .enumerate()

@@ -9,7 +9,6 @@
 
 use crate::chain::{EnumerableChain, MarkovChain};
 use rand::Rng;
-use std::hash::Hash;
 
 /// `Lazy(chain, p)`: move with probability `p`, hold otherwise.
 #[derive(Clone, Copy, Debug)]
@@ -51,7 +50,7 @@ impl<C: MarkovChain> MarkovChain for Lazy<C> {
 
 impl<C: EnumerableChain> EnumerableChain for Lazy<C>
 where
-    C::State: Eq + Hash + Ord,
+    C::State: Ord,
 {
     fn states(&self) -> Vec<Self::State> {
         self.inner.states()

@@ -22,14 +22,23 @@
 //! * [`spectral`] — a decay-rate (second eigenvalue modulus) estimate as
 //!   a cross-check on mixing times.
 
+/// Core chain interfaces.
 pub mod chain;
+/// Couplings of two chain copies (paper Def. 3.1) and coalescence.
 pub mod coupling;
+/// Minimal dense matrix kernel for exact chain analysis.
 pub mod dense;
+/// Empirical state distributions and goodness-of-fit.
 pub mod empirical;
+/// Exact stationary distribution and mixing time of enumerable chains.
 pub mod exact;
+/// Generic chain lazification (paper §6, Remark 1).
 pub mod lazy;
+/// The Path Coupling Lemma (Bubley–Dyer; paper Lemma 3.1).
 pub mod path_coupling;
+/// Decay-rate estimation — a spectral cross-check on mixing times.
 pub mod spectral;
+/// Total-variation distance (paper §3).
 pub mod tv;
 
 pub use chain::{EnumerableChain, MarkovChain};

@@ -22,10 +22,13 @@
 //! The dependency rule: `rt-obs` depends on nothing, everything else
 //! (`rt-par`, `rt-core`, `rt-sim`, `rt-bench`) may depend on `rt-obs`.
 
+/// A minimal JSON value type with a hand-rolled emitter and parser.
 pub mod json;
+/// Lock-free metric primitives: counters, histograms, span timers.
 pub mod metrics;
+/// Process-global named-metric registry.
 pub mod registry;
 
 pub use json::Json;
-pub use metrics::{Counter, Histogram};
+pub use metrics::{Counter, Histogram, Stopwatch};
 pub use registry::{counter, histogram, snapshot, Registry};

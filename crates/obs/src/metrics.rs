@@ -9,6 +9,11 @@
 //! one atomic) but not across fields; the experiment harness snapshots
 //! after the measurement joins, where the question does not arise.
 
+// rt-lint: allow-file(D1): rt-obs is the workspace wall-clock authority.
+// Every other library crate measures time through the Stopwatch/span API
+// exported here, so the clock stays confined to this one audited file
+// and can never leak into trajectory logic (DESIGN.md §6, §8).
+
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -201,7 +206,9 @@ impl Histogram {
             if seen >= rank {
                 let (lo, hi) = bucket_range(i);
                 let mid = lo + (hi - lo) / 2;
-                return Some(mid.clamp(self.min().unwrap(), self.max().unwrap()));
+                let min = self.min().expect("count > 0 implies a recorded min");
+                let max = self.max().expect("count > 0 implies a recorded max");
+                return Some(mid.clamp(min, max));
             }
         }
         self.max()
@@ -221,6 +228,32 @@ impl Histogram {
 #[inline]
 pub fn span_ns(start: Instant) -> u64 {
     u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// An opaque monotonic stopwatch — the only way library crates measure
+/// wall time (lint rule D1). Callers get elapsed durations to feed
+/// metrics, never a clock value they could branch trajectory logic on.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    #[inline]
+    #[must_use]
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed nanoseconds since [`Stopwatch::start`], saturating at
+    /// `u64::MAX`.
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        span_ns(self.start)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,97 @@
+//! Concurrency stress tests for the metric primitives and the global
+//! registry.
+//!
+//! These are the tests the ThreadSanitizer CI job drives
+//! (`RUSTFLAGS="-Zsanitizer=thread" cargo test -p rt-obs --test
+//! stress`): many writer threads hammering the same counter, histogram,
+//! and registry entries so any torn update or unsynchronized access is
+//! exercised. As ordinary tests they pin the no-lost-update guarantee
+//! the audit table (crates/lint/audits/rt-obs.md) relies on.
+
+use rt_obs::{Counter, Histogram};
+
+const WRITERS: usize = 8;
+const OPS: u64 = 10_000;
+
+#[test]
+fn counter_loses_no_updates_under_contention() {
+    let c = Counter::new();
+    std::thread::scope(|scope| {
+        for _ in 0..WRITERS {
+            scope.spawn(|| {
+                for _ in 0..OPS {
+                    c.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(c.get(), WRITERS as u64 * OPS);
+}
+
+#[test]
+fn histogram_count_sum_min_max_are_exact_after_join() {
+    let h = Histogram::new();
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS as u64 {
+            let h = &h;
+            scope.spawn(move || {
+                for k in 0..OPS {
+                    // Values 1..=WRITERS*OPS, each recorded exactly once.
+                    h.record(w * OPS + k + 1);
+                }
+            });
+        }
+    });
+    let total = WRITERS as u64 * OPS;
+    assert_eq!(h.count(), total);
+    assert_eq!(h.sum(), total * (total + 1) / 2);
+    assert_eq!(h.min(), Some(1));
+    assert_eq!(h.max(), Some(total));
+}
+
+#[test]
+fn registry_handles_are_shared_across_threads() {
+    std::thread::scope(|scope| {
+        for _ in 0..WRITERS {
+            scope.spawn(|| {
+                for _ in 0..OPS {
+                    rt_obs::counter("stress.registry.events").inc();
+                }
+            });
+        }
+    });
+    let snap = rt_obs::snapshot();
+    let count = snap
+        .get("counters")
+        .and_then(|c| c.get("stress.registry.events"))
+        .and_then(|v| v.as_f64())
+        .expect("counter registered");
+    assert_eq!(count as u64, WRITERS as u64 * OPS);
+}
+
+#[test]
+fn quantiles_stay_in_range_while_writers_run() {
+    // Read concurrently with writers: quantile/min/max must stay
+    // internally consistent per field (never panic, never out of the
+    // observed range) even on a moving histogram.
+    let h = Histogram::new();
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS as u64 {
+            let h = &h;
+            scope.spawn(move || {
+                for k in 0..OPS {
+                    h.record(w * OPS + k + 1);
+                }
+            });
+        }
+        let h = &h;
+        scope.spawn(move || {
+            for _ in 0..1_000 {
+                if let Some(q) = h.quantile(0.5) {
+                    let min = h.min().expect("non-empty once quantile is Some");
+                    assert!(q >= min.next_power_of_two() / 2 || q >= min);
+                }
+            }
+        });
+    });
+}

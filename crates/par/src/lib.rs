@@ -27,9 +27,9 @@
 //! byte-identical for a fixed master seed whether it runs on 1 thread
 //! or 64.
 
+use rt_obs::Stopwatch;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
 
 /// Engine metrics, published to the `rt-obs` global registry (handles
 /// cached so the hot path never touches the registry mutex):
@@ -92,6 +92,11 @@ pub fn chunk_size(n: usize, workers: usize) -> usize {
 /// Shared mutable output window. Workers write disjoint indices, which
 /// is the whole safety argument — see `claim_loop`.
 struct OutPtr<T>(*mut MaybeUninit<T>);
+// SAFETY: sharing the raw pointer across worker threads is sound
+// because the chunk-claim protocol (`next.fetch_add`) hands every index
+// in `0..n` to exactly one worker, so no two threads ever touch the
+// same element; `T: Send` lets the written values move to the scope's
+// owning thread when the workers join.
 unsafe impl<T: Send> Sync for OutPtr<T> {}
 
 /// Apply `f` to every index in `0..n` in parallel, preserving order.
@@ -129,7 +134,7 @@ where
     // reserved capacity.
     unsafe { out.set_len(n) };
 
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let busy_total = rt_obs::Counter::new();
     let next = AtomicUsize::new(0);
     let out_ptr = OutPtr(out.as_mut_ptr());
@@ -140,7 +145,7 @@ where
             let out_ptr = &out_ptr;
             let busy_total = &busy_total;
             scope.spawn(move || {
-                let worker_t0 = Instant::now();
+                let worker_t0 = Stopwatch::start();
                 let mut claimed = 0u64;
                 loop {
                     let start = next.fetch_add(chunk, Ordering::Relaxed);
@@ -160,14 +165,14 @@ where
                 }
                 // One flush per worker per map keeps the claim loop
                 // free of metric traffic.
-                let busy = rt_obs::metrics::span_ns(worker_t0);
+                let busy = worker_t0.elapsed_ns();
                 obs::chunks().add(claimed);
                 obs::worker_busy_ns().record(busy);
                 busy_total.add(busy);
             });
         }
     });
-    let wall = rt_obs::metrics::span_ns(t0);
+    let wall = t0.elapsed_ns();
     obs::map_wall_ns().record(wall);
     if wall > 0 {
         let util = 100.0 * busy_total.get() as f64 / (wall as f64 * workers as f64);
@@ -252,6 +257,10 @@ where
         return;
     }
     struct DataPtr<T>(*mut T);
+    // SAFETY: each chunk index is claimed by exactly one worker via
+    // `next.fetch_add`, and chunks `[ci*chunk_len, ci*chunk_len+len)`
+    // are pairwise disjoint, so no element is aliased across threads;
+    // `T: Send` covers handing the mutated slice back after the join.
     unsafe impl<T: Send> Sync for DataPtr<T> {}
     let next = AtomicUsize::new(0);
     let data_ptr = DataPtr(data.as_mut_ptr());

@@ -21,14 +21,23 @@
 //! * [`sweep`] — declarative size sweeps with model comparison.
 //! * [`plot`] — ASCII line plots for trajectory/TV-decay figures.
 
+/// Parallel coalescence-time measurement for couplings.
 pub mod coalescence;
+/// Least-squares fits for checking scaling laws.
 pub mod fit;
+/// Parallel fan-out for Monte Carlo trials.
 pub mod parallel;
+/// Minimal ASCII line plots for trajectory "figures".
 pub mod plot;
+/// Observable-based recovery-time measurement.
 pub mod recovery;
+/// Statistics utilities: online moments, quantiles, bootstrap CIs.
 pub mod stats;
+/// Declarative size sweeps — the skeleton of every scaling experiment.
 pub mod sweep;
+/// Aligned ASCII tables — the output format of experiment binaries.
 pub mod table;
+/// Time-series recording on geometric grids.
 pub mod trajectory;
 
 pub use parallel::{par_map, par_trials, Seeder};

@@ -43,10 +43,15 @@
 //! EXPERIMENTS.md ("Self-verification") and DESIGN.md §7 for the
 //! threshold and false-positive-budget accounting.
 
+/// Empirical chains against exact computations + coupling invariants.
 pub mod chain;
+/// Goodness-of-fit tests for discrete pmfs and hitting-time samples.
 pub mod gof;
+/// Golden-trajectory snapshots.
 pub mod golden;
+/// Pin every sampler in the tree against its exact law.
 pub mod sampler;
+/// Named checks, derandomized seeds, Bonferroni-corrected decisions.
 pub mod suite;
 
 pub use gof::{bonferroni, chi_square_test, exact_multinomial_test, ks_two_sample, Gof, GofError};
