@@ -1,0 +1,113 @@
+//! Experiment SERVE — throughput scaling of the allocation service.
+//!
+//! The rt-serve server shards its sessions across independently locked
+//! maps, so `Step` requests against different sessions contend only on
+//! their own shard. Claim: with enough cores, total `Step` throughput
+//! under a closed-loop multi-connection load scales with the shard
+//! count (the 1-shard configuration serializes every session behind a
+//! single lock). On a single-core runner the speedup column degenerates
+//! to ≈1× — the *correctness* half (zero errors, deterministic
+//! sessions) is what CI asserts; the scaling half needs parallel
+//! hardware and is reported, not gated.
+
+use std::sync::Arc;
+
+use rt_bench::report::Experiment;
+use rt_bench::{header, Config};
+use rt_serve::{run_load, LoadConfig, Server, ServerConfig};
+use rt_sim::{table, Table};
+
+struct Measured {
+    shards: usize,
+    report: rt_serve::LoadReport,
+}
+
+fn run_one(shards: usize, conns: usize, requests: u64, cfg: &Config) -> Measured {
+    let server_cfg = ServerConfig {
+        shards,
+        max_connections: 4 * conns as u32 + 16,
+        max_sessions: 4 * conns as u64 + 16,
+        ..ServerConfig::default()
+    };
+    let server = Arc::new(Server::bind("127.0.0.1:0", server_cfg).expect("bind loopback"));
+    let addr = server.local_addr().expect("bound address");
+    let runner = Arc::clone(&server);
+    let handle = std::thread::spawn(move || runner.run());
+
+    let load = LoadConfig {
+        addr: addr.to_string(),
+        connections: conns,
+        requests_per_connection: requests,
+        steps_per_request: 64,
+        bins: 256,
+        balls: 256,
+        seed: cfg.seed ^ (shards as u64) << 32,
+        ..LoadConfig::default()
+    };
+    let report = run_load(&load);
+    server.request_shutdown();
+    handle
+        .join()
+        .expect("server thread exits")
+        .expect("clean server exit");
+    Measured { shards, report }
+}
+
+fn main() {
+    let cfg = Config::from_env();
+    let mut exp = Experiment::new("serve_throughput", &cfg);
+    header(
+        "SERVE — sharded allocation service, closed-loop Step throughput",
+        "Claim: per-shard locking lets Step throughput scale with the shard\n\
+         count on parallel hardware; every run must finish with zero errors.",
+    );
+    let shard_counts = cfg.sizes(&[1usize, 2, 8], &[1, 2, 4, 8, 16]);
+    let conns = 64usize;
+    let requests = cfg.trials_or(25) as u64;
+    exp.param("connections", conns)
+        .param("requests_per_connection", requests)
+        .param("steps_per_request", 64u64)
+        .param("bins", 256u64)
+        .param("balls", 256u64)
+        .param("shard_counts", shard_counts.to_vec());
+
+    let mut tbl = Table::new([
+        "shards",
+        "conns",
+        "steps",
+        "errors",
+        "steps/s",
+        "p50 µs",
+        "p99 µs",
+        "speedup vs 1 shard",
+    ]);
+    let mut base = 0.0f64;
+    let mut total_errors = 0u64;
+    for &shards in shard_counts {
+        let m = run_one(shards, conns, requests, &cfg);
+        let rate = m.report.steps_per_sec();
+        if shards == 1 {
+            base = rate;
+        }
+        let speedup = if base > 0.0 { rate / base } else { 0.0 };
+        total_errors += m.report.errors + m.report.failed_connections as u64;
+        tbl.push_row([
+            m.shards.to_string(),
+            conns.to_string(),
+            m.report.steps.to_string(),
+            m.report.errors.to_string(),
+            table::g(rate),
+            table::g(m.report.latency_p50_ns as f64 / 1e3),
+            table::g(m.report.latency_p99_ns as f64 / 1e3),
+            table::f(speedup, 2),
+        ]);
+    }
+    print!("{}", tbl.render());
+    exp.table(&tbl);
+    exp.finish();
+
+    if total_errors > 0 {
+        eprintln!("serve benchmark saw {total_errors} errors/failed connections");
+        std::process::exit(1);
+    }
+}

@@ -350,6 +350,12 @@ impl<D: FastRule> FastProcess<D> {
         &self.rule
     }
 
+    /// The removal scenario.
+    #[inline]
+    pub fn removal(&self) -> Removal {
+        self.removal
+    }
+
     /// The removal half of a phase alone: remove one ball per the
     /// scenario (used by batched processes that interleave removals and
     /// insertions differently).
@@ -395,19 +401,27 @@ impl<D: FastRule> FastProcess<D> {
         self.counters.insertions += 1;
     }
 
+    /// The insertion half of a phase alone: let the rule choose a bin
+    /// against the current loads and place one ball there. This is the
+    /// session-facing face of the rule (the network layer's `Insert`
+    /// request and every open-system protocol build on it), with the
+    /// rule's raw RNG draws — its load probes — counted without
+    /// perturbing the stream.
+    pub fn insert_one<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let mut probe_rng = CountingRng::new(rng);
+        let j = self.rule.choose_bin(&self.loads, &mut probe_rng);
+        self.counters.probes += probe_rng.draws();
+        self.inc_bin(j);
+        self.counters.insertions += 1;
+    }
+
     /// One phase: remove per the scenario, insert per the rule.
     ///
     /// # Panics
     /// If the system has no balls.
     pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
         self.remove_one(rng);
-        // Count the rule's raw RNG draws — its load probes — without
-        // perturbing the stream.
-        let mut probe_rng = CountingRng::new(rng);
-        let j = self.rule.choose_bin(&self.loads, &mut probe_rng);
-        self.counters.probes += probe_rng.draws();
-        self.inc_bin(j);
-        self.counters.insertions += 1;
+        self.insert_one(rng);
         self.counters.steps += 1;
     }
 
@@ -535,6 +549,37 @@ mod tests {
         assert_eq!(c.insertions, 100);
         // ABKU[3] makes exactly 3 draws per insertion.
         assert_eq!(c.probes, 300);
+    }
+
+    #[test]
+    fn insert_remove_halves_compose_to_step_bit_for_bit() {
+        // A phase decomposed into its halves (the session-facing API)
+        // consumes the RNG exactly like `step` and reaches the same
+        // state — the network layer's Remove+Insert equals one Step.
+        for removal in [Removal::RandomBall, Removal::RandomNonEmptyBin] {
+            let start = vec![9u32, 0, 3, 0, 1];
+            let mut whole = FastProcess::new(removal, Abku::new(2), start.clone());
+            let mut halves = FastProcess::new(removal, Abku::new(2), start);
+            let mut rng_w = SmallRng::seed_from_u64(4242);
+            let mut rng_h = SmallRng::seed_from_u64(4242);
+            for t in 0..2_000 {
+                whole.step(&mut rng_w);
+                halves.remove_one(&mut rng_h);
+                halves.insert_one(&mut rng_h);
+                assert_eq!(whole.loads(), halves.loads(), "{removal:?}, step {t}");
+            }
+            assert_eq!(rng_w.random::<u64>(), rng_h.random::<u64>());
+            assert_eq!(whole.counters().probes, halves.counters().probes);
+            assert_eq!(whole.counters().insertions, halves.counters().insertions);
+        }
+    }
+
+    #[test]
+    fn removal_accessor_reports_the_scenario() {
+        let p = FastProcess::new(Removal::RandomBall, Abku::new(2), vec![1]);
+        assert_eq!(p.removal(), Removal::RandomBall);
+        let q = FastProcess::new(Removal::RandomNonEmptyBin, Abku::new(2), vec![1]);
+        assert_eq!(q.removal(), Removal::RandomNonEmptyBin);
     }
 
     #[test]

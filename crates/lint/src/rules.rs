@@ -119,7 +119,7 @@ pub struct AuditRow {
 }
 
 /// Crates whose atomic orderings must be covered by an audit table.
-pub const AUDITED_CRATES: [&str; 2] = ["rt-par", "rt-obs"];
+pub const AUDITED_CRATES: [&str; 3] = ["rt-par", "rt-obs", "rt-serve"];
 
 /// Crates where `HashMap`/`HashSet` are forbidden outside tests (D2).
 pub const ORDERED_ITERATION_CRATES: [&str; 3] = ["rt-core", "rt-sim", "rt-markov"];

@@ -5,7 +5,8 @@
 //! Three pieces, none of which pull in a dependency:
 //!
 //! * [`metrics`] — lock-free primitives: [`Counter`] (atomic u64),
-//!   [`Histogram`] (fixed power-of-two buckets with atomic min/max/sum),
+//!   [`Gauge`] (signed current level: set/add/sub), [`Histogram`]
+//!   (fixed power-of-two buckets with atomic min/max/sum),
 //!   and monotonic span timers ([`Histogram::time`] /
 //!   [`Histogram::record_span`]) built on `std::time::Instant`.
 //! * [`registry`] — a process-global named-metric registry. Metric
@@ -30,5 +31,5 @@ pub mod metrics;
 pub mod registry;
 
 pub use json::Json;
-pub use metrics::{Counter, Histogram, Stopwatch};
-pub use registry::{counter, histogram, snapshot, Registry};
+pub use metrics::{Counter, Gauge, Histogram, Stopwatch};
+pub use registry::{counter, gauge, histogram, snapshot, Registry};

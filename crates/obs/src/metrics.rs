@@ -14,7 +14,7 @@
 // exported here, so the clock stays confined to this one audited file
 // and can never leak into trajectory logic (DESIGN.md §6, §8).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::time::Instant;
 
 /// A monotonically increasing event counter.
@@ -46,6 +46,64 @@ impl Counter {
     /// Current count.
     #[inline]
     pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A current-level metric: a signed value that can move both ways
+/// (active connections, open sessions, queue depth).
+///
+/// Counters are monotone and histograms are append-only, so neither
+/// can represent "how many right now". A gauge is a single `AtomicI64`
+/// updated with `fetch_add`/`fetch_sub`/`store`; like the other
+/// primitives it promises only that no update is lost — RMW atomicity
+/// gives that under any ordering.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A zero gauge.
+    pub const fn new() -> Self {
+        Gauge {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Raise the level by `n`.
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Lower the level by `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Raise the level by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Lower the level by one.
+    #[inline]
+    pub fn dec(&self) {
+        self.sub(1);
+    }
+
+    /// Overwrite the level (absolute set, e.g. after a recount).
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    #[inline]
+    pub fn get(&self) -> i64 {
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -266,6 +324,38 @@ mod tests {
         c.inc();
         c.add(9);
         assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways_and_sets() {
+        let g = Gauge::new();
+        g.inc();
+        g.add(9);
+        g.dec();
+        g.sub(4);
+        assert_eq!(g.get(), 5);
+        g.sub(10);
+        assert_eq!(g.get(), -5, "gauges are signed");
+        g.set(42);
+        assert_eq!(g.get(), 42);
+    }
+
+    #[test]
+    fn gauge_is_safe_under_contention() {
+        // Paired inc/dec from many threads must cancel exactly — the
+        // no-lost-update guarantee the registry snapshot relies on.
+        let g = Gauge::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        g.inc();
+                        g.dec();
+                    }
+                });
+            }
+        });
+        assert_eq!(g.get(), 0);
     }
 
     #[test]

@@ -8,19 +8,31 @@
 //! handle, so the hot substrate stays lock-free.
 //!
 //! [`snapshot`] freezes every registered metric into one [`Json`]
-//! object: `{"counters": {name: n}, "histograms": {name: {count, sum,
-//! min, max, mean, p50, p90, p99}}}`. Counters and histograms are
-//! cumulative over the process lifetime; experiment reports snapshot at
-//! exit, so the numbers are per-run totals.
+//! object: `{"counters": {name: n}, "gauges": {name: level},
+//! "histograms": {name: {count, sum, min, max, mean, p50, p90, p99}}}`.
+//! Counters and histograms are cumulative over the process lifetime
+//! and gauges are current levels; experiment reports snapshot at exit,
+//! so the numbers are per-run totals.
 
 use crate::json::Json;
-use crate::metrics::{Counter, Histogram};
+use crate::metrics::{Counter, Gauge, Histogram};
 use std::collections::BTreeMap;
 use std::sync::{Mutex, OnceLock};
 
 enum Metric {
     Counter(&'static Counter),
+    Gauge(&'static Gauge),
     Histogram(&'static Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
 }
 
 /// A named-metric registry. Most code uses the process-global one via
@@ -39,7 +51,7 @@ impl Registry {
     /// The counter named `name`, registering it on first use.
     ///
     /// # Panics
-    /// If `name` is already registered as a histogram.
+    /// If `name` is already registered as another metric kind.
     pub fn counter(&self, name: &str) -> &'static Counter {
         let mut map = self.inner.lock().expect("registry poisoned");
         match map
@@ -47,14 +59,29 @@ impl Registry {
             .or_insert_with(|| Metric::Counter(leak(Counter::new())))
         {
             Metric::Counter(c) => c,
-            Metric::Histogram(_) => panic!("metric '{name}' is a histogram, not a counter"),
+            other => panic!("metric '{name}' is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as another metric kind.
+    pub fn gauge(&self, name: &str) -> &'static Gauge {
+        let mut map = self.inner.lock().expect("registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(leak(Gauge::new())))
+        {
+            Metric::Gauge(g) => g,
+            other => panic!("metric '{name}' is a {}, not a gauge", other.kind()),
         }
     }
 
     /// The histogram named `name`, registering it on first use.
     ///
     /// # Panics
-    /// If `name` is already registered as a counter.
+    /// If `name` is already registered as another metric kind.
     pub fn histogram(&self, name: &str) -> &'static Histogram {
         let mut map = self.inner.lock().expect("registry poisoned");
         match map
@@ -62,7 +89,7 @@ impl Registry {
             .or_insert_with(|| Metric::Histogram(leak(Histogram::new())))
         {
             Metric::Histogram(h) => h,
-            Metric::Counter(_) => panic!("metric '{name}' is a counter, not a histogram"),
+            other => panic!("metric '{name}' is a {}, not a histogram", other.kind()),
         }
     }
 
@@ -70,11 +97,15 @@ impl Registry {
     pub fn snapshot(&self) -> Json {
         let map = self.inner.lock().expect("registry poisoned");
         let mut counters = Json::obj();
+        let mut gauges = Json::obj();
         let mut histograms = Json::obj();
         for (name, metric) in map.iter() {
             match metric {
                 Metric::Counter(c) => {
                     counters.set(name, c.get());
+                }
+                Metric::Gauge(g) => {
+                    gauges.set(name, g.get());
                 }
                 Metric::Histogram(h) => {
                     let mut o = Json::obj();
@@ -91,7 +122,9 @@ impl Registry {
             }
         }
         let mut out = Json::obj();
-        out.set("counters", counters).set("histograms", histograms);
+        out.set("counters", counters)
+            .set("gauges", gauges)
+            .set("histograms", histograms);
         out
     }
 }
@@ -111,6 +144,11 @@ fn global() -> &'static Registry {
 /// The process-global counter named `name` (registered on first use).
 pub fn counter(name: &str) -> &'static Counter {
     global().counter(name)
+}
+
+/// The process-global gauge named `name` (registered on first use).
+pub fn gauge(name: &str) -> &'static Gauge {
+    global().gauge(name)
 }
 
 /// The process-global histogram named `name` (registered on first use).
@@ -143,6 +181,34 @@ mod tests {
         let r = Registry::new();
         r.histogram("m");
         r.counter("m");
+    }
+
+    #[test]
+    #[should_panic(expected = "is a gauge")]
+    fn gauge_kind_mismatch_panics() {
+        let r = Registry::new();
+        r.gauge("g");
+        r.histogram("g");
+    }
+
+    #[test]
+    fn gauge_registration_is_idempotent_and_snapshots() {
+        let r = Registry::new();
+        let a = r.gauge("conn.active");
+        let b = r.gauge("conn.active");
+        assert!(std::ptr::eq(a, b), "same handle for the same name");
+        a.add(3);
+        b.dec();
+        assert_eq!(a.get(), 2);
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.get("gauges")
+                .unwrap()
+                .get("conn.active")
+                .unwrap()
+                .as_f64(),
+            Some(2.0)
+        );
     }
 
     #[test]

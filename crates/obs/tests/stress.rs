@@ -8,10 +8,51 @@
 //! exercised. As ordinary tests they pin the no-lost-update guarantee
 //! the audit table (crates/lint/audits/rt-obs.md) relies on.
 
-use rt_obs::{Counter, Histogram};
+use rt_obs::{Counter, Gauge, Histogram};
 
 const WRITERS: usize = 8;
 const OPS: u64 = 10_000;
+
+#[test]
+fn gauge_loses_no_updates_under_contention() {
+    // Half the writers raise, half lower by twice as much over half as
+    // many ops; the final level is exactly computable iff no update is
+    // lost (this is the tsan-audited no-lost-update contract).
+    let g = Gauge::new();
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            let g = &g;
+            scope.spawn(move || {
+                if w % 2 == 0 {
+                    for _ in 0..OPS {
+                        g.inc();
+                    }
+                } else {
+                    for _ in 0..OPS / 2 {
+                        g.sub(2);
+                    }
+                }
+            });
+        }
+    });
+    // WRITERS/2 threads added OPS each; WRITERS/2 subtracted OPS each.
+    assert_eq!(g.get(), 0);
+}
+
+#[test]
+fn registry_gauge_handles_are_shared_across_threads() {
+    std::thread::scope(|scope| {
+        for _ in 0..WRITERS {
+            scope.spawn(|| {
+                for _ in 0..OPS {
+                    rt_obs::gauge("stress.registry.level").inc();
+                    rt_obs::gauge("stress.registry.level").dec();
+                }
+            });
+        }
+    });
+    assert_eq!(rt_obs::gauge("stress.registry.level").get(), 0);
+}
 
 #[test]
 fn counter_loses_no_updates_under_contention() {

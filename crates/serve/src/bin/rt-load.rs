@@ -1,0 +1,91 @@
+//! Closed-loop load generator for a running `rt-serve`.
+//!
+//! ```text
+//! rt-load [--addr 127.0.0.1:4547] [--conns 8] [--requests 100]
+//!         [--steps 64] [--bins 256] [--balls 256] [--seed 12345]
+//!         [--shutdown]
+//! ```
+//!
+//! Prints the measured report as a table. Exits 0 only if every
+//! connection completed with zero errors and non-zero throughput —
+//! the CI smoke test leans on that exit code. `--shutdown` asks the
+//! server to stop after the run (used to tear down background servers
+//! in scripts).
+
+use std::process::ExitCode;
+
+use rt_serve::{run_load, Client, LoadConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rt-load [--addr HOST:PORT] [--conns N] [--requests N] [--steps N]\n\
+         [--bins N] [--balls N] [--seed N] [--shutdown]\n\
+         defaults: --addr 127.0.0.1:4547 --conns 8 --requests 100 --steps 64\n\
+         --bins 256 --balls 256 --seed 12345"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(raw) = value else {
+        eprintln!("missing value for {flag}");
+        usage();
+    };
+    match raw.parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("invalid value '{raw}' for {flag}");
+            usage();
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut cfg = LoadConfig::default();
+    let mut shutdown = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => cfg.addr = parse(&arg, args.next()),
+            "--conns" => cfg.connections = parse(&arg, args.next()),
+            "--requests" => cfg.requests_per_connection = parse(&arg, args.next()),
+            "--steps" => cfg.steps_per_request = parse(&arg, args.next()),
+            "--bins" => cfg.bins = parse(&arg, args.next()),
+            "--balls" => cfg.balls = parse(&arg, args.next()),
+            "--seed" => cfg.seed = parse(&arg, args.next()),
+            "--shutdown" => shutdown = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag '{other}'");
+                usage();
+            }
+        }
+    }
+    let report = run_load(&cfg);
+    print!("{}", report.table().render());
+    if shutdown {
+        match Client::connect(&cfg.addr)
+            .map_err(|e| e.to_string())
+            .and_then(|mut c| c.shutdown().map_err(|e| e.to_string()))
+        {
+            Ok(()) => println!("server acknowledged shutdown"),
+            Err(e) => {
+                eprintln!("shutdown request failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let healthy =
+        report.errors == 0 && report.failed_connections == 0 && report.steps_per_sec() > 0.0;
+    if healthy {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "load run unhealthy: {} errors, {} failed connections, {:.1} steps/s",
+            report.errors,
+            report.failed_connections,
+            report.steps_per_sec()
+        );
+        ExitCode::FAILURE
+    }
+}

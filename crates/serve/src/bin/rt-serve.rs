@@ -1,0 +1,78 @@
+//! Stand-alone allocation server.
+//!
+//! ```text
+//! rt-serve [--addr 127.0.0.1:4547] [--shards 8] [--cap 256]
+//!          [--max-sessions 1024]
+//! ```
+//!
+//! Prints one `listening on <addr>` line once the socket is bound
+//! (scripts wait for it), then serves until a `Shutdown` request.
+
+use std::process::ExitCode;
+
+use rt_serve::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rt-serve [--addr HOST:PORT] [--shards N] [--cap N] [--max-sessions N]\n\
+         defaults: --addr 127.0.0.1:4547 --shards 8 --cap 256 --max-sessions 1024"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(raw) = value else {
+        eprintln!("missing value for {flag}");
+        usage();
+    };
+    match raw.parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("invalid value '{raw}' for {flag}");
+            usage();
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:4547".to_string();
+    let mut cfg = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = parse(&arg, args.next()),
+            "--shards" => cfg.shards = parse(&arg, args.next()),
+            "--cap" => cfg.max_connections = parse(&arg, args.next()),
+            "--max-sessions" => cfg.max_sessions = parse(&arg, args.next()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag '{other}'");
+                usage();
+            }
+        }
+    }
+    if cfg.shards == 0 {
+        eprintln!("--shards must be >= 1");
+        return ExitCode::from(2);
+    }
+    let server = match Server::bind(&addr, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(bound) => println!("listening on {bound}"),
+        Err(e) => {
+            eprintln!("local_addr: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = server.run() {
+        eprintln!("server error: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("shut down cleanly");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,179 @@
+//! A blocking client: one TCP connection, strictly framed calls.
+//!
+//! [`Client::call_raw`] exposes the undecoded response payload — the
+//! determinism tests compare those byte strings directly, which is a
+//! stronger statement than comparing decoded values (it pins the wire
+//! encoding too).
+
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::proto::{
+    read_frame, write_frame, FrameError, ProtoError, Request, Response, RuleSpec, Scenario,
+};
+
+/// A failed call.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Writing the request failed.
+    Io(io::Error),
+    /// Reading the response frame failed (timeout, mid-frame EOF, …).
+    Frame(FrameError),
+    /// The response payload did not decode.
+    Proto(ProtoError),
+    /// The server closed the connection instead of answering.
+    Disconnected,
+    /// The server answered, but not with the expected variant (e.g. a
+    /// typed `Error` or `Busy` where a helper wanted `SessionOpened`).
+    Unexpected(Response),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "request write failed: {e}"),
+            ClientError::Frame(e) => write!(f, "response read failed: {e}"),
+            ClientError::Proto(e) => write!(f, "response malformed: {e}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::Unexpected(r) => write!(f, "unexpected response: {r:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A blocking connection to a [`Server`](crate::server::Server).
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a server.
+    ///
+    /// # Errors
+    /// Propagates the connect failure.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        Ok(Client {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    /// Set socket read/write deadlines (both `None` by default: calls
+    /// block until the server answers).
+    ///
+    /// # Errors
+    /// Propagates the socket-option failure.
+    pub fn set_timeouts(
+        &mut self,
+        read: Option<Duration>,
+        write: Option<Duration>,
+    ) -> io::Result<()> {
+        self.stream.set_read_timeout(read)?;
+        self.stream.set_write_timeout(write)
+    }
+
+    /// Send raw payload bytes and return the raw response payload.
+    /// Building block for protocol tests that must send malformed
+    /// input or inspect exact reply bytes.
+    ///
+    /// # Errors
+    /// Any transport failure; no decoding is attempted.
+    pub fn call_bytes(&mut self, payload: &[u8]) -> Result<Vec<u8>, ClientError> {
+        write_frame(&mut self.stream, payload).map_err(ClientError::Io)?;
+        match read_frame(&mut self.stream) {
+            Ok(Some(reply)) => Ok(reply),
+            Ok(None) => Err(ClientError::Disconnected),
+            Err(e) => Err(ClientError::Frame(e)),
+        }
+    }
+
+    /// Send a request and return the raw (undecoded) response payload.
+    ///
+    /// # Errors
+    /// Any transport failure.
+    pub fn call_raw(&mut self, request: &Request) -> Result<Vec<u8>, ClientError> {
+        self.call_bytes(&request.encode())
+    }
+
+    /// Send a request and decode the response.
+    ///
+    /// # Errors
+    /// Any transport or decode failure. A typed [`Response::Error`]
+    /// from the server is a *successful* call — inspect the returned
+    /// variant.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let payload = self.call_raw(request)?;
+        Response::decode(&payload).map_err(ClientError::Proto)
+    }
+
+    /// Open a session, returning its id.
+    ///
+    /// # Errors
+    /// Transport failures, or [`ClientError::Unexpected`] carrying the
+    /// server's refusal.
+    pub fn open_session(
+        &mut self,
+        n: u32,
+        m: u32,
+        scenario: Scenario,
+        rule: RuleSpec,
+        seed: u64,
+    ) -> Result<u64, ClientError> {
+        match self.call(&Request::OpenSession {
+            n,
+            m,
+            scenario,
+            rule,
+            seed,
+        })? {
+            Response::SessionOpened { session } => Ok(session),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Run `k` phases, returning the session's cumulative step count.
+    ///
+    /// # Errors
+    /// Transport failures, or [`ClientError::Unexpected`] on refusal.
+    pub fn step(&mut self, session: u64, k: u64) -> Result<u64, ClientError> {
+        match self.call(&Request::Step { session, k })? {
+            Response::Stepped { steps, .. } => Ok(steps),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Fetch the raw load vector.
+    ///
+    /// # Errors
+    /// Transport failures, or [`ClientError::Unexpected`] on refusal.
+    pub fn query_loads(&mut self, session: u64) -> Result<Vec<u32>, ClientError> {
+        match self.call(&Request::QueryLoads { session })? {
+            Response::Loads { loads } => Ok(loads),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Close a session.
+    ///
+    /// # Errors
+    /// Transport failures, or [`ClientError::Unexpected`] on refusal.
+    pub fn close_session(&mut self, session: u64) -> Result<(), ClientError> {
+        match self.call(&Request::CloseSession { session })? {
+            Response::Closed => Ok(()),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Ask the server to shut down gracefully.
+    ///
+    /// # Errors
+    /// Transport failures, or [`ClientError::Unexpected`] on refusal.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! `rt-serve` — allocation-as-a-service: the paper's dynamic
+//! allocation processes behind a deterministic network protocol.
+//!
+//! A server ([`server::Server`]) owns a population of *sessions*, each
+//! a crash-started [`rt_core::FastProcess`] with a private RNG stream
+//! derived from the client-supplied seed. Sessions are hashed onto
+//! independently locked shards ([`shard::ShardMap`]), so steps against
+//! different sessions run in parallel while every individual
+//! trajectory remains bit-deterministic: same seed, same request
+//! sequence ⇒ byte-identical `QueryLoads` replies, no matter how many
+//! other clients the server is juggling.
+//!
+//! The wire format ([`proto`]) is a length-prefixed binary protocol
+//! with strict decoding — every malformed input maps to a typed error,
+//! never a panic or a hang. [`client::Client`] is the blocking
+//! counterpart, and [`load`] is a closed-loop multi-connection load
+//! generator used by the `rt-load` binary and the
+//! `exp_serve_throughput` benchmark.
+//!
+//! Binaries:
+//! * `rt-serve` — stand-alone server on a TCP address.
+//! * `rt-load` — load generator; exits non-zero if any request failed.
+
+/// Blocking client over the wire protocol.
+pub mod client;
+/// Closed-loop multi-connection load generator.
+pub mod load;
+/// Frame codec and request/response message types.
+pub mod proto;
+/// The TCP server: accept loop, handlers, limits, metrics.
+pub mod server;
+/// Per-session process state and RNG stream.
+pub mod session;
+/// Sharded session storage.
+pub mod shard;
+
+pub use client::{Client, ClientError};
+pub use load::{run_load, LoadConfig, LoadReport};
+pub use proto::{ErrorCode, Observables, ProtoError, Request, Response, RuleSpec, Scenario};
+pub use server::{Server, ServerConfig};
+pub use session::Session;
+pub use shard::ShardMap;

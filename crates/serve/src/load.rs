@@ -1,0 +1,222 @@
+//! The closed-loop load generator behind the `rt-load` binary and the
+//! serving benchmark: `connections` client threads, each driving its
+//! own session with back-to-back `Step` requests and recording every
+//! request's latency.
+//!
+//! Closed-loop means each connection issues the next request only
+//! after the previous response arrives, so concurrency is exactly the
+//! connection count and the measured throughput is the sustainable
+//! one, not a queue filling up.
+
+use std::time::Duration;
+
+use rt_obs::{Counter, Histogram, Stopwatch};
+use rt_sim::{Seeder, Table};
+
+use crate::client::Client;
+use crate::proto::{RuleSpec, Scenario};
+
+/// Parameters of one load run.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Server address, e.g. `"127.0.0.1:4547"`.
+    pub addr: String,
+    /// Concurrent connections (each with its own session).
+    pub connections: usize,
+    /// `Step` requests each connection issues.
+    pub requests_per_connection: u64,
+    /// Phases per `Step` request.
+    pub steps_per_request: u64,
+    /// Bins per session.
+    pub bins: u32,
+    /// Balls per session (crash-started in bin 0).
+    pub balls: u32,
+    /// Scenario every session runs.
+    pub scenario: Scenario,
+    /// Rule every session runs.
+    pub rule: RuleSpec,
+    /// Master seed; per-connection session seeds are derived from it
+    /// (`rt_sim::Seeder`), so a load run is reproducible end to end.
+    pub seed: u64,
+    /// Socket deadlines for every client connection.
+    pub timeout: Option<Duration>,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: "127.0.0.1:4547".to_string(),
+            connections: 8,
+            requests_per_connection: 100,
+            steps_per_request: 64,
+            bins: 256,
+            balls: 256,
+            scenario: Scenario::B,
+            rule: RuleSpec::Abku { d: 2 },
+            seed: 12345,
+            timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// What a load run measured.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Connections that completed their full request schedule.
+    pub completed_connections: usize,
+    /// Connections that aborted (connect failure or a failed call).
+    pub failed_connections: usize,
+    /// Successful `Step` requests across all connections.
+    pub requests: u64,
+    /// Phases executed across all connections.
+    pub steps: u64,
+    /// Failed calls (transport errors or server refusals).
+    pub errors: u64,
+    /// Wall time of the whole run.
+    pub elapsed_ns: u64,
+    /// Mean per-request latency in nanoseconds.
+    pub latency_mean_ns: f64,
+    /// Median per-request latency (bucket-resolution estimate).
+    pub latency_p50_ns: u64,
+    /// 99th-percentile per-request latency (bucket-resolution
+    /// estimate).
+    pub latency_p99_ns: u64,
+}
+
+impl LoadReport {
+    /// Phases per second over the whole run.
+    pub fn steps_per_sec(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.steps as f64 * 1e9 / self.elapsed_ns as f64
+    }
+
+    /// Requests per second over the whole run.
+    pub fn requests_per_sec(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.requests as f64 * 1e9 / self.elapsed_ns as f64
+    }
+
+    /// Render the report as an aligned two-column table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(["metric", "value"]);
+        t.push_row(["connections ok", &self.completed_connections.to_string()]);
+        t.push_row(["connections failed", &self.failed_connections.to_string()]);
+        t.push_row(["requests", &self.requests.to_string()]);
+        t.push_row(["steps", &self.steps.to_string()]);
+        t.push_row(["errors", &self.errors.to_string()]);
+        t.push_row(["elapsed ms", &(self.elapsed_ns / 1_000_000).to_string()]);
+        t.push_row(["steps/s", &rt_sim::table::g(self.steps_per_sec())]);
+        t.push_row(["requests/s", &rt_sim::table::g(self.requests_per_sec())]);
+        t.push_row([
+            "latency mean µs",
+            &rt_sim::table::g(self.latency_mean_ns / 1e3),
+        ]);
+        t.push_row([
+            "latency p50 µs",
+            &rt_sim::table::g(self.latency_p50_ns as f64 / 1e3),
+        ]);
+        t.push_row([
+            "latency p99 µs",
+            &rt_sim::table::g(self.latency_p99_ns as f64 / 1e3),
+        ]);
+        t
+    }
+}
+
+/// Drive one connection's full schedule; returns `(requests, steps)`
+/// on completion, `Err` after the first failed call.
+fn drive_connection(
+    cfg: &LoadConfig,
+    session_seed: u64,
+    latency: &Histogram,
+    errors: &Counter,
+) -> Result<(u64, u64), ()> {
+    let fail = |e: &dyn std::fmt::Display| {
+        // Load generation is best-effort: failures are counted, not
+        // propagated — the report's error column is the signal.
+        let _ = e;
+        errors.inc();
+        Err(())
+    };
+    let mut client = match Client::connect(&cfg.addr) {
+        Ok(c) => c,
+        Err(e) => return fail(&e),
+    };
+    if let Err(e) = client.set_timeouts(cfg.timeout, cfg.timeout) {
+        return fail(&e);
+    }
+    let session =
+        match client.open_session(cfg.bins, cfg.balls, cfg.scenario, cfg.rule, session_seed) {
+            Ok(id) => id,
+            Err(e) => return fail(&e),
+        };
+    let mut requests = 0u64;
+    let mut steps = 0u64;
+    for _ in 0..cfg.requests_per_connection {
+        let clock = Stopwatch::start();
+        match client.step(session, cfg.steps_per_request) {
+            Ok(_) => {
+                latency.record(clock.elapsed_ns());
+                requests += 1;
+                steps += cfg.steps_per_request;
+            }
+            Err(e) => return fail(&e),
+        }
+    }
+    // Best-effort cleanup; the server would evict the session anyway.
+    let _ = client.close_session(session);
+    Ok((requests, steps))
+}
+
+/// Run a closed-loop load test against a running server.
+pub fn run_load(cfg: &LoadConfig) -> LoadReport {
+    let latency = Histogram::new();
+    let errors = Counter::new();
+    let seeder = Seeder::new(cfg.seed);
+    let clock = Stopwatch::start();
+    let outcomes: Vec<Result<(u64, u64), ()>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.connections)
+            .map(|i| {
+                let session_seed = seeder.seed_for(i as u64);
+                let latency = &latency;
+                let errors = &errors;
+                scope.spawn(move |_| drive_connection(cfg, session_seed, latency, errors))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or(Err(())))
+            .collect()
+    })
+    .unwrap_or_default();
+    let elapsed_ns = clock.elapsed_ns();
+    let mut requests = 0u64;
+    let mut steps = 0u64;
+    let mut completed = 0usize;
+    let mut failed = 0usize;
+    for outcome in &outcomes {
+        match outcome {
+            Ok((r, s)) => {
+                completed += 1;
+                requests += r;
+                steps += s;
+            }
+            Err(()) => failed += 1,
+        }
+    }
+    LoadReport {
+        completed_connections: completed,
+        failed_connections: failed,
+        requests,
+        steps,
+        errors: errors.get(),
+        elapsed_ns,
+        latency_mean_ns: latency.mean(),
+        latency_p50_ns: latency.quantile(0.5).unwrap_or(0),
+        latency_p99_ns: latency.quantile(0.99).unwrap_or(0),
+    }
+}

@@ -1,0 +1,922 @@
+//! The wire protocol: length-prefixed frames carrying versioned,
+//! opcode-tagged request/response payloads.
+//!
+//! ## Frame grammar
+//!
+//! ```text
+//! frame    = length:u32be payload
+//! payload  = version:u8 opcode:u8 body            (length = |payload|)
+//! ```
+//!
+//! All integers are big-endian; `f64` travels as its IEEE-754 bit
+//! pattern (`to_bits`/`from_bits`). A payload longer than [`MAX_FRAME`]
+//! is rejected before the body is read — the length prefix is attacker
+//! input, never an allocation size.
+//!
+//! ## Strictness
+//!
+//! Decoding is total and strict: every byte of the body must be
+//! consumed ([`ProtoError::Trailing`] otherwise), reads past the end
+//! are [`ProtoError::Truncated`], the version byte must equal
+//! [`VERSION`], and unknown opcodes are typed errors — decode never
+//! panics on any input (pinned by the proptest round-trip suite and
+//! the malformed-frame corpus in `tests/`).
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Protocol version carried in every payload. Bumped on any wire
+/// change; the server rejects other versions with a typed error.
+pub const VERSION: u8 = 1;
+
+/// Maximum payload size in bytes (1 MiB). Both sides enforce it: the
+/// reader before allocating, the writer before sending.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// A strict decode failure. Every variant names what was wrong, so the
+/// server can answer with a diagnostic instead of dropping the
+/// connection silently.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The body ended before a field was complete.
+    Truncated,
+    /// The declared payload length exceeds [`MAX_FRAME`].
+    Oversize(u64),
+    /// The version byte is not [`VERSION`].
+    BadVersion(u8),
+    /// The opcode byte names no known message.
+    UnknownOpcode(u8),
+    /// Bytes remained after the last field of the body.
+    Trailing(usize),
+    /// A field decoded but carries an impossible value.
+    BadValue(&'static str),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "truncated payload"),
+            ProtoError::Oversize(n) => write!(f, "payload length {n} exceeds {MAX_FRAME}"),
+            ProtoError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            ProtoError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            ProtoError::Trailing(n) => write!(f, "{n} trailing bytes after message body"),
+            ProtoError::BadValue(what) => write!(f, "invalid field value: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// A frame-layer read failure (beneath message decoding).
+#[derive(Debug)]
+pub enum FrameError {
+    /// The stream ended mid-frame (clean end-of-stream between frames
+    /// is `Ok(None)` from [`read_frame`], not an error).
+    Eof,
+    /// The length prefix exceeds [`MAX_FRAME`].
+    Oversize(u32),
+    /// An underlying I/O failure (including read timeouts).
+    Io(io::Error),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Eof => write!(f, "connection closed mid-frame"),
+            FrameError::Oversize(n) => write!(f, "frame length {n} exceeds {MAX_FRAME}"),
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl FrameError {
+    /// Was this a read timeout (the socket's read deadline expired)?
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            FrameError::Io(e) if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            )
+        )
+    }
+}
+
+/// Which ball leaves the system each phase — the wire form of
+/// `rt_core::Removal`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scenario {
+    /// Scenario A: a ball chosen i.u.r. among all balls (𝒜(v)).
+    A,
+    /// Scenario B: one ball from an i.u.r. non-empty bin (ℬ(v)).
+    B,
+}
+
+/// The insertion rule a session runs — the wire form of the
+/// `rt_core::rules` family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RuleSpec {
+    /// ABKU\[d\]: sample `d` bins i.u.r., place in the least full.
+    Abku {
+        /// Number of sampled bins (must be ≥ 1 to open a session).
+        d: u32,
+    },
+    /// ADAP with the affine threshold sequence `x_ℓ = a·ℓ + b`.
+    AdapLinear {
+        /// Slope of the threshold sequence.
+        a: u32,
+        /// Intercept (must be ≥ 1 to open a session — thresholds are
+        /// positive).
+        b: u32,
+    },
+}
+
+/// A client→server message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Open a seeded session: `n` bins, `m` balls crash-started in bin
+    /// 0, stepping under `scenario`/`rule`, with all randomness derived
+    /// from `seed`.
+    OpenSession {
+        /// Number of bins.
+        n: u32,
+        /// Number of balls (initially all in bin 0 — the crash state).
+        m: u32,
+        /// Removal scenario.
+        scenario: Scenario,
+        /// Insertion rule.
+        rule: RuleSpec,
+        /// Master seed of the session's private RNG stream.
+        seed: u64,
+    },
+    /// Run `k` phases (remove + insert each) on a session.
+    Step {
+        /// Session id from [`Response::SessionOpened`].
+        session: u64,
+        /// Number of phases to run.
+        k: u64,
+    },
+    /// Insert `count` balls by the session's rule (no removals).
+    Insert {
+        /// Session id.
+        session: u64,
+        /// Number of balls to insert.
+        count: u64,
+    },
+    /// Remove `count` balls by the session's scenario (no insertions).
+    Remove {
+        /// Session id.
+        session: u64,
+        /// Number of balls to remove.
+        count: u64,
+    },
+    /// Fetch the raw (unsorted) load vector.
+    QueryLoads {
+        /// Session id.
+        session: u64,
+    },
+    /// Fetch the derived observables (max load, gap, entropy, …).
+    QueryObservables {
+        /// Session id.
+        session: u64,
+    },
+    /// Close a session and free its state.
+    CloseSession {
+        /// Session id.
+        session: u64,
+    },
+    /// Admin: snapshot the server's metrics as a rendered table.
+    Stats,
+    /// Admin: stop accepting, drain in-flight requests, exit.
+    Shutdown,
+}
+
+/// Server-reported failure class (the `code` of [`Response::Error`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// No session with that id (never opened, closed, or evicted).
+    UnknownSession,
+    /// The request decoded but was malformed or out of protocol.
+    BadRequest,
+    /// A configured limit (bins, balls, steps, sessions) was exceeded.
+    LimitExceeded,
+    /// A Step/Remove needs at least one ball and the session has none.
+    Empty,
+    /// The server is draining; no new work is accepted.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    fn to_byte(self) -> u8 {
+        match self {
+            ErrorCode::UnknownSession => 1,
+            ErrorCode::BadRequest => 2,
+            ErrorCode::LimitExceeded => 3,
+            ErrorCode::Empty => 4,
+            ErrorCode::ShuttingDown => 5,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, ProtoError> {
+        Ok(match b {
+            1 => ErrorCode::UnknownSession,
+            2 => ErrorCode::BadRequest,
+            3 => ErrorCode::LimitExceeded,
+            4 => ErrorCode::Empty,
+            5 => ErrorCode::ShuttingDown,
+            _ => return Err(ProtoError::BadValue("error code")),
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Derived observables of one session, as served by
+/// [`Request::QueryObservables`]. Mirrors `rt_core::observables` plus
+/// the session's own step/ball accounting.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Observables {
+    /// Phases executed so far.
+    pub steps: u64,
+    /// Balls currently in the system.
+    pub total: u64,
+    /// Maximum bin load.
+    pub max_load: f64,
+    /// Load gap `max − min`.
+    pub gap: f64,
+    /// Fraction of empty bins.
+    pub empty_fraction: f64,
+    /// Fraction of balls above the fair share.
+    pub overload_mass: f64,
+    /// Normalized L2 imbalance.
+    pub l2_imbalance: f64,
+    /// Shannon entropy over bins, normalized by `ln n`.
+    pub normalized_entropy: f64,
+}
+
+/// A server→client message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// A session was opened under the returned id.
+    SessionOpened {
+        /// The id all subsequent requests address.
+        session: u64,
+    },
+    /// A [`Request::Step`] completed.
+    Stepped {
+        /// Total phases executed by the session so far.
+        steps: u64,
+        /// Maximum load after the batch.
+        max_load: u32,
+    },
+    /// An Insert/Remove completed.
+    Mutated {
+        /// Balls in the system afterwards.
+        total: u64,
+        /// Maximum load afterwards.
+        max_load: u32,
+    },
+    /// The raw (unsorted) per-bin loads.
+    Loads {
+        /// `loads[b]` = balls in bin `b`.
+        loads: Vec<u32>,
+    },
+    /// The derived observables.
+    Observables(Observables),
+    /// The session was closed.
+    Closed,
+    /// The metrics snapshot, rendered as an aligned table.
+    Stats {
+        /// `rt_sim::Table::render` output over the metric registry.
+        text: String,
+    },
+    /// The server acknowledged shutdown and is draining.
+    ShuttingDown,
+    /// Backpressure: the connection cap is reached; retry later.
+    Busy {
+        /// Connections currently being served.
+        active: u32,
+        /// The configured cap.
+        cap: u32,
+    },
+    /// A typed failure.
+    Error {
+        /// Failure class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Body cursor (strict reader) and little encode helpers.
+// ---------------------------------------------------------------------
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self.pos.checked_add(n).ok_or(ProtoError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(ProtoError::Truncated);
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        let b = self.take(4)?;
+        let arr: [u8; 4] = b.try_into().map_err(|_| ProtoError::Truncated)?;
+        Ok(u32::from_be_bytes(arr))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        let b = self.take(8)?;
+        let arr: [u8; 8] = b.try_into().map_err(|_| ProtoError::Truncated)?;
+        Ok(u64::from_be_bytes(arr))
+    }
+
+    fn f64(&mut self) -> Result<f64, ProtoError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A length-prefixed UTF-8 string (length ≤ remaining bytes by
+    /// construction: `take` checks it).
+    fn string(&mut self) -> Result<String, ProtoError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ProtoError::BadValue("non-utf8 string"))
+    }
+
+    /// All fields read; any leftover byte is an error.
+    fn finish(self) -> Result<(), ProtoError> {
+        let extra = self.buf.len() - self.pos;
+        if extra != 0 {
+            return Err(ProtoError::Trailing(extra));
+        }
+        Ok(())
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn header(opcode: u8) -> Vec<u8> {
+    vec![VERSION, opcode]
+}
+
+/// Split a payload into its opcode and body, validating the version.
+fn open_payload(payload: &[u8]) -> Result<(u8, &[u8]), ProtoError> {
+    if payload.len() < 2 {
+        return Err(ProtoError::Truncated);
+    }
+    if payload[0] != VERSION {
+        return Err(ProtoError::BadVersion(payload[0]));
+    }
+    Ok((payload[1], &payload[2..]))
+}
+
+// Request opcodes.
+const OP_OPEN: u8 = 0x01;
+const OP_STEP: u8 = 0x02;
+const OP_INSERT: u8 = 0x03;
+const OP_REMOVE: u8 = 0x04;
+const OP_QUERY_LOADS: u8 = 0x05;
+const OP_QUERY_OBS: u8 = 0x06;
+const OP_CLOSE: u8 = 0x07;
+const OP_STATS: u8 = 0x08;
+const OP_SHUTDOWN: u8 = 0x09;
+
+// Response opcodes (high bit set).
+const OP_OPENED: u8 = 0x81;
+const OP_STEPPED: u8 = 0x82;
+const OP_MUTATED: u8 = 0x83;
+const OP_LOADS: u8 = 0x84;
+const OP_OBSERVABLES: u8 = 0x85;
+const OP_CLOSED: u8 = 0x86;
+const OP_STATS_REPLY: u8 = 0x87;
+const OP_SHUTTING_DOWN: u8 = 0x88;
+const OP_BUSY: u8 = 0xE0;
+const OP_ERROR: u8 = 0xEE;
+
+// Scenario / rule tags.
+const SCEN_A: u8 = 0;
+const SCEN_B: u8 = 1;
+const RULE_ABKU: u8 = 0;
+const RULE_ADAP_LINEAR: u8 = 1;
+
+impl Scenario {
+    fn encode(self, out: &mut Vec<u8>) {
+        out.push(match self {
+            Scenario::A => SCEN_A,
+            Scenario::B => SCEN_B,
+        });
+    }
+
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, ProtoError> {
+        match cur.u8()? {
+            SCEN_A => Ok(Scenario::A),
+            SCEN_B => Ok(Scenario::B),
+            _ => Err(ProtoError::BadValue("scenario tag")),
+        }
+    }
+}
+
+impl RuleSpec {
+    fn encode(self, out: &mut Vec<u8>) {
+        match self {
+            RuleSpec::Abku { d } => {
+                out.push(RULE_ABKU);
+                put_u32(out, d);
+            }
+            RuleSpec::AdapLinear { a, b } => {
+                out.push(RULE_ADAP_LINEAR);
+                put_u32(out, a);
+                put_u32(out, b);
+            }
+        }
+    }
+
+    fn decode(cur: &mut Cursor<'_>) -> Result<Self, ProtoError> {
+        match cur.u8()? {
+            RULE_ABKU => Ok(RuleSpec::Abku { d: cur.u32()? }),
+            RULE_ADAP_LINEAR => Ok(RuleSpec::AdapLinear {
+                a: cur.u32()?,
+                b: cur.u32()?,
+            }),
+            _ => Err(ProtoError::BadValue("rule tag")),
+        }
+    }
+}
+
+impl Request {
+    /// Encode into a complete payload (version byte, opcode, body).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::OpenSession {
+                n,
+                m,
+                scenario,
+                rule,
+                seed,
+            } => {
+                let mut out = header(OP_OPEN);
+                put_u32(&mut out, *n);
+                put_u32(&mut out, *m);
+                scenario.encode(&mut out);
+                rule.encode(&mut out);
+                put_u64(&mut out, *seed);
+                out
+            }
+            Request::Step { session, k } => {
+                let mut out = header(OP_STEP);
+                put_u64(&mut out, *session);
+                put_u64(&mut out, *k);
+                out
+            }
+            Request::Insert { session, count } => {
+                let mut out = header(OP_INSERT);
+                put_u64(&mut out, *session);
+                put_u64(&mut out, *count);
+                out
+            }
+            Request::Remove { session, count } => {
+                let mut out = header(OP_REMOVE);
+                put_u64(&mut out, *session);
+                put_u64(&mut out, *count);
+                out
+            }
+            Request::QueryLoads { session } => {
+                let mut out = header(OP_QUERY_LOADS);
+                put_u64(&mut out, *session);
+                out
+            }
+            Request::QueryObservables { session } => {
+                let mut out = header(OP_QUERY_OBS);
+                put_u64(&mut out, *session);
+                out
+            }
+            Request::CloseSession { session } => {
+                let mut out = header(OP_CLOSE);
+                put_u64(&mut out, *session);
+                out
+            }
+            Request::Stats => header(OP_STATS),
+            Request::Shutdown => header(OP_SHUTDOWN),
+        }
+    }
+
+    /// Strictly decode a payload. Never panics; every failure is a
+    /// typed [`ProtoError`].
+    pub fn decode(payload: &[u8]) -> Result<Request, ProtoError> {
+        let (opcode, body) = open_payload(payload)?;
+        let mut cur = Cursor::new(body);
+        let req = match opcode {
+            OP_OPEN => Request::OpenSession {
+                n: cur.u32()?,
+                m: cur.u32()?,
+                scenario: Scenario::decode(&mut cur)?,
+                rule: RuleSpec::decode(&mut cur)?,
+                seed: cur.u64()?,
+            },
+            OP_STEP => Request::Step {
+                session: cur.u64()?,
+                k: cur.u64()?,
+            },
+            OP_INSERT => Request::Insert {
+                session: cur.u64()?,
+                count: cur.u64()?,
+            },
+            OP_REMOVE => Request::Remove {
+                session: cur.u64()?,
+                count: cur.u64()?,
+            },
+            OP_QUERY_LOADS => Request::QueryLoads {
+                session: cur.u64()?,
+            },
+            OP_QUERY_OBS => Request::QueryObservables {
+                session: cur.u64()?,
+            },
+            OP_CLOSE => Request::CloseSession {
+                session: cur.u64()?,
+            },
+            OP_STATS => Request::Stats,
+            OP_SHUTDOWN => Request::Shutdown,
+            other => return Err(ProtoError::UnknownOpcode(other)),
+        };
+        cur.finish()?;
+        Ok(req)
+    }
+
+    /// A stable short label for metrics (`serve.req.<label>`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Request::OpenSession { .. } => "open",
+            Request::Step { .. } => "step",
+            Request::Insert { .. } => "insert",
+            Request::Remove { .. } => "remove",
+            Request::QueryLoads { .. } => "query_loads",
+            Request::QueryObservables { .. } => "query_observables",
+            Request::CloseSession { .. } => "close",
+            Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+impl Response {
+    /// Encode into a complete payload (version byte, opcode, body).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::SessionOpened { session } => {
+                let mut out = header(OP_OPENED);
+                put_u64(&mut out, *session);
+                out
+            }
+            Response::Stepped { steps, max_load } => {
+                let mut out = header(OP_STEPPED);
+                put_u64(&mut out, *steps);
+                put_u32(&mut out, *max_load);
+                out
+            }
+            Response::Mutated { total, max_load } => {
+                let mut out = header(OP_MUTATED);
+                put_u64(&mut out, *total);
+                put_u32(&mut out, *max_load);
+                out
+            }
+            Response::Loads { loads } => {
+                let mut out = header(OP_LOADS);
+                put_u32(&mut out, loads.len() as u32);
+                for &l in loads {
+                    put_u32(&mut out, l);
+                }
+                out
+            }
+            Response::Observables(o) => {
+                let mut out = header(OP_OBSERVABLES);
+                put_u64(&mut out, o.steps);
+                put_u64(&mut out, o.total);
+                put_f64(&mut out, o.max_load);
+                put_f64(&mut out, o.gap);
+                put_f64(&mut out, o.empty_fraction);
+                put_f64(&mut out, o.overload_mass);
+                put_f64(&mut out, o.l2_imbalance);
+                put_f64(&mut out, o.normalized_entropy);
+                out
+            }
+            Response::Closed => header(OP_CLOSED),
+            Response::Stats { text } => {
+                let mut out = header(OP_STATS_REPLY);
+                put_string(&mut out, text);
+                out
+            }
+            Response::ShuttingDown => header(OP_SHUTTING_DOWN),
+            Response::Busy { active, cap } => {
+                let mut out = header(OP_BUSY);
+                put_u32(&mut out, *active);
+                put_u32(&mut out, *cap);
+                out
+            }
+            Response::Error { code, message } => {
+                let mut out = header(OP_ERROR);
+                out.push(code.to_byte());
+                put_string(&mut out, message);
+                out
+            }
+        }
+    }
+
+    /// Strictly decode a payload. Never panics; every failure is a
+    /// typed [`ProtoError`].
+    pub fn decode(payload: &[u8]) -> Result<Response, ProtoError> {
+        let (opcode, body) = open_payload(payload)?;
+        let mut cur = Cursor::new(body);
+        let resp = match opcode {
+            OP_OPENED => Response::SessionOpened {
+                session: cur.u64()?,
+            },
+            OP_STEPPED => Response::Stepped {
+                steps: cur.u64()?,
+                max_load: cur.u32()?,
+            },
+            OP_MUTATED => Response::Mutated {
+                total: cur.u64()?,
+                max_load: cur.u32()?,
+            },
+            OP_LOADS => {
+                let len = cur.u32()? as usize;
+                // The length field cannot promise more than the body
+                // holds; checked before allocating.
+                if len > body.len() / 4 {
+                    return Err(ProtoError::BadValue("loads length"));
+                }
+                let mut loads = Vec::with_capacity(len);
+                for _ in 0..len {
+                    loads.push(cur.u32()?);
+                }
+                Response::Loads { loads }
+            }
+            OP_OBSERVABLES => Response::Observables(Observables {
+                steps: cur.u64()?,
+                total: cur.u64()?,
+                max_load: cur.f64()?,
+                gap: cur.f64()?,
+                empty_fraction: cur.f64()?,
+                overload_mass: cur.f64()?,
+                l2_imbalance: cur.f64()?,
+                normalized_entropy: cur.f64()?,
+            }),
+            OP_CLOSED => Response::Closed,
+            OP_STATS_REPLY => Response::Stats {
+                text: cur.string()?,
+            },
+            OP_SHUTTING_DOWN => Response::ShuttingDown,
+            OP_BUSY => Response::Busy {
+                active: cur.u32()?,
+                cap: cur.u32()?,
+            },
+            OP_ERROR => Response::Error {
+                code: ErrorCode::from_byte(cur.u8()?)?,
+                message: cur.string()?,
+            },
+            other => return Err(ProtoError::UnknownOpcode(other)),
+        };
+        cur.finish()?;
+        Ok(resp)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frame I/O.
+// ---------------------------------------------------------------------
+
+/// Write one frame: `u32` big-endian payload length, then the payload.
+///
+/// # Errors
+/// `InvalidInput` if the payload exceeds [`MAX_FRAME`] (the limit is
+/// enforced on both sides), otherwise any underlying write error.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("payload of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame. `Ok(None)` is a clean end-of-stream (the peer
+/// closed between frames); ends mid-frame are [`FrameError::Eof`]. The
+/// length prefix is validated against [`MAX_FRAME`] *before* any
+/// allocation.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(None)
+                } else {
+                    Err(FrameError::Eof)
+                };
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len as usize > MAX_FRAME {
+        return Err(FrameError::Oversize(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    let mut filled = 0usize;
+    while filled < payload.len() {
+        match r.read(&mut payload[filled..]) {
+            Ok(0) => return Err(FrameError::Eof),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_examples_round_trip() {
+        let reqs = [
+            Request::OpenSession {
+                n: 128,
+                m: 128,
+                scenario: Scenario::A,
+                rule: RuleSpec::Abku { d: 2 },
+                seed: 0xDEAD_BEEF,
+            },
+            Request::Step {
+                session: 7,
+                k: 1000,
+            },
+            Request::Insert {
+                session: 7,
+                count: 3,
+            },
+            Request::Remove {
+                session: 7,
+                count: 2,
+            },
+            Request::QueryLoads { session: 7 },
+            Request::QueryObservables { session: 7 },
+            Request::CloseSession { session: 7 },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let bytes = req.encode();
+            assert_eq!(bytes[0], VERSION);
+            assert_eq!(Request::decode(&bytes), Ok(req));
+        }
+    }
+
+    #[test]
+    fn response_examples_round_trip() {
+        let resps = [
+            Response::SessionOpened { session: 9 },
+            Response::Stepped {
+                steps: 10,
+                max_load: 3,
+            },
+            Response::Mutated {
+                total: 12,
+                max_load: 4,
+            },
+            Response::Loads {
+                loads: vec![0, 1, 2, 3],
+            },
+            Response::Observables(Observables {
+                steps: 5,
+                total: 12,
+                max_load: 4.0,
+                gap: 4.0,
+                empty_fraction: 0.25,
+                overload_mass: 0.5,
+                l2_imbalance: 1.5,
+                normalized_entropy: 0.75,
+            }),
+            Response::Closed,
+            Response::Stats {
+                text: "metric  value\n".into(),
+            },
+            Response::ShuttingDown,
+            Response::Busy {
+                active: 64,
+                cap: 64,
+            },
+            Response::Error {
+                code: ErrorCode::UnknownSession,
+                message: "no session 3".into(),
+            },
+        ];
+        for resp in resps {
+            let bytes = resp.encode();
+            assert_eq!(Response::decode(&bytes), Ok(resp));
+        }
+    }
+
+    #[test]
+    fn strict_decode_rejects_each_malformation() {
+        let good = Request::Stats.encode();
+        assert_eq!(Request::decode(&[]), Err(ProtoError::Truncated));
+        assert_eq!(Request::decode(&[VERSION]), Err(ProtoError::Truncated));
+        assert_eq!(
+            Request::decode(&[9, good[1]]),
+            Err(ProtoError::BadVersion(9))
+        );
+        assert_eq!(
+            Request::decode(&[VERSION, 0x7F]),
+            Err(ProtoError::UnknownOpcode(0x7F))
+        );
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert_eq!(Request::decode(&trailing), Err(ProtoError::Trailing(1)));
+        let mut truncated = Request::Step { session: 1, k: 2 }.encode();
+        truncated.pop();
+        assert_eq!(Request::decode(&truncated), Err(ProtoError::Truncated));
+        // A loads length promising more than the body carries.
+        let mut bogus = header(OP_LOADS);
+        put_u32(&mut bogus, u32::MAX);
+        assert_eq!(
+            Response::decode(&bogus),
+            Err(ProtoError::BadValue("loads length"))
+        );
+    }
+
+    #[test]
+    fn frames_round_trip_and_enforce_the_cap() {
+        let payload = Request::Step { session: 3, k: 9 }.encode();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).expect("in-memory write");
+        let mut reader = &wire[..];
+        let back = read_frame(&mut reader).expect("frame").expect("non-eof");
+        assert_eq!(back, payload);
+        // Clean EOF after the frame.
+        assert!(matches!(read_frame(&mut reader), Ok(None)));
+
+        // Oversized length prefix is rejected before allocation.
+        let huge = ((MAX_FRAME + 1) as u32).to_be_bytes();
+        let mut reader = &huge[..];
+        assert!(matches!(
+            read_frame(&mut reader),
+            Err(FrameError::Oversize(_))
+        ));
+
+        // Writer refuses oversized payloads.
+        let mut sink = Vec::new();
+        let big = vec![0u8; MAX_FRAME + 1];
+        assert!(write_frame(&mut sink, &big).is_err());
+
+        // Mid-frame EOF is typed.
+        let mut partial = Vec::new();
+        write_frame(&mut partial, &payload).expect("in-memory write");
+        partial.truncate(6);
+        let mut reader = &partial[..];
+        assert!(matches!(read_frame(&mut reader), Err(FrameError::Eof)));
+    }
+}

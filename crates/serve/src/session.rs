@@ -1,0 +1,317 @@
+//! One session: a crash-started `FastProcess` plus its private,
+//! seed-derived RNG stream and idle-time accounting.
+//!
+//! Determinism contract: a session's trajectory is a pure function of
+//! its `OpenSession` parameters and the sequence of mutating requests
+//! applied to it. The RNG is seeded once from the client's seed and
+//! advanced only by this session — no ambient randomness, no sharing
+//! across sessions — so replaying the same request sequence against
+//! the same seed reproduces the loads byte for byte, regardless of how
+//! requests interleave with *other* sessions on the server.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rt_core::{observables, Abku, Adap, FastProcess, Removal};
+use rt_obs::Stopwatch;
+
+use crate::proto::{Observables, RuleSpec, Scenario};
+
+/// The affine threshold sequence `x_ℓ = a·ℓ + b` — the wire-exposed
+/// subfamily of ADAP rules (`b ≥ 1` keeps every threshold positive;
+/// `a ≥ 0` keeps the sequence nondecreasing).
+#[derive(Clone, Copy, Debug)]
+pub struct LinearThreshold {
+    a: u32,
+    b: u32,
+}
+
+impl LinearThreshold {
+    /// Build `x_ℓ = a·ℓ + b`.
+    ///
+    /// # Panics
+    /// If `b == 0` (thresholds must be ≥ 1).
+    pub fn new(a: u32, b: u32) -> Self {
+        assert!(b >= 1, "threshold intercept must be >= 1");
+        LinearThreshold { a, b }
+    }
+}
+
+impl rt_core::ThresholdSeq for LinearThreshold {
+    fn x(&self, load: u32) -> u32 {
+        self.a.saturating_mul(load).saturating_add(self.b)
+    }
+}
+
+/// The process behind a session — one concrete rule instantiation per
+/// wire [`RuleSpec`].
+enum Proc {
+    Abku(FastProcess<Abku>),
+    Adap(FastProcess<Adap<LinearThreshold>>),
+}
+
+/// A parameter of [`Request::OpenSession`] the server refuses.
+///
+/// [`Request::OpenSession`]: crate::proto::Request::OpenSession
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpenError {
+    /// `n == 0`.
+    ZeroBins,
+    /// An ABKU rule with `d == 0`.
+    ZeroSamples,
+    /// An ADAP rule with intercept `b == 0` (thresholds must be ≥ 1).
+    ZeroThreshold,
+}
+
+impl std::fmt::Display for OpenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpenError::ZeroBins => write!(f, "a session needs at least one bin"),
+            OpenError::ZeroSamples => write!(f, "ABKU needs d >= 1"),
+            OpenError::ZeroThreshold => write!(f, "ADAP needs intercept b >= 1"),
+        }
+    }
+}
+
+/// One live session: process, RNG stream, and bookkeeping.
+pub struct Session {
+    proc: Proc,
+    rng: SmallRng,
+    steps: u64,
+    idle: Stopwatch,
+}
+
+impl Session {
+    /// Open a session in the crash state (all `m` balls in bin 0) under
+    /// the requested scenario/rule, with a fresh RNG stream derived
+    /// from `seed`.
+    pub fn open(
+        n: u32,
+        m: u32,
+        scenario: Scenario,
+        rule: RuleSpec,
+        seed: u64,
+    ) -> Result<Session, OpenError> {
+        if n == 0 {
+            return Err(OpenError::ZeroBins);
+        }
+        let removal = match scenario {
+            Scenario::A => Removal::RandomBall,
+            Scenario::B => Removal::RandomNonEmptyBin,
+        };
+        let mut loads = vec![0u32; n as usize];
+        loads[0] = m;
+        let proc = match rule {
+            RuleSpec::Abku { d } => {
+                if d == 0 {
+                    return Err(OpenError::ZeroSamples);
+                }
+                Proc::Abku(FastProcess::new(removal, Abku::new(d), loads))
+            }
+            RuleSpec::AdapLinear { a, b } => {
+                if b == 0 {
+                    return Err(OpenError::ZeroThreshold);
+                }
+                Proc::Adap(FastProcess::new(
+                    removal,
+                    Adap::new(LinearThreshold::new(a, b)),
+                    loads,
+                ))
+            }
+        };
+        Ok(Session {
+            proc,
+            rng: SmallRng::seed_from_u64(seed),
+            steps: 0,
+            idle: Stopwatch::start(),
+        })
+    }
+
+    /// Restart the idle clock (called on every request that touches
+    /// this session).
+    pub fn touch(&mut self) {
+        self.idle = Stopwatch::start();
+    }
+
+    /// Nanoseconds since the last [`Session::touch`] (or open).
+    pub fn idle_ns(&self) -> u64 {
+        self.idle.elapsed_ns()
+    }
+
+    /// Balls currently in the system.
+    pub fn total(&self) -> u64 {
+        match &self.proc {
+            Proc::Abku(p) => p.total(),
+            Proc::Adap(p) => p.total(),
+        }
+    }
+
+    /// Current maximum load.
+    pub fn max_load(&self) -> u32 {
+        match &self.proc {
+            Proc::Abku(p) => p.max_load(),
+            Proc::Adap(p) => p.max_load(),
+        }
+    }
+
+    /// Phases executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Run `k` phases (remove + insert each). Fails with `false` —
+    /// without consuming randomness — if the session would go below
+    /// zero balls (stepping an empty system).
+    #[must_use]
+    pub fn step(&mut self, k: u64) -> bool {
+        if self.total() == 0 && k > 0 {
+            return false;
+        }
+        match &mut self.proc {
+            Proc::Abku(p) => p.run(k, &mut self.rng),
+            Proc::Adap(p) => p.run(k, &mut self.rng),
+        }
+        self.steps += k;
+        true
+    }
+
+    /// Insert `count` balls by the session's rule.
+    pub fn insert(&mut self, count: u64) {
+        match &mut self.proc {
+            Proc::Abku(p) => {
+                for _ in 0..count {
+                    p.insert_one(&mut self.rng);
+                }
+            }
+            Proc::Adap(p) => {
+                for _ in 0..count {
+                    p.insert_one(&mut self.rng);
+                }
+            }
+        }
+    }
+
+    /// Remove `count` balls by the session's scenario. Fails with
+    /// `false` — without consuming randomness — if fewer than `count`
+    /// balls are present.
+    #[must_use]
+    pub fn remove(&mut self, count: u64) -> bool {
+        if self.total() < count {
+            return false;
+        }
+        match &mut self.proc {
+            Proc::Abku(p) => {
+                for _ in 0..count {
+                    p.remove_one(&mut self.rng);
+                }
+            }
+            Proc::Adap(p) => {
+                for _ in 0..count {
+                    p.remove_one(&mut self.rng);
+                }
+            }
+        }
+        true
+    }
+
+    /// The raw (unsorted) load vector.
+    pub fn loads(&self) -> &[u32] {
+        match &self.proc {
+            Proc::Abku(p) => p.loads(),
+            Proc::Adap(p) => p.loads(),
+        }
+    }
+
+    /// Derived observables of the current state.
+    pub fn observables(&self) -> Observables {
+        let v = match &self.proc {
+            Proc::Abku(p) => p.to_load_vector(),
+            Proc::Adap(p) => p.to_load_vector(),
+        };
+        Observables {
+            steps: self.steps,
+            total: self.total(),
+            max_load: observables::max_load(&v),
+            gap: observables::gap(&v),
+            empty_fraction: observables::empty_fraction(&v),
+            overload_mass: observables::overload_mass(&v),
+            l2_imbalance: observables::l2_imbalance(&v),
+            normalized_entropy: observables::normalized_entropy(&v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_validates_parameters() {
+        let bad = Session::open(0, 4, Scenario::A, RuleSpec::Abku { d: 2 }, 1);
+        assert!(matches!(bad, Err(OpenError::ZeroBins)));
+        let bad = Session::open(8, 4, Scenario::A, RuleSpec::Abku { d: 0 }, 1);
+        assert!(matches!(bad, Err(OpenError::ZeroSamples)));
+        let bad = Session::open(8, 4, Scenario::B, RuleSpec::AdapLinear { a: 1, b: 0 }, 1);
+        assert!(matches!(bad, Err(OpenError::ZeroThreshold)));
+    }
+
+    #[test]
+    fn session_matches_a_local_fast_process_bit_for_bit() {
+        let (n, m, seed) = (64u32, 64u32, 0xFEED_u64);
+        let mut s = Session::open(n, m, Scenario::B, RuleSpec::Abku { d: 2 }, seed)
+            .expect("valid parameters");
+        assert!(s.step(500));
+
+        let mut loads = vec![0u32; n as usize];
+        loads[0] = m;
+        let mut local = FastProcess::new(Removal::RandomNonEmptyBin, Abku::new(2), loads);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        local.run(500, &mut rng);
+
+        assert_eq!(s.loads(), local.loads());
+        assert_eq!(s.total(), local.total());
+        assert_eq!(s.steps(), 500);
+    }
+
+    #[test]
+    fn insert_and_remove_move_the_ball_count() {
+        let mut s = Session::open(16, 8, Scenario::A, RuleSpec::AdapLinear { a: 1, b: 1 }, 7)
+            .expect("valid parameters");
+        s.insert(4);
+        assert_eq!(s.total(), 12);
+        assert!(s.remove(12));
+        assert_eq!(s.total(), 0);
+        assert!(!s.remove(1), "removing from empty must fail cleanly");
+        assert!(!s.step(1), "stepping an empty system must fail cleanly");
+        assert!(s.step(0), "a zero-step batch is a no-op, not an error");
+    }
+
+    #[test]
+    fn failed_mutations_do_not_consume_randomness() {
+        // Two sessions on the same seed; one also attempts operations
+        // that fail. Failures must not advance the RNG stream, so the
+        // trajectories stay identical through the shared suffix.
+        let open = || Session::open(8, 1, Scenario::A, RuleSpec::Abku { d: 2 }, 99).expect("valid");
+        let (mut clean, mut noisy) = (open(), open());
+        assert!(clean.remove(1));
+        assert!(noisy.remove(1));
+        assert!(!noisy.remove(1), "nothing left to remove");
+        assert!(!noisy.step(3), "cannot step an empty system");
+        clean.insert(5);
+        noisy.insert(5);
+        assert!(clean.step(50));
+        assert!(noisy.step(50));
+        assert_eq!(clean.loads(), noisy.loads());
+    }
+
+    #[test]
+    fn observables_report_the_crash_state() {
+        let s =
+            Session::open(4, 8, Scenario::A, RuleSpec::Abku { d: 2 }, 5).expect("valid parameters");
+        let o = s.observables();
+        assert_eq!(o.steps, 0);
+        assert_eq!(o.total, 8);
+        assert_eq!(o.max_load, 8.0);
+        assert_eq!(o.gap, 8.0);
+        assert_eq!(o.empty_fraction, 0.75);
+    }
+}

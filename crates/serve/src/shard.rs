@@ -1,0 +1,207 @@
+//! Sharded session storage: sessions are hashed to shards, each shard
+//! a `parking_lot::Mutex` around an ordered map, so requests against
+//! different shards run in parallel while each session's trajectory
+//! stays single-threaded (and therefore bit-deterministic).
+//!
+//! Locking discipline: at most one shard lock is ever held at a time,
+//! and never across I/O — handlers decode the request first, hold the
+//! lock only for the in-memory state transition, then encode and write
+//! the response after releasing it. No lock order to get wrong, no
+//! reader starvation from slow sockets.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::session::Session;
+
+/// Finalizer step of splitmix64 — a cheap, well-mixed integer hash.
+/// Session ids are sequential, so without mixing, consecutive sessions
+/// would all land on neighbouring shards in lockstep.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+struct Shard {
+    sessions: Mutex<BTreeMap<u64, Session>>,
+}
+
+/// Sessions partitioned over `n_shards` independently locked maps.
+pub struct ShardMap {
+    shards: Vec<Shard>,
+    next_id: AtomicU64,
+    count: AtomicU64,
+}
+
+impl ShardMap {
+    /// Create an empty map over `n_shards` shards.
+    ///
+    /// # Panics
+    /// If `n_shards == 0`.
+    pub fn new(n_shards: usize) -> Self {
+        assert!(n_shards >= 1, "need at least one shard");
+        ShardMap {
+            shards: (0..n_shards)
+                .map(|_| Shard {
+                    sessions: Mutex::new(BTreeMap::new()),
+                })
+                .collect(),
+            next_id: AtomicU64::new(1),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard index a session id belongs to (stable for the lifetime of
+    /// the map).
+    pub fn shard_of(&self, id: u64) -> usize {
+        (splitmix64(id) % self.shards.len() as u64) as usize
+    }
+
+    /// Live session count.
+    pub fn len(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Whether no sessions are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert a session if the global cap allows it; returns the new
+    /// session id, or `None` when `max_sessions` are already live. The
+    /// cap is reserved with a compare-and-swap loop *before* the shard
+    /// lock is taken, so concurrent opens cannot overshoot it.
+    pub fn try_open(&self, session: Session, max_sessions: u64) -> Option<u64> {
+        self.count
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| {
+                (c < max_sessions).then_some(c + 1)
+            })
+            .ok()?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let shard = &self.shards[self.shard_of(id)];
+        shard.sessions.lock().insert(id, session);
+        Some(id)
+    }
+
+    /// Run `f` on the session `id`, bumping its idle clock. Returns
+    /// `None` for unknown (closed, evicted, never-opened) ids. The
+    /// shard lock is held exactly for the duration of `f`.
+    pub fn with<T>(&self, id: u64, f: impl FnOnce(&mut Session) -> T) -> Option<T> {
+        let shard = &self.shards[self.shard_of(id)];
+        let mut sessions = shard.sessions.lock();
+        let session = sessions.get_mut(&id)?;
+        session.touch();
+        Some(f(session))
+    }
+
+    /// Close a session; `false` if it was not live.
+    pub fn close(&self, id: u64) -> bool {
+        let shard = &self.shards[self.shard_of(id)];
+        let removed = shard.sessions.lock().remove(&id).is_some();
+        if removed {
+            self.count.fetch_sub(1, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    /// Drop every session idle longer than `max_idle_ns`; returns how
+    /// many were evicted. Locks one shard at a time.
+    pub fn evict_idle(&self, max_idle_ns: u64) -> usize {
+        let mut evicted = 0;
+        for shard in &self.shards {
+            let mut sessions = shard.sessions.lock();
+            let stale: Vec<u64> = sessions
+                .iter()
+                .filter(|(_, s)| s.idle_ns() > max_idle_ns)
+                .map(|(&id, _)| id)
+                .collect();
+            for id in stale {
+                sessions.remove(&id);
+                evicted += 1;
+            }
+        }
+        if evicted > 0 {
+            self.count.fetch_sub(evicted as u64, Ordering::Relaxed);
+        }
+        evicted
+    }
+
+    /// Live sessions per shard (for the stats table).
+    pub fn occupancy(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.sessions.lock().len())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{RuleSpec, Scenario};
+
+    fn session(seed: u64) -> Session {
+        Session::open(8, 8, Scenario::A, RuleSpec::Abku { d: 2 }, seed).expect("valid")
+    }
+
+    #[test]
+    fn open_with_close_round_trips() {
+        let map = ShardMap::new(4);
+        let a = map.try_open(session(1), 10).expect("below cap");
+        let b = map.try_open(session(2), 10).expect("below cap");
+        assert_ne!(a, b);
+        assert_eq!(map.len(), 2);
+        let total = map.with(a, |s| s.total()).expect("live session");
+        assert_eq!(total, 8);
+        assert!(map.close(a));
+        assert!(!map.close(a), "double close is reported");
+        assert!(map.with(a, |_| ()).is_none(), "closed id is unknown");
+        assert_eq!(map.len(), 1);
+        assert!(map.close(b));
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn session_cap_is_enforced() {
+        let map = ShardMap::new(2);
+        let _a = map.try_open(session(1), 2).expect("below cap");
+        let b = map.try_open(session(2), 2).expect("below cap");
+        assert!(map.try_open(session(3), 2).is_none(), "cap reached");
+        assert!(map.close(b));
+        assert!(map.try_open(session(4), 2).is_some(), "slot freed");
+    }
+
+    #[test]
+    fn ids_spread_over_shards() {
+        let map = ShardMap::new(8);
+        let mut seen = vec![0usize; 8];
+        for i in 0..64 {
+            let id = map.try_open(session(i), u64::MAX).expect("no cap");
+            seen[map.shard_of(id)] += 1;
+        }
+        let hit = seen.iter().filter(|&&c| c > 0).count();
+        assert!(hit >= 4, "64 ids should touch most of 8 shards: {seen:?}");
+        assert_eq!(map.occupancy().iter().sum::<usize>(), 64);
+    }
+
+    #[test]
+    fn idle_eviction_reaps_stale_sessions() {
+        let map = ShardMap::new(2);
+        let a = map.try_open(session(1), 10).expect("below cap");
+        // Nothing is idle longer than an hour yet.
+        assert_eq!(map.evict_idle(3_600_000_000_000), 0);
+        // Everything is idle longer than zero nanoseconds.
+        assert_eq!(map.evict_idle(0), 1);
+        assert!(map.with(a, |_| ()).is_none());
+        assert!(map.is_empty());
+    }
+}

@@ -1,0 +1,187 @@
+//! Protocol-hardening corpus: hostile byte streams against a live
+//! server. Every malformed input must produce a typed error reply (or
+//! a clean disconnect for frame-layer corruption) — never a panic and
+//! never a hang. Client-side read timeouts turn a would-be hang into a
+//! test failure.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use rt_serve::proto::{read_frame, ErrorCode, Request, Response, MAX_FRAME, VERSION};
+use rt_serve::{Client, Server, ServerConfig};
+
+const TIMEOUT: Option<Duration> = Some(Duration::from_secs(10));
+
+fn start_server() -> (Arc<Server>, SocketAddr, JoinHandle<std::io::Result<()>>) {
+    // Short read deadlines keep the shutdown drain fast: a handler
+    // whose client went quiet exits within this window.
+    let cfg = ServerConfig {
+        shards: 2,
+        read_timeout: Some(Duration::from_secs(2)),
+        write_timeout: Some(Duration::from_secs(2)),
+        ..ServerConfig::default()
+    };
+    let server = Arc::new(Server::bind("127.0.0.1:0", cfg).expect("bind ephemeral"));
+    let addr = server.local_addr().expect("bound address");
+    let runner = Arc::clone(&server);
+    let handle = std::thread::spawn(move || runner.run());
+    (server, addr, handle)
+}
+
+fn stop_server(server: &Server, handle: JoinHandle<std::io::Result<()>>) {
+    server.request_shutdown();
+    handle
+        .join()
+        .expect("server thread exits")
+        .expect("clean server exit");
+}
+
+/// A raw socket with deadlines, for writing hostile bytes directly.
+fn raw_conn(addr: SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(TIMEOUT).expect("read timeout");
+    stream.set_write_timeout(TIMEOUT).expect("write timeout");
+    stream
+}
+
+fn expect_bad_request(stream: &mut TcpStream) {
+    let payload = read_frame(stream)
+        .expect("server must reply, not hang or die")
+        .expect("server must reply before closing");
+    match Response::decode(&payload).expect("well-formed error reply") {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("expected a BadRequest error, got {other:?}"),
+    }
+}
+
+/// The server stays healthy: a fresh connection completes a full
+/// open/step/close exchange.
+fn assert_still_serving(addr: SocketAddr) {
+    let mut client = Client::connect(addr).expect("connect after abuse");
+    client.set_timeouts(TIMEOUT, TIMEOUT).expect("timeouts");
+    let session = client
+        .open_session(
+            16,
+            16,
+            rt_serve::Scenario::B,
+            rt_serve::RuleSpec::Abku { d: 2 },
+            7,
+        )
+        .expect("open after abuse");
+    assert_eq!(client.step(session, 10).expect("step after abuse"), 10);
+    client.close_session(session).expect("close after abuse");
+}
+
+#[test]
+fn truncated_header_drops_the_connection_only() {
+    let (server, addr, handle) = start_server();
+    {
+        let mut stream = raw_conn(addr);
+        // Two bytes of a four-byte length prefix, then hang up.
+        stream.write_all(&[0x00, 0x00]).expect("partial header");
+    }
+    assert_still_serving(addr);
+    stop_server(&server, handle);
+}
+
+#[test]
+fn oversized_length_prefix_gets_a_typed_error() {
+    let (server, addr, handle) = start_server();
+    {
+        let mut stream = raw_conn(addr);
+        let huge = ((MAX_FRAME + 1) as u32).to_be_bytes();
+        stream.write_all(&huge).expect("oversized prefix");
+        // The server cannot resynchronize after refusing the length,
+        // so it answers once and closes.
+        expect_bad_request(&mut stream);
+        assert!(
+            matches!(read_frame(&mut stream), Ok(None)),
+            "connection should be closed after an oversized frame"
+        );
+    }
+    assert_still_serving(addr);
+    stop_server(&server, handle);
+}
+
+#[test]
+fn bad_version_gets_a_typed_error_and_the_connection_survives() {
+    let (server, addr, handle) = start_server();
+    let mut stream = raw_conn(addr);
+    let mut payload = Request::Stats.encode();
+    payload[0] = VERSION.wrapping_add(9);
+    rt_serve::proto::write_frame(&mut stream, &payload).expect("write");
+    expect_bad_request(&mut stream);
+    // Framing stayed intact: the same connection still serves.
+    rt_serve::proto::write_frame(&mut stream, &Request::Stats.encode()).expect("write");
+    let reply = read_frame(&mut stream).expect("reply").expect("open");
+    assert!(matches!(
+        Response::decode(&reply),
+        Ok(Response::Stats { .. })
+    ));
+    drop(stream);
+    stop_server(&server, handle);
+}
+
+#[test]
+fn unknown_opcode_gets_a_typed_error() {
+    let (server, addr, handle) = start_server();
+    let mut stream = raw_conn(addr);
+    rt_serve::proto::write_frame(&mut stream, &[VERSION, 0x7F]).expect("write");
+    expect_bad_request(&mut stream);
+    drop(stream);
+    stop_server(&server, handle);
+}
+
+#[test]
+fn trailing_garbage_gets_a_typed_error() {
+    let (server, addr, handle) = start_server();
+    let mut stream = raw_conn(addr);
+    let mut payload = Request::QueryLoads { session: 1 }.encode();
+    payload.extend_from_slice(b"junk");
+    rt_serve::proto::write_frame(&mut stream, &payload).expect("write");
+    expect_bad_request(&mut stream);
+    drop(stream);
+    stop_server(&server, handle);
+}
+
+#[test]
+fn truncated_body_gets_a_typed_error() {
+    let (server, addr, handle) = start_server();
+    let mut stream = raw_conn(addr);
+    let mut payload = Request::Step { session: 1, k: 4 }.encode();
+    payload.truncate(payload.len() - 3);
+    rt_serve::proto::write_frame(&mut stream, &payload).expect("write");
+    expect_bad_request(&mut stream);
+    drop(stream);
+    stop_server(&server, handle);
+}
+
+#[test]
+fn empty_payload_gets_a_typed_error() {
+    let (server, addr, handle) = start_server();
+    let mut stream = raw_conn(addr);
+    rt_serve::proto::write_frame(&mut stream, &[]).expect("write");
+    expect_bad_request(&mut stream);
+    drop(stream);
+    stop_server(&server, handle);
+}
+
+#[test]
+fn decode_errors_are_counted() {
+    let (server, addr, handle) = start_server();
+    let mut stream = raw_conn(addr);
+    rt_serve::proto::write_frame(&mut stream, &[VERSION, 0x42]).expect("write");
+    expect_bad_request(&mut stream);
+    drop(stream);
+    let snap = server.metrics_snapshot();
+    let decode_errors = snap
+        .get("counters")
+        .and_then(|c| c.get("serve.decode.errors"))
+        .and_then(|v| v.as_f64())
+        .expect("decode-error counter registered");
+    assert!(decode_errors >= 1.0, "got {decode_errors}");
+    stop_server(&server, handle);
+}

@@ -1,0 +1,383 @@
+//! End-to-end server behavior: the session lifecycle, limit and
+//! backpressure responses, graceful shutdown, and — the load-bearing
+//! one — byte-level determinism of session trajectories under a
+//! sharded, concurrent server.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rt_core::{Abku, FastProcess, Removal};
+use rt_serve::proto::{ErrorCode, Request, Response};
+use rt_serve::{Client, RuleSpec, Scenario, Server, ServerConfig};
+
+const TIMEOUT: Option<Duration> = Some(Duration::from_secs(10));
+
+fn start_server(
+    mut cfg: ServerConfig,
+) -> (Arc<Server>, SocketAddr, JoinHandle<std::io::Result<()>>) {
+    // Short read deadlines keep the shutdown drain fast: a handler
+    // whose client went quiet exits within this window.
+    cfg.read_timeout = Some(Duration::from_secs(2));
+    cfg.write_timeout = Some(Duration::from_secs(2));
+    let server = Arc::new(Server::bind("127.0.0.1:0", cfg).expect("bind ephemeral"));
+    let addr = server.local_addr().expect("bound address");
+    let runner = Arc::clone(&server);
+    let handle = std::thread::spawn(move || runner.run());
+    (server, addr, handle)
+}
+
+fn stop_server(server: &Server, handle: JoinHandle<std::io::Result<()>>) {
+    server.request_shutdown();
+    handle
+        .join()
+        .expect("server thread exits")
+        .expect("clean server exit");
+}
+
+fn client(addr: SocketAddr) -> Client {
+    let mut c = Client::connect(addr).expect("connect");
+    c.set_timeouts(TIMEOUT, TIMEOUT).expect("timeouts");
+    c
+}
+
+#[test]
+fn full_session_lifecycle() {
+    let (server, addr, handle) = start_server(ServerConfig::default());
+    let mut c = client(addr);
+    let sid = c
+        .open_session(64, 64, Scenario::B, RuleSpec::Abku { d: 2 }, 42)
+        .expect("open");
+
+    assert_eq!(c.step(sid, 100).expect("step"), 100);
+    assert_eq!(c.step(sid, 50).expect("step"), 150, "steps accumulate");
+
+    match c
+        .call(&Request::Insert {
+            session: sid,
+            count: 8,
+        })
+        .expect("insert")
+    {
+        Response::Mutated { total, .. } => assert_eq!(total, 72),
+        other => panic!("expected Mutated, got {other:?}"),
+    }
+    match c
+        .call(&Request::Remove {
+            session: sid,
+            count: 8,
+        })
+        .expect("remove")
+    {
+        Response::Mutated { total, .. } => assert_eq!(total, 64),
+        other => panic!("expected Mutated, got {other:?}"),
+    }
+
+    let loads = c.query_loads(sid).expect("loads");
+    assert_eq!(loads.len(), 64);
+    assert_eq!(loads.iter().map(|&l| u64::from(l)).sum::<u64>(), 64);
+
+    match c
+        .call(&Request::QueryObservables { session: sid })
+        .expect("observables")
+    {
+        Response::Observables(o) => {
+            assert_eq!(o.steps, 150);
+            assert_eq!(o.total, 64);
+            assert!(o.max_load >= 1.0);
+            assert!((0.0..=1.0).contains(&o.empty_fraction));
+        }
+        other => panic!("expected Observables, got {other:?}"),
+    }
+
+    match c.call(&Request::Stats).expect("stats") {
+        Response::Stats { text } => {
+            assert!(text.contains("serve.req.step"), "stats table:\n{text}");
+            assert!(text.contains("serve.shard.0.sessions"));
+        }
+        other => panic!("expected Stats, got {other:?}"),
+    }
+
+    c.close_session(sid).expect("close");
+    match c.call(&Request::Step { session: sid, k: 1 }).expect("call") {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownSession),
+        other => panic!("closed session must be unknown, got {other:?}"),
+    }
+    drop(c);
+    stop_server(&server, handle);
+}
+
+#[test]
+fn limits_are_typed_errors() {
+    let cfg = ServerConfig {
+        max_sessions: 1,
+        max_bins: 128,
+        max_balls: 1000,
+        max_batch: 100,
+        ..ServerConfig::default()
+    };
+    let (server, addr, handle) = start_server(cfg);
+    let mut c = client(addr);
+
+    // Bins over the cap.
+    match c
+        .call(&Request::OpenSession {
+            n: 129,
+            m: 1,
+            scenario: Scenario::A,
+            rule: RuleSpec::Abku { d: 2 },
+            seed: 1,
+        })
+        .expect("call")
+    {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::LimitExceeded),
+        other => panic!("expected LimitExceeded, got {other:?}"),
+    }
+
+    // Invalid rule parameters are BadRequest, not a panic.
+    match c
+        .call(&Request::OpenSession {
+            n: 8,
+            m: 1,
+            scenario: Scenario::A,
+            rule: RuleSpec::Abku { d: 0 },
+            seed: 1,
+        })
+        .expect("call")
+    {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+
+    let sid = c
+        .open_session(8, 8, Scenario::A, RuleSpec::Abku { d: 2 }, 1)
+        .expect("first session fits");
+
+    // Session cap.
+    match c
+        .call(&Request::OpenSession {
+            n: 8,
+            m: 8,
+            scenario: Scenario::A,
+            rule: RuleSpec::Abku { d: 2 },
+            seed: 2,
+        })
+        .expect("call")
+    {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::LimitExceeded),
+        other => panic!("expected LimitExceeded, got {other:?}"),
+    }
+
+    // Batch cap.
+    match c
+        .call(&Request::Step {
+            session: sid,
+            k: 101,
+        })
+        .expect("call")
+    {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::LimitExceeded),
+        other => panic!("expected LimitExceeded, got {other:?}"),
+    }
+
+    // Ball cap via Insert.
+    match c
+        .call(&Request::Insert {
+            session: sid,
+            count: 993,
+        })
+        .expect("call")
+    {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::LimitExceeded),
+        other => panic!("expected LimitExceeded, got {other:?}"),
+    }
+
+    // Stepping an emptied session.
+    match c
+        .call(&Request::Remove {
+            session: sid,
+            count: 8,
+        })
+        .expect("call")
+    {
+        Response::Mutated { total, .. } => assert_eq!(total, 0),
+        other => panic!("expected Mutated, got {other:?}"),
+    }
+    match c.call(&Request::Step { session: sid, k: 1 }).expect("call") {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Empty),
+        other => panic!("expected Empty, got {other:?}"),
+    }
+
+    drop(c);
+    stop_server(&server, handle);
+}
+
+#[test]
+fn connection_cap_answers_busy() {
+    let cfg = ServerConfig {
+        max_connections: 1,
+        ..ServerConfig::default()
+    };
+    let (server, addr, handle) = start_server(cfg);
+    let mut first = client(addr);
+    // Complete one exchange so the first handler is definitely
+    // running (its gauge increment is visible).
+    first
+        .call(&Request::Stats)
+        .expect("first connection serves");
+
+    let mut second = Client::connect(addr).expect("tcp connect succeeds");
+    second.set_timeouts(TIMEOUT, TIMEOUT).expect("timeouts");
+    match second.call(&Request::Stats) {
+        Err(rt_serve::ClientError::Unexpected(_)) => panic!("helper not used here"),
+        Ok(Response::Busy { active, cap }) => {
+            assert_eq!(cap, 1);
+            assert!(active >= 1);
+        }
+        other => panic!("expected Busy, got {other:?}"),
+    }
+
+    // Note: the Busy frame is written at accept time, before any
+    // request — but call() writes first, which is fine on loopback.
+    drop(first);
+    drop(second);
+    stop_server(&server, handle);
+}
+
+/// **The acceptance-criterion test.** Two runs of the same seed and
+/// request sequence — with an interleaved decoy session in between —
+/// produce byte-identical `QueryLoads` response payloads, and the
+/// trajectory equals a local (serverless) `FastProcess` run of the
+/// same seed.
+#[test]
+fn same_seed_same_ops_is_byte_identical() {
+    let cfg = ServerConfig {
+        shards: 8,
+        ..ServerConfig::default()
+    };
+    let (server, addr, handle) = start_server(cfg);
+    let (n, m, seed) = (128u32, 128u32, 0xC0FFEE_u64);
+
+    let run_once = |decoy_seed: u64| -> Vec<u8> {
+        let mut c = client(addr);
+        let mut decoy = client(addr);
+        let sid = c
+            .open_session(n, m, Scenario::B, RuleSpec::Abku { d: 2 }, seed)
+            .expect("open");
+        // A concurrent session with a *different* seed, stepped in
+        // between: per-session RNG streams must keep it invisible.
+        let did = decoy
+            .open_session(n, m, Scenario::B, RuleSpec::Abku { d: 2 }, decoy_seed)
+            .expect("open decoy");
+        c.step(sid, 200).expect("step");
+        decoy.step(did, 137).expect("decoy step");
+        c.step(sid, 300).expect("step");
+        let raw = c
+            .call_raw(&Request::QueryLoads { session: sid })
+            .expect("raw loads");
+        c.close_session(sid).expect("close");
+        decoy.close_session(did).expect("close decoy");
+        raw
+    };
+
+    let first = run_once(1111);
+    let second = run_once(2222);
+    assert_eq!(first, second, "same seed + same ops must be byte-identical");
+
+    // And the bytes decode to exactly the local FastProcess result.
+    let served = match Response::decode(&first).expect("loads reply") {
+        Response::Loads { loads } => loads,
+        other => panic!("expected Loads, got {other:?}"),
+    };
+    let mut loads = vec![0u32; n as usize];
+    loads[0] = m;
+    let mut local = FastProcess::new(Removal::RandomNonEmptyBin, Abku::new(2), loads);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    local.run(500, &mut rng);
+    assert_eq!(
+        served,
+        local.loads(),
+        "server must replay the local trajectory"
+    );
+
+    stop_server(&server, handle);
+}
+
+#[test]
+fn sessions_on_different_connections_share_the_server() {
+    let (server, addr, handle) = start_server(ServerConfig {
+        shards: 4,
+        ..ServerConfig::default()
+    });
+    let results: Vec<Vec<u32>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..6u64)
+            .map(|i| {
+                scope.spawn(move |_| {
+                    let mut c = client(addr);
+                    let sid = c
+                        .open_session(32, 32, Scenario::A, RuleSpec::Abku { d: 2 }, 1000 + i)
+                        .expect("open");
+                    c.step(sid, 250).expect("step");
+                    let loads = c.query_loads(sid).expect("loads");
+                    c.close_session(sid).expect("close");
+                    loads
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    })
+    .expect("scope");
+    for loads in &results {
+        assert_eq!(loads.iter().map(|&l| u64::from(l)).sum::<u64>(), 32);
+    }
+    stop_server(&server, handle);
+}
+
+#[test]
+fn load_generator_runs_clean_on_loopback() {
+    let (server, addr, handle) = start_server(ServerConfig {
+        shards: 4,
+        ..ServerConfig::default()
+    });
+    let cfg = rt_serve::LoadConfig {
+        addr: addr.to_string(),
+        connections: 4,
+        requests_per_connection: 20,
+        steps_per_request: 32,
+        bins: 64,
+        balls: 64,
+        seed: 2026,
+        ..rt_serve::LoadConfig::default()
+    };
+    let report = rt_serve::run_load(&cfg);
+    assert_eq!(report.errors, 0, "report: {report:?}");
+    assert_eq!(report.failed_connections, 0);
+    assert_eq!(report.completed_connections, 4);
+    assert_eq!(report.requests, 4 * 20);
+    assert_eq!(report.steps, 4 * 20 * 32);
+    assert!(report.steps_per_sec() > 0.0);
+    let rendered = report.table().render();
+    assert!(rendered.contains("steps/s"), "table:\n{rendered}");
+    stop_server(&server, handle);
+}
+
+#[test]
+fn graceful_shutdown_via_protocol() {
+    let (_server, addr, handle) = start_server(ServerConfig::default());
+    let mut c = client(addr);
+    let sid = c
+        .open_session(16, 16, Scenario::A, RuleSpec::Abku { d: 2 }, 3)
+        .expect("open");
+    c.step(sid, 5).expect("step");
+    c.shutdown().expect("shutdown acknowledged");
+    handle
+        .join()
+        .expect("server thread exits")
+        .expect("clean exit after protocol shutdown");
+}

@@ -53,10 +53,23 @@ impl Table {
     }
 
     /// Render with padded columns and a separator under the header.
+    ///
+    /// Cells are sanitized on the way out ([`sanitize_cell`]): embedded
+    /// newlines would split a row across lines and runs of spaces would
+    /// read as the two-space column separator, so both are collapsed to
+    /// a single space. The stored cells are untouched — [`Table::rows`]
+    /// still returns the verbatim text (the JSON side channel wants the
+    /// raw values).
     pub fn render(&self) -> String {
         let cols = self.headers.len();
-        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
-        for row in &self.rows {
+        let headers: Vec<String> = self.headers.iter().map(|h| sanitize_cell(h)).collect();
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| row.iter().map(|c| sanitize_cell(c)).collect())
+            .collect();
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+        for row in &rows {
             for (w, cell) in widths.iter_mut().zip(row) {
                 *w = (*w).max(cell.chars().count());
             }
@@ -75,17 +88,43 @@ impl Table {
             }
             line
         };
-        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push_str(&fmt_row(&headers, &widths));
         out.push('\n');
         let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
         out.push_str(&"-".repeat(total));
         out.push('\n');
-        for row in &self.rows {
+        for row in &rows {
             out.push_str(&fmt_row(row, &widths));
             out.push('\n');
         }
         out
     }
+}
+
+/// Make a cell safe for the aligned renderer: control characters
+/// (`\n`, `\r`, `\t`) become spaces and any run of spaces collapses to
+/// one, so a cell can neither break the one-row-per-line structure nor
+/// fake the two-space column separator. Ordinary cells pass through
+/// unchanged.
+pub fn sanitize_cell(cell: &str) -> String {
+    let mut out = String::with_capacity(cell.len());
+    let mut prev_space = false;
+    for ch in cell.chars() {
+        let ch = match ch {
+            '\n' | '\r' | '\t' => ' ',
+            c => c,
+        };
+        if ch == ' ' {
+            if prev_space {
+                continue;
+            }
+            prev_space = true;
+        } else {
+            prev_space = false;
+        }
+        out.push(ch);
+    }
+    out
 }
 
 /// Format a float with `prec` significant digits after the point.
@@ -127,6 +166,38 @@ mod tests {
         assert_eq!(lines[2].len(), lines[3].len());
         assert!(lines[0].contains('n'));
         assert!(lines[3].contains("98765"));
+    }
+
+    #[test]
+    fn cells_with_newlines_and_separator_runs_render_aligned() {
+        // Regression: a cell containing a newline used to split its row
+        // across two output lines, and a run of spaces inside a cell
+        // was indistinguishable from the two-space column separator —
+        // both corrupted alignment. Render sanitizes; storage does not.
+        let mut t = Table::new(["metric", "value"]);
+        t.push_row(["multi\nline", "1"]);
+        t.push_row(["two  spaces\ttab", "23"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4, "header + rule + 2 rows:\n{s}");
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert!(lines[2].contains("multi line"));
+        assert!(lines[3].contains("two spaces tab"));
+        assert!(
+            !lines[3].contains("two  spaces"),
+            "separator run must collapse"
+        );
+        // The stored cells keep the verbatim text for the JSON path.
+        assert_eq!(t.rows()[0][0], "multi\nline");
+    }
+
+    #[test]
+    fn sanitize_cell_passes_ordinary_text_through() {
+        assert_eq!(sanitize_cell("plain"), "plain");
+        assert_eq!(sanitize_cell("a b c"), "a b c");
+        assert_eq!(sanitize_cell("x\r\ny"), "x y");
+        assert_eq!(sanitize_cell("   "), " ");
     }
 
     #[test]
